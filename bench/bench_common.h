@@ -1,0 +1,94 @@
+// Shared helpers for the experiment harnesses: trial timing and
+// paper-style table printing (the Runtime/stdev columns of Appendices B-D).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/timer.h"
+
+namespace fxcpp::bench {
+
+// Run `fn` for `warmup + trials` iterations; return stats over the trials.
+inline rt::TrialStats time_trials(const std::function<void()>& fn, int trials,
+                                  int warmup = 2) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(trials));
+  for (int i = 0; i < trials; ++i) {
+    rt::Timer t;
+    fn();
+    samples.push_back(t.seconds());
+  }
+  return rt::summarize(samples);
+}
+
+// Interleave two workloads A/B/A/B/... so slow machine-wide drift (shared
+// container, frequency scaling) hits both equally, and summarize each with
+// the *median* — robust to the occasional descheduled trial.
+struct InterleavedResult {
+  rt::TrialStats a, b;
+  double median_a = 0.0, median_b = 0.0;
+};
+
+inline double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+inline InterleavedResult time_interleaved(const std::function<void()>& fa,
+                                          const std::function<void()>& fb,
+                                          int trials, int warmup = 2) {
+  for (int i = 0; i < warmup; ++i) {
+    fa();
+    fb();
+  }
+  std::vector<double> sa, sb;
+  sa.reserve(static_cast<std::size_t>(trials));
+  sb.reserve(static_cast<std::size_t>(trials));
+  for (int i = 0; i < trials; ++i) {
+    {
+      rt::Timer t;
+      fa();
+      sa.push_back(t.seconds());
+    }
+    {
+      rt::Timer t;
+      fb();
+      sb.push_back(t.seconds());
+    }
+  }
+  InterleavedResult r;
+  r.a = rt::summarize(sa);
+  r.b = rt::summarize(sb);
+  r.median_a = median_of(sa);
+  r.median_b = median_of(sb);
+  return r;
+}
+
+inline void print_header(const std::string& title,
+                         const std::vector<std::string>& cols) {
+  std::printf("\n== %s ==\n", title.c_str());
+  for (const auto& c : cols) std::printf("%-22s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%-22s", "------");
+  std::printf("\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%-22s", c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int prec = 4) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace fxcpp::bench

@@ -1,0 +1,115 @@
+// A1 — ablation: execution-machinery overhead.
+//
+// The paper's codegen decision (Section 4.3) exists so transformed programs
+// run as native code instead of through an interpreter. The C++ analog:
+// GraphModule's compiled tape (targets pre-resolved, kwargs pre-merged,
+// liveness precomputed) vs the per-node Interpreter vs calling the original
+// module's forward directly. The tape should sit near eager; the
+// interpreter pays per-node target resolution and argument evaluation.
+#include <benchmark/benchmark.h>
+
+#include "core/functional.h"
+#include "core/interpreter.h"
+#include "core/tracer.h"
+#include "nn/models/mlp.h"
+#include "nn/models/resnet.h"
+
+using namespace fxcpp;
+
+namespace {
+
+// Tiny layers: per-op overhead dominates, exposing the dispatch gap.
+std::shared_ptr<fx::GraphModule> tiny_mlp() {
+  static auto gm = fx::symbolic_trace(
+      nn::models::mlp({16, 16, 16, 16, 16, 16, 16, 16, 16}, "relu"));
+  return gm;
+}
+
+std::shared_ptr<nn::Module> tiny_mlp_eager() {
+  static auto m = std::static_pointer_cast<nn::Module>(
+      nn::models::mlp({16, 16, 16, 16, 16, 16, 16, 16, 16}, "relu"));
+  return m;
+}
+
+void BM_EagerModule(benchmark::State& state) {
+  auto m = tiny_mlp_eager();
+  Tensor x = Tensor::randn({1, 16});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*m)(fx::Value(x)));
+  }
+}
+BENCHMARK(BM_EagerModule);
+
+void BM_CompiledTape(benchmark::State& state) {
+  auto gm = tiny_mlp();
+  Tensor x = Tensor::randn({1, 16});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gm->run(x));
+  }
+}
+BENCHMARK(BM_CompiledTape);
+
+void BM_Interpreter(benchmark::State& state) {
+  auto gm = tiny_mlp();
+  Tensor x = Tensor::randn({1, 16});
+  for (auto _ : state) {
+    fx::Interpreter interp(*gm);
+    benchmark::DoNotOptimize(interp.run(x));
+  }
+}
+BENCHMARK(BM_Interpreter);
+
+// A 64-op call_function chain over tiny tensors: per-node machinery
+// dominates, exposing the gap between pre-resolved tape execution and
+// per-node interpretation (target lookup, argument evaluation, kwarg merge).
+std::shared_ptr<fx::GraphModule> long_chain() {
+  static auto gm = [] {
+    auto f = [](fx::Value x) -> fx::Value {
+      for (int i = 0; i < 64; ++i) x = fx::fn::relu(x);
+      return x;
+    };
+    return fx::symbolic_trace(std::function<fx::Value(fx::Value)>(f));
+  }();
+  return gm;
+}
+
+void BM_CompiledTape_Chain64(benchmark::State& state) {
+  auto gm = long_chain();
+  Tensor x = Tensor::randn({4});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gm->run(x));
+  }
+}
+BENCHMARK(BM_CompiledTape_Chain64);
+
+void BM_Interpreter_Chain64(benchmark::State& state) {
+  auto gm = long_chain();
+  Tensor x = Tensor::randn({4});
+  for (auto _ : state) {
+    fx::Interpreter interp(*gm);
+    benchmark::DoNotOptimize(interp.run(x));
+  }
+}
+BENCHMARK(BM_Interpreter_Chain64);
+
+void BM_TraceCost(benchmark::State& state) {
+  // One-time capture cost (the AoT cost the paper trades against JIT
+  // re-capture unpredictability, Section 5.3).
+  auto m = nn::models::mlp({16, 16, 16, 16}, "relu");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx::symbolic_trace(m));
+  }
+}
+BENCHMARK(BM_TraceCost);
+
+void BM_RecompileCost(benchmark::State& state) {
+  auto gm = fx::symbolic_trace(nn::models::resnet18(8, 10));
+  for (auto _ : state) {
+    gm->recompile();
+  }
+}
+BENCHMARK(BM_RecompileCost);
+
+}  // namespace
+
+BENCHMARK_MAIN();

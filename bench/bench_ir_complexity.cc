@@ -1,0 +1,75 @@
+// E1 — Figure 5 / Section 6.1: IR complexity of the same ResNet-50 topology
+// under the three front-ends.
+//
+// Paper numbers (torchvision ResNet50): torch.fx 445 ops, jit.trace 860,
+// jit.script 2614. The claim reproduced here is the *ordering and rough
+// ratios*: fx is the smallest (immediate args, no constant/list/getattr
+// nodes), trace ~2x fx (constants, lists, attribute chains materialized),
+// script several times trace (control flow, assertions, padding-mode and
+// training branches).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/graph_module.h"
+#include "core/tracer.h"
+#include "jit/script.h"
+#include "jit/trace.h"
+#include "nn/models/resnet.h"
+
+using namespace fxcpp;
+
+namespace {
+
+void print_excerpt(const std::string& text, int lines) {
+  std::size_t pos = 0;
+  for (int i = 0; i < lines && pos != std::string::npos; ++i) {
+    const std::size_t next = text.find('\n', pos);
+    std::printf("  %s\n", text.substr(pos, next - pos).c_str());
+    pos = next == std::string::npos ? next : next + 1;
+  }
+  std::printf("  ...\n");
+}
+
+}  // namespace
+
+int main() {
+  auto model = nn::models::resnet50(/*width=*/8, /*classes=*/1000);
+  auto gm = fx::symbolic_trace(model);
+
+  const int fx_ops = static_cast<int>(gm->graph().size());
+  auto traced = jit::trace(*gm);
+  auto scripted = jit::script(*model);
+  const int trace_ops = traced->count_ops();
+  const int script_ops = scripted->count_ops();
+
+  std::printf("Figure 5a excerpt (TorchScript-style IR, script front-end):\n");
+  print_excerpt(scripted->to_string(), 14);
+  std::printf("\nFigure 5b excerpt (torch.fx IR):\n");
+  print_excerpt(gm->graph().to_string(), 8);
+  std::printf("\nGenerated code excerpt (GraphModule.code):\n");
+  print_excerpt(gm->code(), 6);
+
+  bench::print_header(
+      "E1: ResNet-50 IR op counts (paper: fx 445 / trace 860 / script 2614)",
+      {"front-end", "ops", "ratio vs fx", "paper ops", "paper ratio"});
+  bench::print_row({"torch.fx", std::to_string(fx_ops), "1.00", "445", "1.00"});
+  bench::print_row({"jit.trace", std::to_string(trace_ops),
+                    bench::fmt(double(trace_ops) / fx_ops, 2), "860",
+                    bench::fmt(860.0 / 445.0, 2)});
+  bench::print_row({"jit.script", std::to_string(script_ops),
+                    bench::fmt(double(script_ops) / fx_ops, 2), "2614",
+                    bench::fmt(2614.0 / 445.0, 2)});
+
+  bench::print_header("E1 detail: node-category counts",
+                      {"category", "jit.trace", "jit.script"});
+  for (const char* kind :
+       {"prim::Constant", "prim::ListConstruct", "prim::GetAttr", "prim::If",
+        "aten::conv2d", "aten::batch_norm", "aten::relu"}) {
+    bench::print_row({kind, std::to_string(traced->count_kind(kind)),
+                      std::to_string(scripted->count_kind(kind))});
+  }
+  const bool ordering_holds = fx_ops < trace_ops && trace_ops < script_ops;
+  std::printf("\nshape check: fx < trace < script : %s\n",
+              ordering_holds ? "HOLDS" : "VIOLATED");
+  return ordering_holds ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Post-Training Quantization of DeepRecommender (Section 6.2.1): the full
+// prepare -> calibrate -> convert workflow, accuracy audit, and a quick
+// speed comparison against fp32.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/tracer.h"
+#include "nn/models/deep_recommender.h"
+#include "quant/quantize.h"
+
+using namespace fxcpp;
+
+int main() {
+  nn::models::DeepRecommenderConfig cfg;
+  cfg.item_dim = 1024;
+  cfg.hidden = {256, 256, 512};
+  auto model = nn::models::deep_recommender(cfg);
+  auto fp32 = fx::symbolic_trace(std::static_pointer_cast<nn::Module>(model));
+
+  // Phase 1: instrument with observers.
+  auto gm = fx::symbolic_trace(std::static_pointer_cast<nn::Module>(model));
+  const int observers = quant::prepare(*gm);
+  std::printf("prepare(): inserted %d observers\n", observers);
+
+  // Phase 2: calibrate on synthetic rating vectors (the paper's stand-in
+  // for Netflix data batches; see DESIGN.md substitutions).
+  std::vector<Tensor> batches;
+  for (int i = 0; i < 8; ++i) batches.push_back(Tensor::rand({16, cfg.item_dim}));
+  quant::calibrate(*gm, batches);
+
+  // Phase 3: convert to int8.
+  const int converted = quant::convert(*gm);
+  std::printf("convert(): swapped %d ops to int8\n", converted);
+  std::printf("\nquantized program:\n%s\n", gm->code().c_str());
+
+  // Accuracy audit.
+  Tensor probe = Tensor::rand({32, cfg.item_dim});
+  Tensor ref = fp32->run(probe);
+  Tensor got = gm->run(probe);
+  double num = 0.0, den = 0.0;
+  for (std::int64_t i = 0; i < ref.numel(); ++i) {
+    const double d = got.at_flat(i) - ref.at_flat(i);
+    num += d * d;
+    den += ref.at_flat(i) * ref.at_flat(i);
+  }
+  std::printf("relative L2 error vs fp32: %.4f\n", std::sqrt(num / den));
+
+  // Speed.
+  Tensor x = Tensor::rand({1, cfg.item_dim});
+  const auto t_fp = bench::time_trials([&] { fp32->run(x); }, 10);
+  const auto t_q = bench::time_trials([&] { gm->run(x); }, 10);
+  std::printf("batch-1 latency: fp32 %.4fs, int8 %.4fs (%.2fx)\n", t_fp.mean,
+              t_q.mean, t_fp.mean / t_q.mean);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart — the paper's Figures 1-3 end to end:
+//   1. capture a function with symbolic tracing and inspect the 6-opcode IR
+//   2. write a transform (swap every relu for gelu) directly against the IR
+//   3. generate code, install the result inside another module, re-trace
+#include <cstdio>
+
+#include "core/functional.h"
+#include "core/graph_module.h"
+#include "core/subgraph_rewriter.h"
+#include "core/tracer.h"
+#include "tensor/ops.h"
+
+using namespace fxcpp;
+using fx::Value;
+
+// Figure 1's my_func: torch.relu(x).neg()
+Value my_func(Value x) { return fx::fn::relu(x).neg(); }
+
+int main() {
+  // --- capture (Figure 1) -------------------------------------------------
+  auto traced = fx::symbolic_trace(std::function<Value(Value)>(my_func));
+
+  std::printf("captured IR:\n%s\n", traced->graph().to_string().c_str());
+  std::printf("generated code:\n%s\n", traced->code().c_str());
+
+  // --- transform (Figure 2): replace relu with gelu -----------------------
+  auto pattern = fx::symbolic_trace(
+      std::function<Value(Value)>([](Value x) { return fx::fn::relu(x); }));
+  auto replacement = fx::symbolic_trace(
+      std::function<Value(Value)>([](Value x) { return fx::fn::gelu(x); }));
+  const int swapped =
+      fx::replace_pattern(*traced, pattern->graph(), replacement->graph());
+  std::printf("replaced %d activation(s); new code:\n%s\n", swapped,
+              traced->code().c_str());
+
+  // --- reuse (Figure 3): install the GraphModule in a new module, re-trace
+  class SampleModule : public nn::Module {
+   public:
+    SampleModule() : nn::Module("SampleModule") {}
+    Value forward(const std::vector<Value>& inputs) override {
+      constexpr double kPi = 3.141592653589793;
+      return (*get_submodule("act"))(inputs.at(0) + kPi);
+    }
+  };
+  auto sm = std::make_shared<SampleModule>();
+  sm->register_module("act", traced);
+  auto retraced = fx::symbolic_trace(std::static_pointer_cast<nn::Module>(sm));
+  std::printf("re-traced (GraphModule inlined):\n%s\n",
+              retraced->code().c_str());
+
+  // Transformed programs execute like any module.
+  Tensor x = Tensor::randn({2, 3});
+  Tensor y = retraced->run(x);
+  Tensor expect = ops::neg(ops::gelu(ops::add(x, 3.141592653589793)));
+  std::printf("max |output - expected| = %.2e\n", max_abs_diff(y, expect));
+  return 0;
+}

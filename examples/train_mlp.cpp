@@ -1,0 +1,87 @@
+// Training via graph-transform autodiff: the paper's Section 1 calls
+// program differentiation THE primary deep learning program transformation;
+// here it is literally one — build_gradient_graph turns a captured forward
+// graph into a gradient GraphModule, and a plain SGD loop drives it.
+//
+// Task: regress y = sin(3a) * cos(2b) from 2-D inputs with a small MLP.
+#include <cmath>
+#include <cstdio>
+
+#include "core/functional.h"
+#include "core/tracer.h"
+#include "nn/models/mlp.h"
+#include "passes/autodiff.h"
+#include "runtime/rng.h"
+#include "tensor/ops.h"
+
+using namespace fxcpp;
+using fx::Value;
+
+namespace {
+
+// Loss wrapper: mean((model(x) - y)^2), traced as one graph.
+class MseLoss : public nn::Module {
+ public:
+  explicit MseLoss(nn::Module::Ptr model) : nn::Module("MseLoss") {
+    register_module("model", std::move(model));
+  }
+  Value forward(const std::vector<Value>& in) override {
+    Value diff = (*get_submodule("model"))(in.at(0)) - in.at(1);
+    return fx::fn::mean(fx::fn::mul(diff, diff));
+  }
+};
+
+void make_batch(rt::Rng& rng, std::int64_t n, Tensor& x, Tensor& y) {
+  x = Tensor(Shape{n, 2}, DType::Float32);
+  y = Tensor(Shape{n, 1}, DType::Float32);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    x.set_flat(i * 2, a);
+    x.set_flat(i * 2 + 1, b);
+    y.set_flat(i, std::sin(3.0 * a) * std::cos(2.0 * b));
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto model = nn::models::mlp({2, 32, 32, 1}, "tanh");
+  auto loss_mod = std::make_shared<MseLoss>(model);
+  fx::Tracer tracer;
+  auto loss_gm = tracer.trace(std::static_pointer_cast<nn::Module>(loss_mod),
+                              {"x", "y"});
+
+  rt::Rng rng(42);
+  Tensor x0, y0;
+  make_batch(rng, 64, x0, y0);
+
+  // One transform builds the whole training computation.
+  auto grad = passes::build_gradient_graph(*loss_gm, {x0, y0});
+  std::printf("gradient graph: %zu nodes, %zu outputs\n",
+              grad.module->graph().size(), grad.output_names.size());
+
+  // Full-batch descent on a fixed dataset for a clean convergence curve.
+  const double lr = 0.2;
+  double first_loss = 0.0, last_loss = 0.0;
+  Tensor x = x0, y = y0;
+  for (int step = 0; step <= 600; ++step) {
+    const double loss = loss_gm->run({x, y}).item();
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+    if (step % 100 == 0) std::printf("step %4d  loss %.5f\n", step, loss);
+
+    // SGD: parameters updated through the Module hierarchy, then the tapes
+    // rebind (recompile) against the new values.
+    for (const auto& [name, g] : grad.run({x, y})) {
+      if (name == "x" || name == "y") continue;
+      Tensor p = loss_gm->root()->get_parameter(name);
+      loss_gm->root()->set_parameter(name, ops::sub(p, ops::mul(g, lr)));
+    }
+    loss_gm->recompile();
+    grad.module->recompile();
+  }
+  std::printf("loss: %.5f -> %.5f (%s)\n", first_loss, last_loss,
+              last_loss < first_loss * 0.2 ? "trained" : "NOT trained");
+  return last_loss < first_loss * 0.2 ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// Node arguments — the paper's "immediate values" design (Section 4.2).
+//
+// args/kwargs hold either references to other Nodes (data dependencies) or
+// immediate Python-like values (int, float, bool, string, recursive lists)
+// inlined directly, so the IR has no separate construction instructions for
+// scalars and collections and Nodes stay ~1:1 with tensor operations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace fxcpp::fx {
+
+class Node;
+
+class Argument {
+ public:
+  using List = std::vector<Argument>;
+
+  Argument() = default;  // None
+  /*implicit*/ Argument(Node* n) : v_(n) {}
+  /*implicit*/ Argument(bool b) : v_(b) {}
+  /*implicit*/ Argument(int i) : v_(static_cast<std::int64_t>(i)) {}
+  /*implicit*/ Argument(std::int64_t i) : v_(i) {}
+  /*implicit*/ Argument(double d) : v_(d) {}
+  /*implicit*/ Argument(const char* s) : v_(std::string(s)) {}
+  /*implicit*/ Argument(std::string s) : v_(std::move(s)) {}
+  /*implicit*/ Argument(List l) : v_(std::move(l)) {}
+  /*implicit*/ Argument(const std::vector<std::int64_t>& ints) {
+    List l;
+    l.reserve(ints.size());
+    for (auto i : ints) l.emplace_back(i);
+    v_ = std::move(l);
+  }
+
+  bool is_none() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_node() const { return std::holds_alternative<Node*>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_list() const { return std::holds_alternative<List>(v_); }
+
+  Node* node() const { return std::get<Node*>(v_); }
+  bool as_bool() const { return std::get<bool>(v_); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  double as_double() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const List& list() const { return std::get<List>(v_); }
+  List& list() { return std::get<List>(v_); }
+
+  // All-int list convenience (conv strides, pool kernels, shapes, ...).
+  std::vector<std::int64_t> int_list() const;
+
+  // Apply `f` to every Node reference inside this argument (recursing into
+  // lists) — the traversal Graph uses to maintain use-def chains.
+  template <typename F>
+  void for_each_node(F&& f) const {
+    if (is_node()) {
+      f(node());
+    } else if (is_list()) {
+      for (const auto& a : list()) a.for_each_node(f);
+    }
+  }
+
+  // Replace every reference to `from` with `to`; returns replacements made.
+  int replace_node(Node* from, Node* to);
+
+  bool operator==(const Argument& other) const;
+
+  // Render in the style of Figure 1 (`x`, `3.14`, `(1, 1)`, `'pad'`).
+  std::string to_string() const;
+
+ private:
+  std::variant<std::monostate, Node*, bool, std::int64_t, double, std::string,
+               List>
+      v_;
+};
+
+using Kwargs = std::vector<std::pair<std::string, Argument>>;
+
+}  // namespace fxcpp::fx

@@ -1,0 +1,123 @@
+#include "core/codegen.h"
+
+#include <sstream>
+
+namespace fxcpp::fx {
+
+std::unordered_map<const Node*, int> last_use_index(
+    const std::vector<Node*>& order) {
+  std::unordered_map<const Node*, int> last;
+  std::unordered_map<const Node*, int> pos;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[order[i]] = static_cast<int>(i);
+    last[order[i]] = -1;
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (const Node* in : order[i]->input_nodes()) {
+      last[in] = static_cast<int>(i);
+    }
+  }
+  return last;
+}
+
+namespace {
+
+// Render an argument as a Python expression.
+std::string expr(const Argument& a) {
+  if (a.is_list()) {
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < a.list().size(); ++i) {
+      if (i) os << ", ";
+      os << expr(a.list()[i]);
+    }
+    os << ']';
+    return os.str();
+  }
+  return a.to_string();
+}
+
+std::string call_args(const Node& n, std::size_t first = 0) {
+  std::ostringstream os;
+  bool any = false;
+  for (std::size_t i = first; i < n.args().size(); ++i) {
+    if (any) os << ", ";
+    os << expr(n.args()[i]);
+    any = true;
+  }
+  for (const auto& [k, v] : n.kwargs()) {
+    if (any) os << ", ";
+    os << k << " = " << expr(v);
+    any = true;
+  }
+  return os.str();
+}
+
+const char* infix_for(const std::string& target) {
+  if (target == "add") return " + ";
+  if (target == "sub") return " - ";
+  if (target == "mul") return " * ";
+  if (target == "div") return " / ";
+  return nullptr;
+}
+
+}  // namespace
+
+std::string generate_code(const Graph& g) {
+  const std::vector<Node*> order = g.nodes();
+  const auto last = last_use_index(order);
+
+  std::ostringstream os;
+  os << "def forward(self";
+  for (const Node* n : order) {
+    if (n->op() == Opcode::Placeholder) os << ", " << n->name();
+  }
+  os << "):\n";
+
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Node* n = order[i];
+    std::ostringstream line;
+    switch (n->op()) {
+      case Opcode::Placeholder:
+        continue;
+      case Opcode::Output:
+        line << "return " << expr(n->args().at(0));
+        break;
+      case Opcode::GetAttr:
+        line << n->name() << " = self." << n->target();
+        break;
+      case Opcode::CallModule:
+        line << n->name() << " = self." << n->target() << "(" << call_args(*n)
+             << ")";
+        break;
+      case Opcode::CallMethod:
+        line << n->name() << " = " << expr(n->args().at(0)) << "."
+             << n->target() << "(" << call_args(*n, 1) << ")";
+        break;
+      case Opcode::CallFunction: {
+        const char* infix = infix_for(n->target());
+        if (infix && n->args().size() == 2 && n->kwargs().empty()) {
+          line << n->name() << " = " << expr(n->args()[0]) << infix
+               << expr(n->args()[1]);
+        } else {
+          line << n->name() << " = torch." << n->target() << "("
+               << call_args(*n) << ")";
+        }
+        break;
+      }
+    }
+    os << "    " << line.str();
+    // Clear variables whose last use was this statement (fx's `;  x = None`).
+    for (const Node* in : n->input_nodes()) {
+      auto it = last.find(in);
+      if (it != last.end() && it->second == static_cast<int>(i) &&
+          n->op() != Opcode::Output) {
+        os << ";  " << in->name() << " = None";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fxcpp::fx

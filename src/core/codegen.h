@@ -1,0 +1,29 @@
+// Python-like source generation from the IR (Section 4.3) — renders exactly
+// the Figure 1-3 style:
+//
+//   def forward(self, x):
+//       relu = torch.relu(x);  x = None
+//       neg = relu.neg();  relu = None
+//       return neg
+//
+// The `; v = None` annotations come from a real liveness analysis (each
+// variable is cleared after its last use); the compiled tape reuses the same
+// analysis to free registers.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph.h"
+
+namespace fxcpp::fx {
+
+std::string generate_code(const Graph& g);
+
+// For each node, the index (in graph order) of the last node that consumes
+// it; -1 when unused. Shared by codegen and CompiledGraph.
+std::unordered_map<const Node*, int> last_use_index(
+    const std::vector<Node*>& order);
+
+}  // namespace fxcpp::fx

@@ -1,0 +1,54 @@
+#include "core/custom_op.h"
+
+#include <stdexcept>
+
+#include "core/tracer.h"
+
+namespace fxcpp::fx {
+
+void register_custom_op(const std::string& name,
+                        std::vector<std::string> param_names,
+                        CustomKernel kernel) {
+  OpInfo info;
+  info.name = name;
+  info.param_names = std::move(param_names);
+  info.run = [kernel = std::move(kernel)](const std::vector<RtValue>& args)
+      -> RtValue {
+    std::vector<Tensor> tensors;
+    tensors.reserve(args.size());
+    for (const auto& a : args) {
+      if (rt_is_tensor(a)) tensors.push_back(rt_tensor(a));
+    }
+    return kernel(tensors);
+  };
+  OpRegistry::functions().add(std::move(info));
+}
+
+Value call_custom(const std::string& name, const std::vector<Value>& args) {
+  const OpInfo* info = OpRegistry::functions().find(name);
+  if (!info) {
+    throw std::invalid_argument("call_custom: no registered op '" + name +
+                                "'; call register_custom_op first");
+  }
+  // Record when any input is a Proxy (the __torch_function__-style check).
+  Tracer* t = nullptr;
+  for (const auto& v : args) {
+    if (v.is_proxy()) {
+      t = v.proxy().tracer;
+      break;
+    }
+  }
+  if (t) {
+    std::vector<Argument> node_args;
+    node_args.reserve(args.size());
+    for (const auto& v : args) node_args.push_back(t->create_arg(v));
+    return Value(t->create_proxy(Opcode::CallFunction, name,
+                                 std::move(node_args)));
+  }
+  std::vector<RtValue> rt;
+  rt.reserve(args.size());
+  for (const auto& v : args) rt.emplace_back(v.tensor());
+  return Value(rt_tensor(info->run(rt)));
+}
+
+}  // namespace fxcpp::fx

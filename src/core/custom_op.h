@@ -1,0 +1,33 @@
+// User-defined traceable operators — the fx.wrap analog.
+//
+// fx.wrap lets users mark a free function so symbolic tracing records it as
+// an opaque call_function instead of tracing into it. Here, registering a
+// custom op installs a kernel under a target name and returns a trace-aware
+// callable: with concrete tensors it computes, with Proxies it records a
+// call_function Node executable by the Interpreter and the compiled tape.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/op_registry.h"
+#include "core/value.h"
+
+namespace fxcpp::fx {
+
+// Kernel over concrete tensors (one output). Positional scalar/int-list
+// arguments are passed through as RtValues after the tensor inputs.
+using CustomKernel = std::function<Tensor(const std::vector<Tensor>&)>;
+
+// Register (or replace) a unary/n-ary tensor kernel under `name` in the
+// call_function registry. `param_names` documents the positional schema
+// (used by kwargs merging and normalize_args).
+void register_custom_op(const std::string& name,
+                        std::vector<std::string> param_names,
+                        CustomKernel kernel);
+
+// Invoke a registered custom op through the trace-aware dispatch layer.
+Value call_custom(const std::string& name, const std::vector<Value>& args);
+
+}  // namespace fxcpp::fx

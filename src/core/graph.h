@@ -1,0 +1,119 @@
+// Graph — the container of the fx IR (Section 4.2): an insertion-ordered
+// linear series of Nodes forming a DAG through their argument references.
+// There is deliberately no control flow and no mutation modeling
+// (Sections 5.5/5.6): analyses are simple forward propagation and
+// transformations need no aliasing analysis.
+#pragma once
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/node.h"
+
+namespace fxcpp::fx {
+
+class Graph {
+ public:
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  // --- node creation (at the current insertion point) -------------------
+  Node* placeholder(const std::string& name);
+  Node* call_function(const std::string& target, std::vector<Argument> args,
+                      Kwargs kwargs = {});
+  Node* call_method(const std::string& target, std::vector<Argument> args,
+                    Kwargs kwargs = {});
+  Node* call_module(const std::string& target, std::vector<Argument> args,
+                    Kwargs kwargs = {});
+  Node* get_attr(const std::string& target);
+  Node* output(Argument value);
+  Node* create_node(Opcode op, const std::string& target,
+                    std::vector<Argument> args = {}, Kwargs kwargs = {},
+                    const std::string& name_hint = "");
+
+  // Copy `src` (from this or another graph) into this graph at the insertion
+  // point, mapping its arguments through `arg_map`.
+  Node* copy_node(const Node& src,
+                  const std::function<Argument(const Argument&)>& arg_map);
+
+  // Inline every non-placeholder node of `src` at the insertion point,
+  // substituting `placeholder_args` for src's placeholders (in order).
+  // Returns the argument that src's output node returned, remapped.
+  // This is how re-tracing a GraphModule works (Figure 3) and how pattern
+  // replacements are spliced in.
+  Argument inline_graph(const Graph& src,
+                        const std::vector<Argument>& placeholder_args);
+
+  // --- insertion point ----------------------------------------------------
+  // New nodes are appended before `n` (nullptr = append at end, the default).
+  // Returns the previous insertion point so callers can restore it.
+  Node* set_insert_point_before(Node* n);
+
+  // RAII insertion-point scope.
+  class InsertScope {
+   public:
+    InsertScope(Graph& g, Node* before)
+        : g_(g), prev_(g.set_insert_point_before(before)) {}
+    ~InsertScope() { g_.set_insert_point_before(prev_); }
+    InsertScope(const InsertScope&) = delete;
+    InsertScope& operator=(const InsertScope&) = delete;
+
+   private:
+    Graph& g_;
+    Node* prev_;
+  };
+
+  // --- manipulation ---------------------------------------------------------
+  // Remove a node; throws std::logic_error if it still has users.
+  void erase_node(Node* n);
+  // Reposition `n` immediately before `before` (topological order is the
+  // caller's responsibility until lint()).
+  void move_before(Node* n, Node* before);
+
+  // Remove nodes (except placeholders/output) with no users. Returns the
+  // number erased. Trivially correct because the IR has no side effects —
+  // the payoff of the Section 5.6 purity decision.
+  int eliminate_dead_code();
+
+  // --- inspection -------------------------------------------------------------
+  // Snapshot of nodes in graph order (safe to mutate the graph while
+  // iterating the snapshot).
+  std::vector<Node*> nodes() const;
+  std::size_t size() const { return nodes_.size(); }
+  Node* output_node() const { return output_; }
+  std::vector<Node*> placeholders() const;
+  // Find by unique name; nullptr if absent.
+  Node* find(const std::string& name) const;
+
+  // Verify IR invariants: unique names, single output (last), placeholders
+  // first, every argument reference defined earlier in the list, use-def
+  // chains consistent. Throws std::logic_error with a description.
+  void lint() const;
+
+  // Figure-1 style multi-line listing.
+  std::string to_string() const;
+
+  // Deep copy; `node_map` (if given) receives src-node -> new-node.
+  std::unique_ptr<Graph> clone(
+      std::unordered_map<const Node*, Node*>* node_map = nullptr) const;
+
+  std::string unique_name(const std::string& hint);
+
+ private:
+  using NodeList = std::list<std::unique_ptr<Node>>;
+  NodeList::iterator iter_of(Node* n);
+  Node* insert(std::unique_ptr<Node> n);
+
+  NodeList nodes_;
+  std::unordered_map<Node*, NodeList::iterator> pos_;
+  std::unordered_map<std::string, int> name_counts_;
+  Node* insert_before_ = nullptr;
+  Node* output_ = nullptr;
+};
+
+}  // namespace fxcpp::fx

@@ -1,0 +1,314 @@
+#include "core/graph_io.h"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace fxcpp::fx {
+
+namespace {
+
+void write_arg(std::ostringstream& os, const Argument& a) {
+  if (a.is_none()) {
+    os << "None";
+  } else if (a.is_node()) {
+    os << a.node()->name();
+  } else if (a.is_bool()) {
+    os << (a.as_bool() ? "True" : "False");
+  } else if (a.is_int()) {
+    os << a.as_int();
+  } else if (a.is_double()) {
+    std::ostringstream tmp;
+    tmp.precision(17);
+    tmp << a.as_double();
+    std::string s = tmp.str();
+    // Disambiguate from ints on re-parse.
+    if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+        s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+      s += ".0";
+    }
+    os << s;
+  } else if (a.is_string()) {
+    if (a.as_string().find('\'') != std::string::npos) {
+      throw std::invalid_argument(
+          "serialize_graph: quotes in string arguments are not supported");
+    }
+    os << '\'' << a.as_string() << '\'';
+  } else {  // list
+    os << '[';
+    for (std::size_t i = 0; i < a.list().size(); ++i) {
+      if (i) os << ", ";
+      write_arg(os, a.list()[i]);
+    }
+    os << ']';
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(const std::string& s, int line, const std::unordered_map<std::string, Node*>& names)
+      : s_(s), line_(line), names_(names) {}
+
+  Argument parse_arg() {
+    skip_ws();
+    if (eat("None")) return Argument();
+    if (eat("True")) return Argument(true);
+    if (eat("False")) return Argument(false);
+    const char c = peek();
+    if (c == '\'') return parse_string();
+    if (c == '[') return parse_list();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return parse_number();
+    }
+    return parse_node_ref();
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool done() {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+
+  bool eat_char(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("parse_graph: line " + std::to_string(line_) +
+                                ": " + why + " (at '" + s_.substr(pos_, 20) +
+                                "')");
+  }
+
+ private:
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  bool eat(const char* word) {
+    skip_ws();
+    const std::size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) == 0) {
+      // Must not be a prefix of a longer identifier (e.g. "None_1").
+      const char next = pos_ + n < s_.size() ? s_[pos_ + n] : '\0';
+      if (std::isalnum(static_cast<unsigned char>(next)) || next == '_') {
+        return false;
+      }
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Argument parse_string() {
+    ++pos_;  // opening quote
+    const std::size_t end = s_.find('\'', pos_);
+    if (end == std::string::npos) fail("unterminated string");
+    std::string v = s_.substr(pos_, end - pos_);
+    pos_ = end + 1;
+    return Argument(std::move(v));
+  }
+
+  Argument parse_list() {
+    ++pos_;  // '['
+    Argument::List items;
+    skip_ws();
+    if (eat_char(']')) return Argument(std::move(items));
+    for (;;) {
+      items.push_back(parse_arg());
+      if (eat_char(']')) break;
+      if (!eat_char(',')) fail("expected ',' or ']' in list");
+      skip_ws();
+      if (eat_char(']')) break;  // trailing comma
+    }
+    return Argument(std::move(items));
+  }
+
+  Argument parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool is_float = false;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' ||
+                 ((c == '+' || c == '-') && pos_ > start &&
+                  (s_[pos_ - 1] == 'e' || s_[pos_ - 1] == 'E'))) {
+        is_float = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string tok = s_.substr(start, pos_ - start);
+    if (is_float) return Argument(std::stod(tok));
+    return Argument(static_cast<std::int64_t>(std::stoll(tok)));
+  }
+
+  Argument parse_node_ref() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected argument");
+    const std::string name = s_.substr(start, pos_ - start);
+    auto it = names_.find(name);
+    if (it == names_.end()) fail("unknown node '" + name + "'");
+    return Argument(it->second);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  int line_;
+  const std::unordered_map<std::string, Node*>& names_;
+};
+
+Opcode opcode_from(const std::string& s, int line) {
+  if (s == "placeholder") return Opcode::Placeholder;
+  if (s == "call_function") return Opcode::CallFunction;
+  if (s == "call_method") return Opcode::CallMethod;
+  if (s == "call_module") return Opcode::CallModule;
+  if (s == "get_attr") return Opcode::GetAttr;
+  if (s == "output") return Opcode::Output;
+  throw std::invalid_argument("parse_graph: line " + std::to_string(line) +
+                              ": unknown opcode '" + s + "'");
+}
+
+}  // namespace
+
+std::string serialize_graph(const Graph& g) {
+  std::ostringstream os;
+  for (const Node* n : g.nodes()) {
+    os << n->name() << " = " << opcode_name(n->op()) << " target=" << n->target()
+       << " args=(";
+    for (std::size_t i = 0; i < n->args().size(); ++i) {
+      if (i) os << ", ";
+      write_arg(os, n->args()[i]);
+    }
+    os << ")";
+    if (!n->kwargs().empty()) {
+      os << " kwargs={";
+      for (std::size_t i = 0; i < n->kwargs().size(); ++i) {
+        if (i) os << ", ";
+        os << n->kwargs()[i].first << ": ";
+        write_arg(os, n->kwargs()[i].second);
+      }
+      os << "}";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::unique_ptr<Graph> parse_graph(const std::string& text) {
+  auto g = std::make_unique<Graph>();
+  std::unordered_map<std::string, Node*> names;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto expect = [&](std::size_t pos, const std::string& what) {
+      if (pos == std::string::npos) {
+        throw std::invalid_argument("parse_graph: line " +
+                                    std::to_string(line_no) + ": missing " +
+                                    what);
+      }
+      return pos;
+    };
+    const std::size_t eq = expect(line.find(" = "), "'='");
+    const std::string name = line.substr(0, eq);
+    std::size_t p = eq + 3;
+    const std::size_t sp = expect(line.find(' ', p), "opcode");
+    const Opcode op = opcode_from(line.substr(p, sp - p), line_no);
+    const std::size_t tpos = expect(line.find("target=", sp), "target");
+    const std::size_t apos = expect(line.find(" args=(", tpos), "args");
+    const std::string target = line.substr(tpos + 7, apos - (tpos + 7));
+    // Extract the args body (balanced to the matching ')').
+    std::size_t body_start = apos + 7;
+    int depth = 1;
+    bool in_str = false;
+    std::size_t i = body_start;
+    for (; i < line.size() && depth > 0; ++i) {
+      const char c = line[i];
+      if (c == '\'') in_str = !in_str;
+      if (in_str) continue;
+      if (c == '(' || c == '[') ++depth;
+      if (c == ')' || c == ']') --depth;
+    }
+    if (depth != 0) {
+      throw std::invalid_argument("parse_graph: line " +
+                                  std::to_string(line_no) +
+                                  ": unbalanced args");
+    }
+    const std::string args_body = line.substr(body_start, i - 1 - body_start);
+
+    std::vector<Argument> args;
+    {
+      Parser parser(args_body, line_no, names);
+      while (!parser.done()) {
+        args.push_back(parser.parse_arg());
+        parser.skip_ws();
+        if (!parser.eat_char(',')) break;
+      }
+    }
+    Kwargs kwargs;
+    const std::size_t kpos = line.find(" kwargs={", i);
+    if (kpos != std::string::npos) {
+      const std::size_t kend = expect(line.rfind('}'), "kwargs close");
+      const std::string kbody = line.substr(kpos + 9, kend - (kpos + 9));
+      std::istringstream ks(kbody);
+      std::string entry;
+      // Keys contain no commas/colons; values are parsed with the full
+      // argument parser after splitting on the first ':'.
+      std::size_t start = 0;
+      int kd = 0;
+      bool ks_str = false;
+      for (std::size_t j = 0; j <= kbody.size(); ++j) {
+        const char c = j < kbody.size() ? kbody[j] : ',';
+        if (c == '\'') ks_str = !ks_str;
+        if (!ks_str && (c == '[' || c == '(')) ++kd;
+        if (!ks_str && (c == ']' || c == ')')) --kd;
+        if (c == ',' && kd == 0 && !ks_str) {
+          const std::string item = kbody.substr(start, j - start);
+          const std::size_t colon = item.find(':');
+          if (colon != std::string::npos) {
+            std::string key = item.substr(0, colon);
+            while (!key.empty() && key.front() == ' ') key.erase(key.begin());
+            Parser vp(item.substr(colon + 1), line_no, names);
+            kwargs.emplace_back(key, vp.parse_arg());
+          }
+          start = j + 1;
+        }
+      }
+    }
+
+    Node* n;
+    if (op == Opcode::Output) {
+      n = g->output(args.empty() ? Argument() : args[0]);
+    } else {
+      n = g->create_node(op, target, std::move(args), std::move(kwargs), name);
+    }
+    names[n->name()] = n;
+  }
+  g->lint();
+  return g;
+}
+
+}  // namespace fxcpp::fx

@@ -1,0 +1,28 @@
+// Graph serialization — a plain-text round-trippable encoding of the IR.
+//
+// The paper situates fx among systems that capture "a free-standing
+// representation of the whole program for the purposes of serialization or
+// export" (Section 1); fx itself pickles GraphModules. Here the 6-opcode IR
+// serializes to a line-oriented text form (one node per line, arguments in
+// a parseable subset of the Figure-1 rendering) and parses back, enabling
+// save/transform/reload workflows and golden files.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/graph.h"
+
+namespace fxcpp::fx {
+
+// One line per node:
+//   name = opcode target=<target> args=(...) kwargs={k: v, ...}
+// Arguments: node names, None, True/False, ints, floats (with '.' or 'e'),
+// 'strings', and [lists].
+std::string serialize_graph(const Graph& g);
+
+// Parse the serialize_graph() format. Throws std::invalid_argument with a
+// line number on malformed input.
+std::unique_ptr<Graph> parse_graph(const std::string& text);
+
+}  // namespace fxcpp::fx

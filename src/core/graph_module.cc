@@ -1,0 +1,351 @@
+#include "core/graph_module.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "core/codegen.h"
+#include "core/functional.h"
+#include "core/graph_io.h"
+
+namespace fxcpp::fx {
+
+namespace {
+
+RtValue value_to_rt(const Value& v) {
+  if (v.is_tensor()) return v.tensor();
+  if (v.is_tuple()) {
+    std::vector<Tensor> ts;
+    ts.reserve(v.tuple().size());
+    for (const auto& item : v.tuple()) ts.push_back(item.tensor());
+    return ts;
+  }
+  if (!v.defined()) return RtValue();
+  throw std::logic_error("cannot lower Value (Proxy?) to a runtime value");
+}
+
+Value rt_to_value(RtValue v) {
+  if (rt_is_tensor(v)) return Value(std::move(std::get<Tensor>(v)));
+  if (std::holds_alternative<std::vector<Tensor>>(v)) {
+    std::vector<Value> items;
+    for (auto& t : std::get<std::vector<Tensor>>(v)) {
+      items.emplace_back(std::move(t));
+    }
+    return Value(std::move(items));
+  }
+  if (std::holds_alternative<std::monostate>(v)) return Value();
+  throw std::logic_error("graph produced a non-tensor output");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CompiledGraph
+// ---------------------------------------------------------------------------
+
+namespace {
+
+RtValue eval_arg_expr(const Instr::ArgExpr& e, std::vector<RtValue>& regs) {
+  using Kind = Instr::ArgExpr::Kind;
+  switch (e.kind) {
+    case Kind::Reg:
+      return regs[static_cast<std::size_t>(e.reg)];
+    case Kind::Imm:
+      return e.imm;
+    case Kind::List: {
+      bool all_tensor = !e.items.empty();
+      bool all_int = !e.items.empty();
+      std::vector<RtValue> vals;
+      vals.reserve(e.items.size());
+      for (const auto& item : e.items) {
+        vals.push_back(eval_arg_expr(item, regs));
+        all_tensor = all_tensor && rt_is_tensor(vals.back());
+        all_int = all_int && std::holds_alternative<std::int64_t>(vals.back());
+      }
+      if (all_tensor) {
+        std::vector<Tensor> ts;
+        ts.reserve(vals.size());
+        for (auto& v : vals) ts.push_back(std::move(std::get<Tensor>(v)));
+        return ts;
+      }
+      if (all_int) {
+        std::vector<std::int64_t> is;
+        is.reserve(vals.size());
+        for (auto& v : vals) is.push_back(std::get<std::int64_t>(v));
+        return is;
+      }
+      throw std::logic_error("heterogeneous list argument at runtime");
+    }
+  }
+  return RtValue();
+}
+
+}  // namespace
+
+std::vector<RtValue> CompiledGraph::run(std::vector<RtValue> inputs) const {
+  if (inputs.size() != input_regs_.size()) {
+    throw std::invalid_argument(
+        "CompiledGraph: expected " + std::to_string(input_regs_.size()) +
+        " inputs, got " + std::to_string(inputs.size()));
+  }
+  std::vector<RtValue> regs(static_cast<std::size_t>(num_regs_));
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    regs[static_cast<std::size_t>(input_regs_[i])] = std::move(inputs[i]);
+  }
+  std::vector<RtValue> result;
+  for (const Instr& ins : instrs_) {
+    RtValue out;
+    switch (ins.op) {
+      case Opcode::CallFunction:
+      case Opcode::CallMethod: {
+        std::vector<RtValue> args;
+        args.reserve(ins.args.size());
+        for (const auto& a : ins.args) args.push_back(eval_arg_expr(a, regs));
+        out = ins.fn->run(args);
+        break;
+      }
+      case Opcode::CallModule: {
+        std::vector<Value> args;
+        args.reserve(ins.args.size());
+        for (const auto& a : ins.args) {
+          args.push_back(rt_to_value(eval_arg_expr(a, regs)));
+        }
+        out = value_to_rt((*ins.module)(std::move(args)));
+        break;
+      }
+      case Opcode::GetAttr:
+        out = ins.attr;
+        break;
+      case Opcode::Output:
+        result.push_back(eval_arg_expr(ins.args.at(0), regs));
+        break;
+      case Opcode::Placeholder:
+        break;
+    }
+    if (ins.out_reg >= 0) {
+      regs[static_cast<std::size_t>(ins.out_reg)] = std::move(out);
+    }
+    // Release dead registers (the `v = None` of generated Python): tensors
+    // free their storage at last use exactly as fx's generated code does.
+    for (int r : ins.frees) regs[static_cast<std::size_t>(r)] = RtValue();
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// GraphModule
+// ---------------------------------------------------------------------------
+
+GraphModule::GraphModule(nn::Module::Ptr root, std::unique_ptr<Graph> graph,
+                         std::string class_name)
+    : nn::Module(std::move(class_name)),
+      root_(std::move(root)),
+      graph_(std::move(graph)) {
+  if (!graph_) throw std::invalid_argument("GraphModule: null graph");
+}
+
+nn::Module::Ptr GraphModule::resolve_module(const std::string& qualname) const {
+  if (!root_) {
+    throw std::out_of_range("GraphModule has no module hierarchy for '" +
+                            qualname + "'");
+  }
+  return root_->get_submodule(qualname);
+}
+
+nn::Module::Ptr GraphModule::get_submodule(const std::string& qualname) const {
+  try {
+    return nn::Module::get_submodule(qualname);
+  } catch (const std::out_of_range&) {
+    return resolve_module(qualname);
+  }
+}
+
+Tensor GraphModule::get_parameter(const std::string& qualname) const {
+  try {
+    return nn::Module::get_parameter(qualname);
+  } catch (const std::out_of_range&) {
+    return resolve_attr(qualname);
+  }
+}
+
+Tensor GraphModule::resolve_attr(const std::string& qualname) const {
+  if (!root_) {
+    throw std::out_of_range("GraphModule has no module hierarchy for '" +
+                            qualname + "'");
+  }
+  return root_->get_parameter(qualname);
+}
+
+void GraphModule::recompile() {
+  fn::ensure_registered();
+  graph_->lint();
+  code_ = generate_code(*graph_);
+
+  auto compiled = std::make_unique<CompiledGraph>();
+  const std::vector<Node*> order = graph_->nodes();
+  const auto last = last_use_index(order);
+
+  std::unordered_map<const Node*, int> reg_of;
+  int next_reg = 0;
+  // Pre-decode an Argument into an ArgExpr.
+  std::function<Instr::ArgExpr(const Argument&)> build =
+      [&](const Argument& a) -> Instr::ArgExpr {
+    Instr::ArgExpr e;
+    if (a.is_node()) {
+      e.kind = Instr::ArgExpr::Kind::Reg;
+      e.reg = reg_of.at(a.node());
+      return e;
+    }
+    if (a.is_list()) {
+      bool all_int = true;
+      for (const auto& item : a.list()) all_int = all_int && item.is_int();
+      if (all_int) {
+        e.kind = Instr::ArgExpr::Kind::Imm;
+        e.imm = a.int_list();
+        return e;
+      }
+      e.kind = Instr::ArgExpr::Kind::List;
+      for (const auto& item : a.list()) e.items.push_back(build(item));
+      return e;
+    }
+    e.kind = Instr::ArgExpr::Kind::Imm;
+    if (a.is_int()) e.imm = a.as_int();
+    else if (a.is_double()) e.imm = a.as_double();
+    else if (a.is_bool()) e.imm = a.as_bool();
+    else if (a.is_string()) e.imm = a.as_string();
+    // None stays monostate.
+    return e;
+  };
+
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    Node* n = order[i];
+    if (n->op() == Opcode::Placeholder) {
+      reg_of[n] = next_reg;
+      compiled->input_regs_.push_back(next_reg);
+      ++next_reg;
+      continue;
+    }
+    Instr ins;
+    ins.op = n->op();
+    ins.node = n;
+    for (const auto& a : n->args()) ins.args.push_back(build(a));
+
+    switch (n->op()) {
+      case Opcode::CallFunction:
+      case Opcode::CallMethod: {
+        const auto& reg = n->op() == Opcode::CallFunction
+                              ? OpRegistry::functions()
+                              : OpRegistry::methods();
+        ins.fn = &reg.at(n->target());
+        // Merge kwargs into positional slots once, at compile time.
+        if (!n->kwargs().empty()) {
+          if (ins.args.size() < ins.fn->param_names.size()) {
+            ins.args.resize(ins.fn->param_names.size());
+          }
+          for (const auto& [key, v] : n->kwargs()) {
+            bool placed = false;
+            for (std::size_t s = 0; s < ins.fn->param_names.size(); ++s) {
+              if (ins.fn->param_names[s] == key) {
+                ins.args[s] = build(v);
+                placed = true;
+                break;
+              }
+            }
+            if (!placed) {
+              throw std::invalid_argument("node '" + n->name() +
+                                          "': unknown kwarg '" + key + "'");
+            }
+          }
+        }
+        break;
+      }
+      case Opcode::CallModule:
+        ins.module = resolve_module(n->target());
+        break;
+      case Opcode::GetAttr:
+        ins.attr = resolve_attr(n->target());
+        break;
+      case Opcode::Output:
+        break;
+      case Opcode::Placeholder:
+        break;
+    }
+    if (n->op() != Opcode::Output) {
+      ins.out_reg = next_reg;
+      reg_of[n] = next_reg;
+      ++next_reg;
+    }
+    compiled->instrs_.push_back(std::move(ins));
+  }
+
+  // Attach register frees at each node's last use.
+  std::unordered_map<const Node*, Instr*> instr_of;
+  for (auto& ins : compiled->instrs_) instr_of[ins.node] = &ins;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Node* n = order[i];
+    auto it = last.find(n);
+    if (it == last.end() || it->second < 0) continue;
+    const Node* last_user = order[static_cast<std::size_t>(it->second)];
+    auto reg_it = reg_of.find(n);
+    auto ins_it = instr_of.find(last_user);
+    if (reg_it != reg_of.end() && ins_it != instr_of.end()) {
+      ins_it->second->frees.push_back(reg_it->second);
+    }
+  }
+
+  compiled->num_regs_ = next_reg;
+  compiled_ = std::move(compiled);
+}
+
+const CompiledGraph& GraphModule::compiled_graph() const {
+  if (!compiled_) throw std::logic_error("GraphModule: call recompile() first");
+  return *compiled_;
+}
+
+const std::string& GraphModule::code() const {
+  if (!compiled_) throw std::logic_error("GraphModule: call recompile() first");
+  return code_;
+}
+
+Value GraphModule::forward(const std::vector<Value>& inputs) {
+  if (!compiled_) recompile();
+  std::vector<RtValue> rt;
+  rt.reserve(inputs.size());
+  for (const auto& v : inputs) rt.push_back(value_to_rt(v));
+  std::vector<RtValue> out = compiled_->run(std::move(rt));
+  if (out.empty()) return Value();
+  return rt_to_value(std::move(out.front()));
+}
+
+Tensor GraphModule::run(const std::vector<Tensor>& inputs) {
+  std::vector<Value> vs;
+  vs.reserve(inputs.size());
+  for (const auto& t : inputs) vs.emplace_back(t);
+  return forward(vs).tensor();
+}
+
+void GraphModule::to_folder(const std::string& dir) const {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  {
+    std::ofstream f(dir + "/module.py");
+    f << code();
+  }
+  {
+    // Parseable encoding (core/graph_io.h): reload with parse_graph() and
+    // rebind against the same module hierarchy.
+    std::ofstream f(dir + "/graph.txt");
+    f << serialize_graph(*graph_);
+  }
+  {
+    std::ofstream f(dir + "/state.txt");
+    if (root_) {
+      for (const auto& [name, t] : root_->named_state()) {
+        f << name << " " << shape_str(t.sizes()) << " " << dtype_name(t.dtype())
+          << "\n";
+      }
+    }
+  }
+}
+
+}  // namespace fxcpp::fx

@@ -1,0 +1,112 @@
+// GraphModule — the container for transformed programs (Section 4.2): a
+// Graph plus the stateful Module hierarchy it references, itself a Module so
+// transformed code drops back into the ecosystem (Section 4.3).
+//
+// The paper's code generation emits Python source and `exec`s it; the C++
+// analog is recompile(), which lowers the Graph to a flat execution tape
+// (CompiledGraph) with pre-resolved call targets, pre-decoded immediate
+// arguments, and liveness-based register freeing — the same properties
+// loaded generated code has. code() still renders the Python-like source
+// text of Figures 1-3 for inspection and golden-testing.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/module.h"
+#include "core/op_registry.h"
+
+namespace fxcpp::fx {
+
+// One step of the lowered execution tape.
+struct Instr {
+  // Pre-decoded argument: a register reference, an immediate RtValue, or a
+  // (possibly nested) list of either.
+  struct ArgExpr {
+    enum class Kind { Reg, Imm, List };
+    Kind kind = Kind::Imm;
+    int reg = -1;
+    RtValue imm;
+    std::vector<ArgExpr> items;
+  };
+
+  Opcode op = Opcode::CallFunction;
+  const OpInfo* fn = nullptr;    // CallFunction / CallMethod
+  // CallModule target, resolved at recompile. Shared ownership: if a
+  // transform later swaps the module in the hierarchy, this tape keeps (and
+  // keeps running) the module it was compiled against, exactly as a Python
+  // GraphModule would keep its bound attribute.
+  nn::Module::Ptr module;
+  Tensor attr;                  // GetAttr (bound at recompile)
+  std::vector<ArgExpr> args;    // kwargs already merged positionally
+  int out_reg = -1;
+  std::vector<int> frees;       // registers dead after this instruction
+  const Node* node = nullptr;   // provenance (error messages)
+};
+
+class CompiledGraph {
+ public:
+  std::vector<RtValue> run(std::vector<RtValue> inputs) const;
+
+  int num_registers() const { return num_regs_; }
+  const std::vector<Instr>& instrs() const { return instrs_; }
+
+ private:
+  friend class GraphModule;
+  std::vector<Instr> instrs_;
+  std::vector<int> input_regs_;
+  int num_regs_ = 0;
+};
+
+class GraphModule : public nn::Module {
+ public:
+  // `root` supplies the module hierarchy call_module/get_attr targets
+  // resolve against (may be nullptr for traced free functions).
+  GraphModule(nn::Module::Ptr root, std::unique_ptr<Graph> graph,
+              std::string class_name = "GraphModule");
+
+  Graph& graph() { return *graph_; }
+  const Graph& graph() const { return *graph_; }
+  nn::Module::Ptr root() const { return root_; }
+
+  // Regenerate the executable tape (and cached source text) from the
+  // current Graph. Must be called after mutating the Graph, like
+  // GraphModule.recompile() in torch.fx.
+  void recompile();
+  bool compiled() const { return compiled_ != nullptr; }
+  const CompiledGraph& compiled_graph() const;
+
+  // Python-like generated source (Figures 1-3), regenerated on recompile().
+  const std::string& code() const;
+
+  // Run the tape. Auto-recompiles on first call.
+  Value forward(const std::vector<Value>& inputs) override;
+
+  // Tensor-in / tensor-out convenience for tests and benches.
+  Tensor run(const std::vector<Tensor>& inputs);
+  Tensor run(const Tensor& input) { return run(std::vector<Tensor>{input}); }
+
+  // Delegated state lookup: searches this module's own children first, then
+  // the root hierarchy (so targets recorded during tracing resolve).
+  nn::Module::Ptr resolve_module(const std::string& qualname) const;
+  Tensor resolve_attr(const std::string& qualname) const;
+
+  // Module-hierarchy lookups delegate to the root so a GraphModule behaves
+  // like the module it was traced from (needed for re-tracing and nesting).
+  nn::Module::Ptr get_submodule(const std::string& qualname) const override;
+  Tensor get_parameter(const std::string& qualname) const override;
+
+  // Dump the generated code and graph listing to a directory
+  // (GraphModule.to_folder in the paper, Section 5.4).
+  void to_folder(const std::string& dir) const;
+
+ private:
+  nn::Module::Ptr root_;
+  std::unique_ptr<Graph> graph_;
+  std::unique_ptr<CompiledGraph> compiled_;
+  std::string code_;
+};
+
+}  // namespace fxcpp::fx

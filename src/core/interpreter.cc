@@ -1,0 +1,97 @@
+#include "core/interpreter.h"
+
+#include <stdexcept>
+
+#include "core/functional.h"
+
+namespace fxcpp::fx {
+
+RtValue Interpreter::run(std::vector<RtValue> inputs) {
+  fn::ensure_registered();
+  env_.clear();
+  inputs_ = std::move(inputs);
+  next_input_ = 0;
+  RtValue result;
+  for (const Node* n : gm_.graph().nodes()) {
+    RtValue v = run_node(*n);
+    if (n->op() == Opcode::Output) {
+      result = std::move(v);
+    } else {
+      env_[n] = std::move(v);
+    }
+  }
+  return result;
+}
+
+RtValue Interpreter::eval_arg(const Argument& a) const {
+  if (a.is_node()) {
+    auto it = env_.find(a.node());
+    if (it == env_.end()) {
+      throw std::logic_error("interpreter: node '" + a.node()->name() +
+                             "' evaluated before its definition");
+    }
+    return it->second;
+  }
+  if (a.is_list()) {
+    bool all_int = !a.list().empty();
+    for (const auto& item : a.list()) all_int = all_int && item.is_int();
+    if (all_int) return a.int_list();
+    std::vector<Tensor> ts;
+    ts.reserve(a.list().size());
+    for (const auto& item : a.list()) ts.push_back(rt_tensor(eval_arg(item)));
+    return ts;
+  }
+  if (a.is_int()) return a.as_int();
+  if (a.is_double()) return a.as_double();
+  if (a.is_bool()) return a.as_bool();
+  if (a.is_string()) return a.as_string();
+  return RtValue();  // None
+}
+
+RtValue Interpreter::run_node(const Node& n) {
+  switch (n.op()) {
+    case Opcode::Placeholder: {
+      if (next_input_ >= inputs_.size()) {
+        throw std::invalid_argument("interpreter: missing input for '" +
+                                    n.name() + "'");
+      }
+      return std::move(inputs_[next_input_++]);
+    }
+    case Opcode::GetAttr:
+      return gm_.resolve_attr(n.target());
+    case Opcode::CallFunction:
+    case Opcode::CallMethod: {
+      const auto& reg = n.op() == Opcode::CallFunction
+                            ? OpRegistry::functions()
+                            : OpRegistry::methods();
+      const OpInfo& info = reg.at(n.target());
+      std::vector<RtValue> args;
+      args.reserve(n.args().size());
+      for (const auto& a : n.args()) args.push_back(eval_arg(a));
+      std::vector<std::pair<std::string, RtValue>> kwargs;
+      for (const auto& [k, v] : n.kwargs()) kwargs.emplace_back(k, eval_arg(v));
+      return info.run(merge_kwargs(info, std::move(args), kwargs));
+    }
+    case Opcode::CallModule: {
+      nn::Module::Ptr m = gm_.resolve_module(n.target());
+      std::vector<Value> args;
+      args.reserve(n.args().size());
+      for (const auto& a : n.args()) {
+        args.emplace_back(rt_tensor(eval_arg(a)));
+      }
+      Value out = (*m)(std::move(args));
+      if (out.is_tensor()) return out.tensor();
+      if (out.is_tuple()) {
+        std::vector<Tensor> ts;
+        for (const auto& item : out.tuple()) ts.push_back(item.tensor());
+        return ts;
+      }
+      return RtValue();
+    }
+    case Opcode::Output:
+      return eval_arg(n.args().at(0));
+  }
+  throw std::logic_error("interpreter: unknown opcode");
+}
+
+}  // namespace fxcpp::fx

@@ -1,0 +1,43 @@
+// Interpreter — node-by-node graph execution with overridable hooks, the
+// basis for "interpreting transforms" like shape propagation (Section 6.3)
+// and quantization observers (Section 6.2.1). Mirrors fx.Interpreter.
+//
+// Unlike the compiled tape, the Interpreter resolves call targets per node;
+// the measured gap between the two is the dispatch-overhead ablation bench.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph_module.h"
+
+namespace fxcpp::fx {
+
+class Interpreter {
+ public:
+  explicit Interpreter(GraphModule& gm) : gm_(gm) {}
+  virtual ~Interpreter() = default;
+
+  // Execute the whole graph; returns the value of the output node.
+  RtValue run(std::vector<RtValue> inputs);
+  RtValue run(const Tensor& input) { return run(std::vector<RtValue>{input}); }
+
+  // Execute a single node given the current environment. Subclasses
+  // typically call the base implementation and then inspect/replace the
+  // result (e.g. ShapeProp records result.sizes()).
+  virtual RtValue run_node(const Node& n);
+
+ protected:
+  // Resolve an Argument against the environment (Node refs -> values).
+  RtValue eval_arg(const Argument& a) const;
+  GraphModule& graph_module() { return gm_; }
+  const std::unordered_map<const Node*, RtValue>& env() const { return env_; }
+
+ private:
+  GraphModule& gm_;
+  std::unordered_map<const Node*, RtValue> env_;
+  std::vector<RtValue> inputs_;
+  std::size_t next_input_ = 0;
+};
+
+}  // namespace fxcpp::fx

@@ -1,0 +1,457 @@
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/graph.h"
+
+namespace fxcpp::fx {
+
+// ---------------------------------------------------------------------------
+// Argument
+// ---------------------------------------------------------------------------
+
+std::vector<std::int64_t> Argument::int_list() const {
+  std::vector<std::int64_t> out;
+  for (const auto& a : list()) out.push_back(a.as_int());
+  return out;
+}
+
+int Argument::replace_node(Node* from, Node* to) {
+  if (is_node() && node() == from) {
+    v_ = to;
+    return 1;
+  }
+  if (is_list()) {
+    int n = 0;
+    for (auto& a : list()) n += a.replace_node(from, to);
+    return n;
+  }
+  return 0;
+}
+
+bool Argument::operator==(const Argument& other) const { return v_ == other.v_; }
+
+std::string Argument::to_string() const {
+  if (is_none()) return "None";
+  if (is_node()) return node()->name();
+  if (is_bool()) return as_bool() ? "True" : "False";
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) {
+    std::ostringstream os;
+    os << as_double();
+    return os.str();
+  }
+  if (is_string()) return "'" + as_string() + "'";
+  std::ostringstream os;
+  os << '[';
+  const auto& l = list();
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    if (i) os << ", ";
+    os << l[i].to_string();
+  }
+  os << ']';
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Node
+// ---------------------------------------------------------------------------
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::Placeholder: return "placeholder";
+    case Opcode::CallFunction: return "call_function";
+    case Opcode::CallMethod: return "call_method";
+    case Opcode::CallModule: return "call_module";
+    case Opcode::GetAttr: return "get_attr";
+    case Opcode::Output: return "output";
+  }
+  return "?";
+}
+
+Argument Node::kwarg(const std::string& key) const {
+  for (const auto& [k, v] : kwargs_) {
+    if (k == key) return v;
+  }
+  return Argument();
+}
+
+void Node::add_input_uses() {
+  for (const auto& a : args_) {
+    a.for_each_node([this](Node* n) { n->users_.insert(this); });
+  }
+  for (const auto& [k, v] : kwargs_) {
+    (void)k;
+    v.for_each_node([this](Node* n) { n->users_.insert(this); });
+  }
+}
+
+void Node::remove_input_uses() {
+  for (Node* in : input_nodes()) in->users_.erase(this);
+}
+
+void Node::set_args(std::vector<Argument> args) {
+  remove_input_uses();
+  args_ = std::move(args);
+  add_input_uses();
+}
+
+void Node::set_kwargs(Kwargs kwargs) {
+  remove_input_uses();
+  kwargs_ = std::move(kwargs);
+  add_input_uses();
+}
+
+std::vector<Node*> Node::input_nodes() const {
+  std::vector<Node*> out;
+  std::set<Node*> seen;
+  auto collect = [&](Node* n) {
+    if (seen.insert(n).second) out.push_back(n);
+  };
+  for (const auto& a : args_) a.for_each_node(collect);
+  for (const auto& [k, v] : kwargs_) {
+    (void)k;
+    v.for_each_node(collect);
+  }
+  return out;
+}
+
+int Node::replace_all_uses_with(Node* replacement) {
+  if (replacement == this) return 0;
+  int total = 0;
+  // Copy: rewiring mutates users_.
+  const std::set<Node*> users = users_;
+  for (Node* u : users) {
+    u->remove_input_uses();
+    for (auto& a : u->args_) total += a.replace_node(this, replacement);
+    for (auto& [k, v] : u->kwargs_) {
+      (void)k;
+      total += v.replace_node(this, replacement);
+    }
+    u->add_input_uses();
+  }
+  return total;
+}
+
+const MetaValue& Node::meta(const std::string& key) const {
+  auto it = meta_.find(key);
+  if (it == meta_.end()) {
+    throw std::out_of_range("Node '" + name_ + "' has no meta key '" + key + "'");
+  }
+  return it->second;
+}
+
+std::string Node::format() const {
+  std::ostringstream os;
+  os << name_ << " = " << opcode_name(op_) << " target=" << target_
+     << " args=(";
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    if (i) os << ", ";
+    os << args_[i].to_string();
+  }
+  if (args_.size() == 1) os << ",";
+  os << ")";
+  if (!kwargs_.empty()) {
+    os << " kwargs={";
+    for (std::size_t i = 0; i < kwargs_.size(); ++i) {
+      if (i) os << ", ";
+      os << kwargs_[i].first << ": " << kwargs_[i].second.to_string();
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Graph
+// ---------------------------------------------------------------------------
+
+std::string Graph::unique_name(const std::string& hint) {
+  std::string base = hint.empty() ? "node" : hint;
+  // Sanitize: dots in module paths become underscores (layer1.0.conv1 ->
+  // layer1_0_conv1), matching fx's variable naming.
+  for (char& c : base) {
+    if (c == '.' || c == ' ' || c == '-') c = '_';
+  }
+  int& count = name_counts_[base];
+  std::string name = count == 0 ? base : base + "_" + std::to_string(count);
+  ++count;
+  // Extremely unlikely collision with an explicit name; bump until free.
+  while (find(name) != nullptr) {
+    name = base + "_" + std::to_string(count);
+    ++count;
+  }
+  return name;
+}
+
+Node* Graph::insert(std::unique_ptr<Node> n) {
+  Node* raw = n.get();
+  raw->graph_ = this;
+  NodeList::iterator where =
+      insert_before_ ? iter_of(insert_before_) : nodes_.end();
+  auto it = nodes_.insert(where, std::move(n));
+  pos_[raw] = it;
+  raw->add_input_uses();
+  return raw;
+}
+
+Graph::NodeList::iterator Graph::iter_of(Node* n) {
+  auto it = pos_.find(n);
+  if (it == pos_.end()) {
+    throw std::logic_error("node does not belong to this graph");
+  }
+  return it->second;
+}
+
+Node* Graph::create_node(Opcode op, const std::string& target,
+                         std::vector<Argument> args, Kwargs kwargs,
+                         const std::string& name_hint) {
+  std::unique_ptr<Node> n(new Node());
+  n->op_ = op;
+  n->target_ = target;
+  n->args_ = std::move(args);
+  n->kwargs_ = std::move(kwargs);
+  std::string hint = name_hint;
+  if (hint.empty()) {
+    switch (op) {
+      case Opcode::Placeholder: hint = target; break;
+      case Opcode::Output: hint = "output"; break;
+      case Opcode::GetAttr: hint = target; break;
+      default: {
+        // `aten::relu` / `relu` -> `relu`
+        const auto pos = target.rfind(':');
+        hint = pos == std::string::npos ? target : target.substr(pos + 1);
+      }
+    }
+  }
+  n->name_ = unique_name(hint);
+  return insert(std::move(n));
+}
+
+Node* Graph::placeholder(const std::string& name) {
+  return create_node(Opcode::Placeholder, name, {}, {}, name);
+}
+
+Node* Graph::call_function(const std::string& target,
+                           std::vector<Argument> args, Kwargs kwargs) {
+  return create_node(Opcode::CallFunction, target, std::move(args),
+                     std::move(kwargs));
+}
+
+Node* Graph::call_method(const std::string& target, std::vector<Argument> args,
+                         Kwargs kwargs) {
+  return create_node(Opcode::CallMethod, target, std::move(args),
+                     std::move(kwargs));
+}
+
+Node* Graph::call_module(const std::string& target, std::vector<Argument> args,
+                         Kwargs kwargs) {
+  return create_node(Opcode::CallModule, target, std::move(args),
+                     std::move(kwargs));
+}
+
+Node* Graph::get_attr(const std::string& target) {
+  return create_node(Opcode::GetAttr, target);
+}
+
+Node* Graph::output(Argument value) {
+  if (output_) throw std::logic_error("graph already has an output node");
+  Node* n = create_node(Opcode::Output, "output", {std::move(value)});
+  output_ = n;
+  return n;
+}
+
+Node* Graph::copy_node(const Node& src,
+                       const std::function<Argument(const Argument&)>& arg_map) {
+  std::vector<Argument> args;
+  args.reserve(src.args().size());
+  for (const auto& a : src.args()) args.push_back(arg_map(a));
+  Kwargs kwargs;
+  kwargs.reserve(src.kwargs().size());
+  for (const auto& [k, v] : src.kwargs()) kwargs.emplace_back(k, arg_map(v));
+  Node* n = create_node(src.op(), src.target(), std::move(args),
+                        std::move(kwargs), src.name());
+  for (const auto& [k, v] : src.all_meta()) n->set_meta(k, v);
+  return n;
+}
+
+Argument Graph::inline_graph(const Graph& src,
+                             const std::vector<Argument>& placeholder_args) {
+  std::unordered_map<const Node*, Argument> env;
+  std::size_t ph_idx = 0;
+  // Recursively remap an argument of `src` into this graph.
+  std::function<Argument(const Argument&)> remap = [&](const Argument& a) -> Argument {
+    if (a.is_node()) {
+      auto it = env.find(a.node());
+      if (it == env.end()) {
+        throw std::logic_error("inline_graph: use before def in source graph");
+      }
+      return it->second;
+    }
+    if (a.is_list()) {
+      Argument::List out;
+      out.reserve(a.list().size());
+      for (const auto& item : a.list()) out.push_back(remap(item));
+      return Argument(std::move(out));
+    }
+    return a;
+  };
+  for (const Node* n : src.nodes()) {
+    switch (n->op()) {
+      case Opcode::Placeholder:
+        if (ph_idx >= placeholder_args.size()) {
+          throw std::invalid_argument("inline_graph: not enough inputs");
+        }
+        env[n] = placeholder_args[ph_idx++];
+        break;
+      case Opcode::Output:
+        return remap(n->args().at(0));
+      default:
+        env[n] = Argument(copy_node(*n, remap));
+    }
+  }
+  throw std::logic_error("inline_graph: source graph has no output node");
+}
+
+Node* Graph::set_insert_point_before(Node* n) {
+  Node* prev = insert_before_;
+  insert_before_ = n;
+  return prev;
+}
+
+void Graph::erase_node(Node* n) {
+  if (!n->users().empty()) {
+    throw std::logic_error("erase_node: node '" + n->name() + "' still has " +
+                           std::to_string(n->users().size()) + " users");
+  }
+  if (n == output_) output_ = nullptr;
+  if (n == insert_before_) insert_before_ = nullptr;
+  n->remove_input_uses();
+  auto it = iter_of(n);
+  pos_.erase(n);
+  nodes_.erase(it);
+}
+
+void Graph::move_before(Node* n, Node* before) {
+  auto src = iter_of(n);
+  auto dst = before ? iter_of(before) : nodes_.end();
+  nodes_.splice(dst, nodes_, src);
+}
+
+int Graph::eliminate_dead_code() {
+  int erased = 0;
+  // Reverse order so chains die in one pass.
+  std::vector<Node*> order = nodes();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->op() == Opcode::Placeholder || n->op() == Opcode::Output) continue;
+    if (n->users().empty()) {
+      erase_node(n);
+      ++erased;
+    }
+  }
+  return erased;
+}
+
+std::vector<Node*> Graph::nodes() const {
+  std::vector<Node*> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n.get());
+  return out;
+}
+
+std::vector<Node*> Graph::placeholders() const {
+  std::vector<Node*> out;
+  for (const auto& n : nodes_) {
+    if (n->op() == Opcode::Placeholder) out.push_back(n.get());
+  }
+  return out;
+}
+
+Node* Graph::find(const std::string& name) const {
+  for (const auto& n : nodes_) {
+    if (n->name() == name) return n.get();
+  }
+  return nullptr;
+}
+
+void Graph::lint() const {
+  std::set<const Node*> seen;
+  std::set<std::string> names;
+  bool saw_non_placeholder = false;
+  const Node* out_node = nullptr;
+  for (const auto& np : nodes_) {
+    const Node* n = np.get();
+    if (!names.insert(n->name()).second) {
+      throw std::logic_error("lint: duplicate node name '" + n->name() + "'");
+    }
+    if (out_node) {
+      throw std::logic_error("lint: node '" + n->name() + "' after output");
+    }
+    if (n->op() == Opcode::Placeholder) {
+      if (saw_non_placeholder) {
+        throw std::logic_error("lint: placeholder '" + n->name() +
+                               "' after non-placeholder nodes");
+      }
+    } else {
+      saw_non_placeholder = true;
+    }
+    if (n->op() == Opcode::Output) out_node = n;
+    for (const Node* in : n->input_nodes()) {
+      if (!seen.count(in)) {
+        throw std::logic_error("lint: node '" + n->name() + "' uses '" +
+                               in->name() + "' before its definition");
+      }
+      if (!in->users().count(const_cast<Node*>(n))) {
+        throw std::logic_error("lint: stale use-def: '" + in->name() +
+                               "' missing user '" + n->name() + "'");
+      }
+    }
+    for (const Node* u : n->users()) {
+      bool found = false;
+      for (const Node* in : u->input_nodes()) {
+        if (in == n) found = true;
+      }
+      if (!found) {
+        throw std::logic_error("lint: stale user entry '" + u->name() +
+                               "' on '" + n->name() + "'");
+      }
+    }
+    seen.insert(n);
+  }
+  if (output_ && out_node != output_) {
+    throw std::logic_error("lint: cached output node mismatch");
+  }
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream os;
+  for (const auto& n : nodes_) os << n->format() << "\n";
+  return os.str();
+}
+
+std::unique_ptr<Graph> Graph::clone(
+    std::unordered_map<const Node*, Node*>* node_map) const {
+  auto g = std::make_unique<Graph>();
+  std::unordered_map<const Node*, Node*> local;
+  std::function<Argument(const Argument&)> remap = [&](const Argument& a) -> Argument {
+    if (a.is_node()) return Argument(local.at(a.node()));
+    if (a.is_list()) {
+      Argument::List out;
+      out.reserve(a.list().size());
+      for (const auto& item : a.list()) out.push_back(remap(item));
+      return Argument(std::move(out));
+    }
+    return a;
+  };
+  for (const auto& np : nodes_) {
+    Node* copy = g->copy_node(*np, remap);
+    if (np->op() == Opcode::Output) g->output_ = copy;
+    local[np.get()] = copy;
+  }
+  if (node_map) *node_map = std::move(local);
+  return g;
+}
+
+}  // namespace fxcpp::fx

@@ -1,0 +1,214 @@
+#include "core/module.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/tracer.h"
+
+namespace fxcpp::nn {
+
+namespace {
+// Split "a.b.c" into ("a", "b.c"); returns false if no dot.
+bool split_head(const std::string& qual, std::string& head, std::string& rest) {
+  const auto pos = qual.find('.');
+  if (pos == std::string::npos) return false;
+  head = qual.substr(0, pos);
+  rest = qual.substr(pos + 1);
+  return true;
+}
+}  // namespace
+
+fx::Value Module::operator()(std::vector<fx::Value> inputs) {
+  if (fx::Tracer* t = fx::Tracer::active(); t && t->is_tracing_module(*this)) {
+    return t->module_call(*this, inputs);
+  }
+  return forward(inputs);
+}
+
+void Module::train(bool on) {
+  training_ = on;
+  for (auto& [name, child] : children_) {
+    (void)name;
+    child->train(on);
+  }
+}
+
+Tensor& Module::register_parameter(const std::string& name, Tensor t) {
+  if (find_local(name)) {
+    throw std::logic_error("parameter '" + name + "' already registered");
+  }
+  params_.emplace_back(name, std::move(t));
+  return params_.back().second;
+}
+
+Tensor& Module::register_buffer(const std::string& name, Tensor t) {
+  if (find_local(name)) {
+    throw std::logic_error("buffer '" + name + "' already registered");
+  }
+  buffers_.emplace_back(name, std::move(t));
+  return buffers_.back().second;
+}
+
+void Module::add_child(const std::string& name, Ptr m) {
+  for (auto& [n, c] : children_) {
+    if (n == name) {
+      throw std::logic_error("submodule '" + name + "' already registered");
+    }
+    (void)c;
+  }
+  children_.emplace_back(name, std::move(m));
+}
+
+Module::Ptr Module::get_submodule(const std::string& qualname) const {
+  std::string head, rest;
+  const std::string& local = qualname;
+  if (split_head(qualname, head, rest)) {
+    for (const auto& [n, c] : children_) {
+      if (n == head) return c->get_submodule(rest);
+    }
+    throw std::out_of_range("no submodule '" + head + "' in " + kind_);
+  }
+  for (const auto& [n, c] : children_) {
+    if (n == local) return c;
+  }
+  throw std::out_of_range("no submodule '" + qualname + "' in " + kind_);
+}
+
+Tensor* Module::find_local(const std::string& name) {
+  for (auto& [n, t] : params_) {
+    if (n == name) return &t;
+  }
+  for (auto& [n, t] : buffers_) {
+    if (n == name) return &t;
+  }
+  return nullptr;
+}
+
+const Tensor* Module::find_local(const std::string& name) const {
+  return const_cast<Module*>(this)->find_local(name);
+}
+
+Tensor Module::get_parameter(const std::string& qualname) const {
+  std::string head, rest;
+  if (split_head(qualname, head, rest)) {
+    for (const auto& [n, c] : children_) {
+      if (n == head) return c->get_parameter(rest);
+    }
+    throw std::out_of_range("no submodule '" + head + "' in " + kind_);
+  }
+  const Tensor* t = find_local(qualname);
+  if (!t) {
+    throw std::out_of_range("no parameter '" + qualname + "' in " + kind_);
+  }
+  return *t;
+}
+
+bool Module::has_parameter(const std::string& qualname) const {
+  try {
+    (void)get_parameter(qualname);
+    return true;
+  } catch (const std::out_of_range&) {
+    return false;
+  }
+}
+
+void Module::set_submodule(const std::string& qualname, Ptr m) {
+  std::string head, rest;
+  if (split_head(qualname, head, rest)) {
+    get_submodule(head)->set_submodule(rest, std::move(m));
+    return;
+  }
+  for (auto& [n, c] : children_) {
+    if (n == qualname) {
+      c = std::move(m);
+      return;
+    }
+  }
+  add_child(qualname, std::move(m));
+}
+
+void Module::set_parameter(const std::string& qualname, Tensor t) {
+  std::string head, rest;
+  if (split_head(qualname, head, rest)) {
+    get_submodule(head)->set_parameter(rest, std::move(t));
+    return;
+  }
+  Tensor* existing = find_local(qualname);
+  if (existing) {
+    *existing = std::move(t);
+  } else {
+    register_buffer(qualname, std::move(t));
+  }
+}
+
+void Module::delete_submodule(const std::string& qualname) {
+  std::string head, rest;
+  if (split_head(qualname, head, rest)) {
+    get_submodule(head)->delete_submodule(rest);
+    return;
+  }
+  for (auto it = children_.begin(); it != children_.end(); ++it) {
+    if (it->first == qualname) {
+      children_.erase(it);
+      return;
+    }
+  }
+  throw std::out_of_range("no submodule '" + qualname + "' to delete");
+}
+
+Tensor& Module::param(const std::string& name) {
+  Tensor* t = find_local(name);
+  if (!t) throw std::out_of_range("no parameter '" + name + "' in " + kind_);
+  return *t;
+}
+
+const Tensor& Module::param(const std::string& name) const {
+  return const_cast<Module*>(this)->param(name);
+}
+
+fx::Value Module::param_value(const std::string& name) {
+  if (fx::Tracer* t = fx::Tracer::active(); t && t->is_tracing_module(*this)) {
+    return t->attr_value(*this, name);
+  }
+  return fx::Value(param(name));
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::named_state(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  auto qual = [&](const std::string& n) {
+    return prefix.empty() ? n : prefix + "." + n;
+  };
+  for (const auto& [n, t] : params_) out.emplace_back(qual(n), t);
+  for (const auto& [n, t] : buffers_) out.emplace_back(qual(n), t);
+  for (const auto& [n, c] : children_) {
+    auto sub = c->named_state(qual(n));
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::int64_t Module::num_parameters() const {
+  std::int64_t n = 0;
+  for (const auto& [name, t] : params_) {
+    (void)name;
+    n += t.numel();
+  }
+  for (const auto& [name, c] : children_) {
+    (void)name;
+    n += c->num_parameters();
+  }
+  return n;
+}
+
+std::string Module::describe(int indent) const {
+  std::ostringstream os;
+  os << std::string(static_cast<std::size_t>(indent) * 2, ' ') << kind_ << "\n";
+  for (const auto& [n, c] : children_) {
+    os << std::string(static_cast<std::size_t>(indent) * 2 + 2, ' ') << n
+       << ": " << c->describe(0);
+  }
+  return os.str();
+}
+
+}  // namespace fxcpp::nn

@@ -1,0 +1,118 @@
+// nn::Module — the stateful module hierarchy fx preserves (Section 5.6:
+// "functional Graphs but stateful Modules").
+//
+// Parameters and buffers live inside Modules; the traced Graph interacts
+// with them only through call_module / get_attr Nodes, giving the natural
+// separation between mutable state and functional code that makes transforms
+// like Conv-BN folding and quantization able to modify both together.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/value.h"
+#include "tensor/tensor.h"
+
+namespace fxcpp::nn {
+
+class Module : public std::enable_shared_from_this<Module> {
+ public:
+  using Ptr = std::shared_ptr<Module>;
+
+  // `kind` is the class name ("Conv2d", "ResNet", ...); `builtin` marks
+  // framework-provided leaf modules that the default Tracer does not trace
+  // into (the torch.nn namespace check in fx's is_leaf_module).
+  explicit Module(std::string kind, bool builtin = false)
+      : kind_(std::move(kind)), builtin_(builtin) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // The computation. Implementations read inputs positionally.
+  virtual fx::Value forward(const std::vector<fx::Value>& inputs) = 0;
+
+  // Trace-aware call operator: under an active Tracer this may record a
+  // call_module Node (leaf), inline a GraphModule, or trace through.
+  fx::Value operator()(std::vector<fx::Value> inputs);
+  fx::Value operator()(const fx::Value& x) {
+    return (*this)(std::vector<fx::Value>{x});
+  }
+  fx::Value operator()(const fx::Value& a, const fx::Value& b) {
+    return (*this)(std::vector<fx::Value>{a, b});
+  }
+
+  const std::string& kind() const { return kind_; }
+  bool is_builtin() const { return builtin_; }
+
+  bool training() const { return training_; }
+  virtual void train(bool on = true);
+
+  // --- state registration -------------------------------------------------
+  Tensor& register_parameter(const std::string& name, Tensor t);
+  Tensor& register_buffer(const std::string& name, Tensor t);
+  template <typename M>
+  std::shared_ptr<M> register_module(const std::string& name,
+                                     std::shared_ptr<M> m) {
+    add_child(name, m);
+    return m;
+  }
+
+  // --- lookup by qualified (dotted) path -----------------------------------
+  // "layer1.0.conv1" etc. Throw std::out_of_range when absent. Virtual so
+  // GraphModule can delegate to the hierarchy its graph was traced from.
+  virtual Ptr get_submodule(const std::string& qualname) const;
+  virtual Tensor get_parameter(const std::string& qualname) const;
+  bool has_parameter(const std::string& qualname) const;
+  // Replace (or add) a child at a qualified path — used by transforms that
+  // install observers or swap modules for quantized equivalents.
+  void set_submodule(const std::string& qualname, Ptr m);
+  // Overwrite a parameter/buffer value at a qualified path.
+  void set_parameter(const std::string& qualname, Tensor t);
+  // Delete a direct or nested child (e.g. removing folded BatchNorms).
+  void delete_submodule(const std::string& qualname);
+
+  // --- local (non-recursive) state ---------------------------------------
+  const std::vector<std::pair<std::string, Ptr>>& children() const {
+    return children_;
+  }
+  const std::vector<std::pair<std::string, Tensor>>& parameters() const {
+    return params_;
+  }
+  const std::vector<std::pair<std::string, Tensor>>& buffers() const {
+    return buffers_;
+  }
+  // Direct parameter/buffer by local name (throws if absent).
+  Tensor& param(const std::string& name);
+  const Tensor& param(const std::string& name) const;
+
+  // Trace-aware parameter access for functional-style forwards: returns the
+  // concrete Tensor eagerly, or records a get_attr Node under tracing.
+  fx::Value param_value(const std::string& name);
+
+  // --- recursive inspection ------------------------------------------------
+  // All (qualified-name, tensor) parameter+buffer pairs under this module.
+  std::vector<std::pair<std::string, Tensor>> named_state(
+      const std::string& prefix = "") const;
+  std::int64_t num_parameters() const;
+
+  // One-line-per-module hierarchy description.
+  std::string describe(int indent = 0) const;
+
+ private:
+  void add_child(const std::string& name, Ptr m);
+  Tensor* find_local(const std::string& name);
+  const Tensor* find_local(const std::string& name) const;
+
+  std::string kind_;
+  bool builtin_ = false;
+  bool training_ = false;
+  std::vector<std::pair<std::string, Ptr>> children_;
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Tensor>> buffers_;
+};
+
+}  // namespace fxcpp::nn

@@ -1,0 +1,56 @@
+#include "core/op_registry.h"
+
+#include <stdexcept>
+
+namespace fxcpp::fx {
+
+OpRegistry& OpRegistry::functions() {
+  static OpRegistry r;
+  return r;
+}
+
+OpRegistry& OpRegistry::methods() {
+  static OpRegistry r;
+  return r;
+}
+
+void OpRegistry::add(OpInfo info) { ops_[info.name] = std::move(info); }
+
+const OpInfo* OpRegistry::find(const std::string& name) const {
+  auto it = ops_.find(name);
+  return it == ops_.end() ? nullptr : &it->second;
+}
+
+const OpInfo& OpRegistry::at(const std::string& name) const {
+  const OpInfo* info = find(name);
+  if (!info) {
+    throw std::out_of_range("no registered operator target '" + name + "'");
+  }
+  return *info;
+}
+
+std::vector<RtValue> merge_kwargs(
+    const OpInfo& info, std::vector<RtValue> args,
+    const std::vector<std::pair<std::string, RtValue>>& kwargs) {
+  if (kwargs.empty()) return args;
+  std::vector<RtValue> out(info.param_names.size());
+  if (args.size() > out.size()) out.resize(args.size());
+  for (std::size_t i = 0; i < args.size(); ++i) out[i] = std::move(args[i]);
+  for (const auto& [key, v] : kwargs) {
+    bool placed = false;
+    for (std::size_t i = 0; i < info.param_names.size(); ++i) {
+      if (info.param_names[i] == key) {
+        out[i] = v;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      throw std::invalid_argument("operator '" + info.name +
+                                  "' has no parameter named '" + key + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace fxcpp::fx

@@ -1,0 +1,52 @@
+// Operator registry — maps the string `target` of call_function /
+// call_method Nodes to executable kernels.
+//
+// This plays the role Python name resolution plays for torch.fx's generated
+// code: when a GraphModule is recompiled, targets are resolved here once and
+// the execution tape holds direct OpInfo pointers (no per-call lookup),
+// while the Interpreter resolves per node (the measured gap is the
+// dispatch-overhead ablation bench).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rt_value.h"
+
+namespace fxcpp::fx {
+
+struct OpInfo {
+  std::string name;
+  // Positional parameter names, used to merge kwargs into positional slots
+  // at compile/interpret time. (The IR itself stores args exactly as the
+  // user wrote them — normalization happens at execution, per footnote 1.)
+  std::vector<std::string> param_names;
+  // Execute with fully positional arguments (missing trailing optionals are
+  // monostate).
+  std::function<RtValue(const std::vector<RtValue>&)> run;
+};
+
+class OpRegistry {
+ public:
+  // call_function targets (free functions: relu, conv2d, add, ...).
+  static OpRegistry& functions();
+  // call_method targets (methods on args[0]: neg, reshape, flatten, ...).
+  static OpRegistry& methods();
+
+  void add(OpInfo info);
+  const OpInfo* find(const std::string& name) const;
+  // Throws std::out_of_range naming the missing target.
+  const OpInfo& at(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, OpInfo> ops_;
+};
+
+// Merge args/kwargs into a positional vector following `info.param_names`.
+// `args` occupy the leading slots; each kwarg is placed by name.
+std::vector<RtValue> merge_kwargs(const OpInfo& info, std::vector<RtValue> args,
+                                  const std::vector<std::pair<std::string, RtValue>>& kwargs);
+
+}  // namespace fxcpp::fx

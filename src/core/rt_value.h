@@ -1,0 +1,66 @@
+// RtValue — a concrete runtime value flowing through graph execution
+// (Interpreter / CompiledGraph): the small set of "Python values" the IR's
+// immediate arguments and tensor operations produce.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fxcpp::fx {
+
+using RtValue =
+    std::variant<std::monostate, Tensor, std::int64_t, double, bool,
+                 std::string, std::vector<std::int64_t>, std::vector<Tensor>>;
+
+inline bool rt_is_tensor(const RtValue& v) {
+  return std::holds_alternative<Tensor>(v);
+}
+
+inline const Tensor& rt_tensor(const RtValue& v) {
+  if (!rt_is_tensor(v)) throw std::logic_error("RtValue: expected Tensor");
+  return std::get<Tensor>(v);
+}
+
+inline std::int64_t rt_int(const RtValue& v) {
+  if (std::holds_alternative<std::int64_t>(v)) return std::get<std::int64_t>(v);
+  if (std::holds_alternative<double>(v)) {
+    return static_cast<std::int64_t>(std::get<double>(v));
+  }
+  throw std::logic_error("RtValue: expected int");
+}
+
+inline double rt_double(const RtValue& v) {
+  if (std::holds_alternative<double>(v)) return std::get<double>(v);
+  if (std::holds_alternative<std::int64_t>(v)) {
+    return static_cast<double>(std::get<std::int64_t>(v));
+  }
+  throw std::logic_error("RtValue: expected double");
+}
+
+inline bool rt_bool(const RtValue& v) {
+  if (std::holds_alternative<bool>(v)) return std::get<bool>(v);
+  throw std::logic_error("RtValue: expected bool");
+}
+
+inline std::vector<std::int64_t> rt_int_list(const RtValue& v) {
+  if (std::holds_alternative<std::vector<std::int64_t>>(v)) {
+    return std::get<std::vector<std::int64_t>>(v);
+  }
+  if (std::holds_alternative<std::int64_t>(v)) {
+    return {std::get<std::int64_t>(v)};
+  }
+  throw std::logic_error("RtValue: expected int list");
+}
+
+// Undefined-tensor-aware accessor for optional tensor params (e.g. bias).
+inline Tensor rt_opt_tensor(const RtValue& v) {
+  if (std::holds_alternative<std::monostate>(v)) return Tensor();
+  return rt_tensor(v);
+}
+
+}  // namespace fxcpp::fx

@@ -1,0 +1,219 @@
+#include "core/split.h"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace fxcpp::fx {
+
+namespace {
+
+// Parent root holding the generated submodules.
+class SplitHolder : public nn::Module {
+ public:
+  SplitHolder() : nn::Module("SplitHolder") {}
+  Value forward(const std::vector<Value>&) override {
+    throw std::logic_error("SplitHolder::forward should never run");
+  }
+};
+
+struct Part {
+  int key = 0;
+  std::unique_ptr<Graph> graph = std::make_unique<Graph>();
+  std::unordered_map<const Node*, Node*> map;      // orig -> part node
+  std::vector<const Node*> inputs;                 // orig nodes fed in
+  std::unordered_map<const Node*, Node*> input_ph; // orig -> part placeholder
+  std::vector<const Node*> outputs;                // orig nodes escaping
+  std::set<const Node*> members;
+};
+
+}  // namespace
+
+SplitResult split_module(GraphModule& gm,
+                         const std::function<int(const Node&)>& part_fn) {
+  Graph& g = gm.graph();
+  const std::vector<Node*> order = g.nodes();
+
+  // --- assign partitions -------------------------------------------------
+  std::unordered_map<const Node*, int> part_of;  // -> partition index
+  std::map<int, int> key_to_index;
+  std::vector<std::unique_ptr<Part>> parts;
+  auto index_for_key = [&](int key) {
+    auto it = key_to_index.find(key);
+    if (it != key_to_index.end()) return it->second;
+    const int idx = static_cast<int>(parts.size());
+    key_to_index[key] = idx;
+    parts.push_back(std::make_unique<Part>());
+    parts.back()->key = key;
+    return idx;
+  };
+  for (const Node* n : order) {
+    switch (n->op()) {
+      case Opcode::Placeholder:
+      case Opcode::Output:
+        break;
+      case Opcode::GetAttr: {
+        // Travels with its first user; resolved in a second pass.
+        break;
+      }
+      default:
+        part_of[n] = index_for_key(part_fn(*n));
+    }
+  }
+  for (const Node* n : order) {
+    if (n->op() != Opcode::GetAttr) continue;
+    int idx = -1;
+    for (const Node* m : order) {
+      if (part_of.count(m)) {
+        for (const Node* in : m->input_nodes()) {
+          if (in == n) {
+            idx = part_of[m];
+            break;
+          }
+        }
+      }
+      if (idx >= 0) break;
+    }
+    if (idx < 0) idx = index_for_key(part_fn(*n));
+    part_of[n] = idx;
+  }
+
+  // --- populate partition graphs -----------------------------------------
+  for (const Node* n : order) {
+    auto it = part_of.find(n);
+    if (it == part_of.end()) continue;
+    Part& p = *parts[static_cast<std::size_t>(it->second)];
+    std::function<Argument(const Argument&)> remap =
+        [&](const Argument& a) -> Argument {
+      if (a.is_node()) {
+        const Node* m = a.node();
+        if (p.members.count(m)) return Argument(p.map.at(m));
+        auto ph_it = p.input_ph.find(m);
+        if (ph_it != p.input_ph.end()) return Argument(ph_it->second);
+        Node* ph = p.graph->placeholder(m->name());
+        p.input_ph[m] = ph;
+        p.inputs.push_back(m);
+        return Argument(ph);
+      }
+      if (a.is_list()) {
+        Argument::List out;
+        out.reserve(a.list().size());
+        for (const auto& item : a.list()) out.push_back(remap(item));
+        return Argument(std::move(out));
+      }
+      return a;
+    };
+    Node* copy = p.graph->copy_node(*n, remap);
+    p.map[n] = copy;
+    p.members.insert(n);
+  }
+
+  // New placeholders must precede compute nodes inside each partition graph;
+  // move them to the front (created lazily above, possibly after nodes).
+  for (auto& pp : parts) {
+    Node* first = nullptr;
+    for (Node* n : pp->graph->nodes()) {
+      if (n->op() != Opcode::Placeholder) {
+        first = n;
+        break;
+      }
+    }
+    if (!first) continue;
+    for (Node* n : pp->graph->nodes()) {
+      if (n->op() == Opcode::Placeholder) pp->graph->move_before(n, first);
+    }
+  }
+
+  // --- compute partition outputs -------------------------------------------
+  const Node* out_node = g.output_node();
+  std::set<const Node*> output_deps;
+  if (out_node) {
+    for (const Node* in : out_node->input_nodes()) output_deps.insert(in);
+  }
+  for (const Node* n : order) {
+    auto it = part_of.find(n);
+    if (it == part_of.end()) continue;
+    Part& p = *parts[static_cast<std::size_t>(it->second)];
+    bool escapes = output_deps.count(n) != 0;
+    for (const Node* u : n->users()) {
+      auto uit = part_of.find(u);
+      if (uit == part_of.end() || uit->second != it->second) escapes = true;
+    }
+    if (escapes) p.outputs.push_back(n);
+  }
+
+  for (auto& pp : parts) {
+    if (pp->outputs.empty()) {
+      throw std::invalid_argument("split_module: partition produces no output");
+    }
+    if (pp->outputs.size() == 1) {
+      pp->graph->output(Argument(pp->map.at(pp->outputs[0])));
+    } else {
+      Argument::List items;
+      for (const Node* o : pp->outputs) items.emplace_back(pp->map.at(o));
+      pp->graph->output(Argument(std::move(items)));
+    }
+  }
+
+  // --- build parent -----------------------------------------------------------
+  auto holder = std::make_shared<SplitHolder>();
+  auto parent_graph = std::make_unique<Graph>();
+  std::unordered_map<const Node*, Argument> env;
+  for (const Node* ph : g.placeholders()) {
+    env[ph] = Argument(parent_graph->placeholder(ph->name()));
+  }
+
+  SplitResult result;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    Part& p = *parts[i];
+    const std::string name = "submod_" + std::to_string(i);
+    std::vector<Argument> args;
+    for (const Node* in : p.inputs) {
+      auto it = env.find(in);
+      if (it == env.end()) {
+        throw std::invalid_argument(
+            "split_module: partition assignment is not topologically "
+            "consistent (value '" + in->name() + "' not yet available)");
+      }
+      args.push_back(it->second);
+    }
+    Node* call = parent_graph->call_module(name, std::move(args));
+    if (p.outputs.size() == 1) {
+      env[p.outputs[0]] = Argument(call);
+    } else {
+      for (std::size_t j = 0; j < p.outputs.size(); ++j) {
+        Node* item = parent_graph->call_function(
+            "getitem", {Argument(call), Argument(static_cast<std::int64_t>(j))});
+        env[p.outputs[j]] = Argument(item);
+      }
+    }
+    auto sub = std::make_shared<GraphModule>(gm.root(), std::move(p.graph),
+                                             "Submodule");
+    sub->recompile();
+    holder->register_module(name, sub);
+    result.submodules.push_back(std::move(sub));
+    result.submodule_names.push_back(name);
+  }
+
+  if (out_node) {
+    std::function<Argument(const Argument&)> remap =
+        [&](const Argument& a) -> Argument {
+      if (a.is_node()) return env.at(a.node());
+      if (a.is_list()) {
+        Argument::List items;
+        items.reserve(a.list().size());
+        for (const auto& item : a.list()) items.push_back(remap(item));
+        return Argument(std::move(items));
+      }
+      return a;
+    };
+    parent_graph->output(remap(out_node->args().at(0)));
+  }
+
+  result.parent = std::make_shared<GraphModule>(
+      holder, std::move(parent_graph), "SplitGraphModule");
+  result.parent->recompile();
+  return result;
+}
+
+}  // namespace fxcpp::fx

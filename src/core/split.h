@@ -1,0 +1,32 @@
+// split_module — partition a GraphModule into a parent calling sub-
+// GraphModules, preserving semantics. The substrate for the paper's
+// TensorRT auto-splitting ("automatically splitting the model based on
+// TensorRT's supported operators", Section 6.4) and the pipelining case
+// study (Section 6.2.3).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/graph_module.h"
+
+namespace fxcpp::fx {
+
+struct SplitResult {
+  std::shared_ptr<GraphModule> parent;
+  // Partition id (in first-appearance order) -> submodule.
+  std::vector<std::shared_ptr<GraphModule>> submodules;
+  std::vector<std::string> submodule_names;  // "submod_<id>"
+};
+
+// Assign every compute node a partition id via `part_fn`; nodes with equal
+// ids land in the same submodule. The assignment must be topologically
+// consistent: a partition may only consume values produced by placeholders
+// or partitions that started earlier (throws std::invalid_argument
+// otherwise). get_attr nodes travel with their consuming partition's graph.
+SplitResult split_module(GraphModule& gm,
+                         const std::function<int(const Node&)>& part_fn);
+
+}  // namespace fxcpp::fx

@@ -1,0 +1,144 @@
+#include "core/subgraph_rewriter.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace fxcpp::fx {
+
+namespace {
+
+struct MatchState {
+  std::unordered_map<const Node*, Node*> node_map;      // pattern -> target
+  std::unordered_map<const Node*, Argument> ph_binding; // pattern ph -> arg
+};
+
+bool match_arg(const Argument& pat, const Argument& tgt, MatchState& st);
+
+// Match pattern node `p` against target node `t`.
+bool match_node(const Node* p, Node* t, MatchState& st) {
+  auto it = st.node_map.find(p);
+  if (it != st.node_map.end()) return it->second == t;
+  if (p->op() != t->op() || p->target() != t->target()) return false;
+  if (p->args().size() != t->args().size() ||
+      p->kwargs().size() != t->kwargs().size()) {
+    return false;
+  }
+  st.node_map[p] = t;
+  for (std::size_t i = 0; i < p->args().size(); ++i) {
+    if (!match_arg(p->args()[i], t->args()[i], st)) return false;
+  }
+  for (std::size_t i = 0; i < p->kwargs().size(); ++i) {
+    if (p->kwargs()[i].first != t->kwargs()[i].first) return false;
+    if (!match_arg(p->kwargs()[i].second, t->kwargs()[i].second, st)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool match_arg(const Argument& pat, const Argument& tgt, MatchState& st) {
+  if (pat.is_node()) {
+    const Node* pn = pat.node();
+    if (pn->op() == Opcode::Placeholder) {
+      // Wildcard: binds any argument, consistently.
+      auto it = st.ph_binding.find(pn);
+      if (it != st.ph_binding.end()) return it->second == tgt;
+      st.ph_binding[pn] = tgt;
+      return true;
+    }
+    if (!tgt.is_node()) return false;
+    return match_node(pn, tgt.node(), st);
+  }
+  if (pat.is_list() && tgt.is_list()) {
+    if (pat.list().size() != tgt.list().size()) return false;
+    for (std::size_t i = 0; i < pat.list().size(); ++i) {
+      if (!match_arg(pat.list()[i], tgt.list()[i], st)) return false;
+    }
+    return true;
+  }
+  return pat == tgt;
+}
+
+}  // namespace
+
+std::vector<Match> match_pattern(Graph& g, const Graph& pattern) {
+  const Node* out = pattern.output_node();
+  if (!out || !out->args().at(0).is_node()) {
+    throw std::invalid_argument(
+        "match_pattern: pattern must return a single node");
+  }
+  const Node* anchor_p = out->args().at(0).node();
+  const std::vector<Node*> pattern_phs = pattern.placeholders();
+
+  std::vector<Match> matches;
+  std::set<const Node*> claimed;
+  for (Node* cand : g.nodes()) {
+    if (cand->op() == Opcode::Placeholder || cand->op() == Opcode::Output) {
+      continue;
+    }
+    MatchState st;
+    if (!match_node(anchor_p, cand, st)) continue;
+
+    // Reject overlaps with earlier matches.
+    bool overlaps = false;
+    for (const auto& [pn, tn] : st.node_map) {
+      (void)pn;
+      if (claimed.count(tn)) overlaps = true;
+    }
+    if (overlaps) continue;
+
+    // Internal (non-anchor) matched nodes must not feed anything outside the
+    // match — otherwise removal would orphan users.
+    bool escapes = false;
+    std::set<const Node*> matched;
+    for (const auto& [pn, tn] : st.node_map) {
+      (void)pn;
+      matched.insert(tn);
+    }
+    for (const auto& [pn, tn] : st.node_map) {
+      (void)pn;
+      if (tn == st.node_map.at(anchor_p)) continue;
+      for (const Node* u : tn->users()) {
+        if (!matched.count(u)) escapes = true;
+      }
+    }
+    if (escapes) continue;
+
+    Match m;
+    m.anchor = st.node_map.at(anchor_p);
+    m.node_map = st.node_map;
+    for (const Node* ph : pattern_phs) {
+      auto it = st.ph_binding.find(ph);
+      // A placeholder the pattern never consumed matches "anything"; bind
+      // None so replacement graphs that also ignore it still line up.
+      m.inputs.push_back(it == st.ph_binding.end() ? Argument() : it->second);
+    }
+    for (const auto& [pn, tn] : st.node_map) {
+      (void)pn;
+      claimed.insert(tn);
+    }
+    matches.push_back(std::move(m));
+  }
+  return matches;
+}
+
+int replace_pattern(GraphModule& gm, const Graph& pattern,
+                    const Graph& replacement) {
+  Graph& g = gm.graph();
+  const std::vector<Match> matches = match_pattern(g, pattern);
+  for (const Match& m : matches) {
+    Graph::InsertScope scope(g, m.anchor);
+    Argument out = g.inline_graph(replacement, m.inputs);
+    if (!out.is_node()) {
+      throw std::invalid_argument(
+          "replace_pattern: replacement must return a node");
+    }
+    m.anchor->replace_all_uses_with(out.node());
+  }
+  g.eliminate_dead_code();
+  g.lint();
+  if (!matches.empty()) gm.recompile();
+  return static_cast<int>(matches.size());
+}
+
+}  // namespace fxcpp::fx

@@ -1,0 +1,35 @@
+// Subgraph pattern matching and replacement — fx.replace_pattern.
+//
+// Patterns and replacements are expressed as traced graphs (build them with
+// symbolic_trace on a small function): pattern placeholders are wildcards,
+// the pattern's output anchors the match, and matches are replaced by
+// splicing the replacement graph in (Figure 2's activation swap is the
+// canonical use).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph_module.h"
+
+namespace fxcpp::fx {
+
+struct Match {
+  // Pattern output-arg node -> matched node in the target graph.
+  Node* anchor = nullptr;
+  // Pattern node -> target node for all internal pattern nodes.
+  std::unordered_map<const Node*, Node*> node_map;
+  // Pattern placeholder -> target argument feeding the match.
+  std::vector<Argument> inputs;
+};
+
+// Find all non-overlapping matches of `pattern` in `g` (graph order).
+std::vector<Match> match_pattern(Graph& g, const Graph& pattern);
+
+// Replace every non-overlapping match of `pattern` inside `gm.graph()` with
+// `replacement` (placeholder-for-placeholder). Returns matches replaced.
+// Runs DCE afterwards and recompiles the GraphModule.
+int replace_pattern(GraphModule& gm, const Graph& pattern,
+                    const Graph& replacement);
+
+}  // namespace fxcpp::fx

@@ -1,0 +1,247 @@
+#include "core/tracer.h"
+
+#include <stdexcept>
+
+#include "core/graph_module.h"
+
+namespace fxcpp::fx {
+
+namespace {
+
+thread_local std::vector<Tracer*> g_active_tracers;
+
+// RAII activation of a tracer for the duration of a trace.
+struct ActiveGuard {
+  explicit ActiveGuard(Tracer* t) { g_active_tracers.push_back(t); }
+  ~ActiveGuard() { g_active_tracers.pop_back(); }
+  ActiveGuard(const ActiveGuard&) = delete;
+  ActiveGuard& operator=(const ActiveGuard&) = delete;
+};
+
+// Root holder for traced free functions: carries constants registered by
+// create_arg but is never executed.
+class FunctionRoot : public nn::Module {
+ public:
+  FunctionRoot() : nn::Module("TracedFunctionRoot") {}
+  Value forward(const std::vector<Value>&) override {
+    throw std::logic_error("FunctionRoot::forward should never run");
+  }
+};
+
+// Convert an inlined-graph result Argument back into a traced Value.
+Value argument_to_value(const Argument& a, Tracer* t) {
+  if (a.is_node()) return Value(Proxy{a.node(), t});
+  if (a.is_list()) {
+    std::vector<Value> items;
+    items.reserve(a.list().size());
+    for (const auto& item : a.list()) items.push_back(argument_to_value(item, t));
+    return Value(std::move(items));
+  }
+  throw std::logic_error("cannot convert immediate argument back to Value");
+}
+
+}  // namespace
+
+Tracer* Tracer::active() {
+  return g_active_tracers.empty() ? nullptr : g_active_tracers.back();
+}
+
+Tracer::Scope::Scope(Tracer& t) { g_active_tracers.push_back(&t); }
+Tracer::Scope::~Scope() { g_active_tracers.pop_back(); }
+
+void Tracer::start(nn::Module::Ptr root) {
+  graph_ = std::make_unique<Graph>();
+  paths_.clear();
+  next_const_ = 0;
+  root_ = std::move(root);
+  if (root_) {
+    for (const auto& [name, child] : root_->children()) {
+      register_hierarchy(child, name);
+    }
+    paths_.emplace(root_.get(), "");
+  }
+}
+
+std::unique_ptr<Graph> Tracer::finish_graph() {
+  paths_.clear();
+  root_.reset();
+  return std::move(graph_);
+}
+
+void Tracer::register_hierarchy(const nn::Module::Ptr& m,
+                                const std::string& prefix) {
+  paths_.emplace(m.get(), prefix);
+  for (const auto& [name, child] : m->children()) {
+    register_hierarchy(child, prefix.empty() ? name : prefix + "." + name);
+  }
+}
+
+bool Tracer::is_leaf_module(const nn::Module& m,
+                            const std::string& /*qualname*/) const {
+  return m.is_builtin() && dynamic_cast<const GraphModule*>(&m) == nullptr;
+}
+
+Node* Tracer::create_node(Opcode op, const std::string& target,
+                          std::vector<Argument> args, Kwargs kwargs,
+                          const std::string& name_hint) {
+  return graph_->create_node(op, target, std::move(args), std::move(kwargs),
+                             name_hint);
+}
+
+Proxy Tracer::create_proxy(Opcode op, const std::string& target,
+                           std::vector<Argument> args, Kwargs kwargs,
+                           const std::string& name_hint) {
+  Node* n = create_node(op, target, std::move(args), std::move(kwargs),
+                        name_hint);
+  return Proxy{n, this};
+}
+
+Argument Tracer::create_arg(const Value& v) {
+  if (!v.defined()) return Argument();
+  if (v.is_proxy()) {
+    const Proxy p = v.proxy();
+    if (p.tracer != this) {
+      throw TraceError("Proxy '" + p.node->name() +
+                       "' belongs to a different Tracer");
+    }
+    return Argument(p.node);
+  }
+  if (v.is_tuple()) {
+    Argument::List items;
+    items.reserve(v.tuple().size());
+    for (const auto& item : v.tuple()) items.push_back(create_arg(item));
+    return Argument(std::move(items));
+  }
+  // Concrete tensor captured inside a traced region: register it as a
+  // constant attribute on the root and reference it via get_attr (exactly
+  // fx's _tensor_constant mechanism).
+  const std::string name = "_tensor_constant" + std::to_string(next_const_++);
+  root_->register_buffer(name, v.tensor());
+  return Argument(create_node(Opcode::GetAttr, name, {}, {}, name));
+}
+
+bool Tracer::is_tracing_module(const nn::Module& m) const {
+  return paths_.count(&m) != 0;
+}
+
+const std::string& Tracer::qualname_of(const nn::Module& m) const {
+  auto it = paths_.find(&m);
+  if (it == paths_.end()) {
+    throw std::logic_error("module '" + m.kind() +
+                           "' is not part of the traced hierarchy");
+  }
+  return it->second;
+}
+
+Value Tracer::module_call(nn::Module& m, const std::vector<Value>& inputs) {
+  const std::string& qual = qualname_of(m);
+  // GraphModules are generated code: re-tracing them inlines their graph
+  // (Figure 3 — the result of a transform is traced again).
+  if (auto* gm = dynamic_cast<GraphModule*>(&m)) {
+    std::vector<Argument> args;
+    args.reserve(inputs.size());
+    for (const auto& v : inputs) args.push_back(create_arg(v));
+    return argument_to_value(graph_->inline_graph(gm->graph(), args), this);
+  }
+  if (is_leaf_module(m, qual)) {
+    std::vector<Argument> args;
+    args.reserve(inputs.size());
+    for (const auto& v : inputs) args.push_back(create_arg(v));
+    return Value(create_proxy(Opcode::CallModule, qual, std::move(args), {},
+                              qual));
+  }
+  return m.forward(inputs);
+}
+
+Value Tracer::attr_value(const nn::Module& m, const std::string& attr_name) {
+  const std::string& qual = qualname_of(m);
+  const std::string target = qual.empty() ? attr_name : qual + "." + attr_name;
+  return Value(create_proxy(Opcode::GetAttr, target, {}, {}, target));
+}
+
+std::shared_ptr<GraphModule> Tracer::finish(nn::Module::Ptr root,
+                                            const std::string& name) {
+  auto gm = std::make_shared<GraphModule>(std::move(root), std::move(graph_),
+                                          name);
+  gm->recompile();
+  paths_.clear();
+  root_.reset();
+  return gm;
+}
+
+std::shared_ptr<GraphModule> Tracer::trace(
+    nn::Module::Ptr root, const std::vector<std::string>& input_names) {
+  graph_ = std::make_unique<Graph>();
+  root_ = root;
+  paths_.clear();
+  next_const_ = 0;
+  for (const auto& [name, child] : root->children()) {
+    register_hierarchy(child, name);
+  }
+  // The root maps to the empty path for attr_value() but is not intercepted
+  // (trace() invokes its forward directly below).
+  paths_.emplace(root.get(), "");
+
+  ActiveGuard guard(this);
+  std::vector<Value> inputs;
+  inputs.reserve(input_names.size());
+  for (const auto& name : input_names) {
+    inputs.emplace_back(create_proxy(Opcode::Placeholder, name, {}, {}, name));
+  }
+  // If the root is itself generated code, inline it rather than executing it.
+  Value out;
+  if (auto* gm = dynamic_cast<GraphModule*>(root.get())) {
+    std::vector<Argument> args;
+    args.reserve(inputs.size());
+    for (const auto& v : inputs) args.push_back(create_arg(v));
+    out = argument_to_value(graph_->inline_graph(gm->graph(), args), this);
+  } else {
+    // Intercept submodule calls but run the root's own forward directly.
+    out = root->forward(inputs);
+  }
+  graph_->output(create_arg(out));
+  return finish(root, root->kind());
+}
+
+std::shared_ptr<GraphModule> Tracer::trace_function(
+    const std::function<Value(const std::vector<Value>&)>& fn,
+    const std::vector<std::string>& input_names) {
+  graph_ = std::make_unique<Graph>();
+  root_ = std::make_shared<FunctionRoot>();
+  paths_.clear();
+  paths_.emplace(root_.get(), "");
+  next_const_ = 0;
+
+  ActiveGuard guard(this);
+  std::vector<Value> inputs;
+  inputs.reserve(input_names.size());
+  for (const auto& name : input_names) {
+    inputs.emplace_back(create_proxy(Opcode::Placeholder, name, {}, {}, name));
+  }
+  Value out = fn(inputs);
+  graph_->output(create_arg(out));
+  return finish(root_, "GraphModule");
+}
+
+std::shared_ptr<GraphModule> symbolic_trace(
+    nn::Module::Ptr root, const std::vector<std::string>& input_names) {
+  Tracer t;
+  return t.trace(std::move(root), input_names);
+}
+
+std::shared_ptr<GraphModule> symbolic_trace(
+    const std::function<Value(const std::vector<Value>&)>& fn,
+    const std::vector<std::string>& input_names) {
+  Tracer t;
+  return t.trace_function(fn, input_names);
+}
+
+std::shared_ptr<GraphModule> symbolic_trace(
+    const std::function<Value(Value)>& fn, const std::string& input_name) {
+  Tracer t;
+  return t.trace_function(
+      [&fn](const std::vector<Value>& inputs) { return fn(inputs.at(0)); },
+      {input_name});
+}
+
+}  // namespace fxcpp::fx

@@ -1,0 +1,115 @@
+// Tracer — configurable symbolic tracing (Sections 4.1 and 5.2).
+//
+// Runs a Module's forward with Proxy inputs and records the operations that
+// flow through the functional layer and module-call interception into a
+// Graph. Customization points mirror the paper's: is_leaf_module() decides
+// which modules stay opaque call_module Nodes, and create_proxy()/
+// create_node() let subclasses attach metadata or alter recording.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/module.h"
+#include "core/value.h"
+
+namespace fxcpp::fx {
+
+class GraphModule;
+
+class Tracer {
+ public:
+  Tracer() = default;
+  virtual ~Tracer() = default;
+
+  // Symbolically trace `root`, producing a GraphModule that shares root's
+  // parameter/module hierarchy. One placeholder per input name.
+  std::shared_ptr<GraphModule> trace(
+      nn::Module::Ptr root, const std::vector<std::string>& input_names = {"x"});
+
+  // Trace a free function of Values (Figure 1's my_func case). The resulting
+  // GraphModule has an empty module hierarchy.
+  std::shared_ptr<GraphModule> trace_function(
+      const std::function<Value(const std::vector<Value>&)>& fn,
+      const std::vector<std::string>& input_names = {"x"});
+
+  // --- customization points (Section 5.2) --------------------------------
+  // Default: builtin framework modules (Conv2d, Linear, ...) are leaves;
+  // user-defined containers are traced through; GraphModules are inlined.
+  virtual bool is_leaf_module(const nn::Module& m,
+                              const std::string& qualname) const;
+
+  // Create a Node at the end of the graph. Subclasses may decorate.
+  virtual Node* create_node(Opcode op, const std::string& target,
+                            std::vector<Argument> args, Kwargs kwargs,
+                            const std::string& name_hint = "");
+
+  // Create a Node and wrap it in a Proxy carrying this tracer.
+  virtual Proxy create_proxy(Opcode op, const std::string& target,
+                             std::vector<Argument> args, Kwargs kwargs = {},
+                             const std::string& name_hint = "");
+
+  // Lower a traced Value to an IR Argument: Proxy -> its Node; concrete
+  // Tensor -> a get_attr to a freshly registered constant; tuple -> list.
+  Argument create_arg(const Value& v);
+
+  Graph& graph() { return *graph_; }
+
+  // --- hooks used by Module::operator() / param_value --------------------
+  // Is `m` part of the hierarchy being traced?
+  bool is_tracing_module(const nn::Module& m) const;
+  // Record or trace through a call to `m` (which must be in the hierarchy).
+  Value module_call(nn::Module& m, const std::vector<Value>& inputs);
+  // get_attr for `m.attr_name` (parameter access in a traced forward).
+  Value attr_value(const nn::Module& m, const std::string& attr_name);
+
+  // The innermost active tracer on this thread, or nullptr.
+  static Tracer* active();
+
+  // RAII activation: while alive, Module::operator() and param_value()
+  // route through this tracer. trace()/trace_function() use it internally;
+  // Transformer holds one for the duration of a rewrite.
+  class Scope {
+   public:
+    explicit Scope(Tracer& t);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+  };
+
+  // --- builder mode (used by Transformer) ---------------------------------
+  // Start recording into a fresh Graph against `root`'s hierarchy without
+  // running any forward. Create nodes with create_proxy()/create_node(),
+  // then take the result with finish_graph().
+  void start(nn::Module::Ptr root);
+  std::unique_ptr<Graph> finish_graph();
+
+ protected:
+  const std::string& qualname_of(const nn::Module& m) const;
+
+ private:
+  std::shared_ptr<GraphModule> finish(nn::Module::Ptr root,
+                                      const std::string& name);
+  void register_hierarchy(const nn::Module::Ptr& m, const std::string& prefix);
+
+  std::unique_ptr<Graph> graph_;
+  std::unordered_map<const nn::Module*, std::string> paths_;
+  int next_const_ = 0;
+  nn::Module::Ptr root_;
+};
+
+// Convenience wrappers matching fx.symbolic_trace.
+std::shared_ptr<GraphModule> symbolic_trace(
+    nn::Module::Ptr root, const std::vector<std::string>& input_names = {"x"});
+std::shared_ptr<GraphModule> symbolic_trace(
+    const std::function<Value(const std::vector<Value>&)>& fn,
+    const std::vector<std::string>& input_names = {"x"});
+// One-argument function convenience (Figure 1).
+std::shared_ptr<GraphModule> symbolic_trace(
+    const std::function<Value(Value)>& fn, const std::string& input_name = "x");
+
+}  // namespace fxcpp::fx

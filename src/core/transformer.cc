@@ -1,0 +1,84 @@
+#include "core/transformer.h"
+
+namespace fxcpp::fx {
+
+Value Transformer::value_of(const Node* src) const {
+  auto it = env_.find(src);
+  if (it == env_.end()) {
+    throw std::logic_error("Transformer: '" + src->name() +
+                           "' referenced before definition");
+  }
+  return it->second;
+}
+
+Argument Transformer::remap(const Argument& a) const {
+  if (a.is_node()) {
+    const Value v = value_of(a.node());
+    if (!v.is_proxy()) {
+      throw std::logic_error("Transformer: non-proxy replacement for '" +
+                             a.node()->name() + "' used as argument");
+    }
+    return Argument(v.proxy().node);
+  }
+  if (a.is_list()) {
+    Argument::List items;
+    items.reserve(a.list().size());
+    for (const auto& item : a.list()) items.push_back(remap(item));
+    return Argument(std::move(items));
+  }
+  return a;
+}
+
+Value Transformer::emit_same(const Node& n) {
+  std::vector<Argument> args;
+  args.reserve(n.args().size());
+  for (const auto& a : n.args()) args.push_back(remap(a));
+  Kwargs kwargs;
+  for (const auto& [k, v] : n.kwargs()) kwargs.emplace_back(k, remap(v));
+  return Value(tracer_.create_proxy(n.op(), n.target(), std::move(args),
+                                    std::move(kwargs), n.name()));
+}
+
+Value Transformer::placeholder(const Node& n) { return emit_same(n); }
+Value Transformer::get_attr(const Node& n) { return emit_same(n); }
+Value Transformer::call_function(const Node& n) { return emit_same(n); }
+Value Transformer::call_method(const Node& n) { return emit_same(n); }
+Value Transformer::call_module(const Node& n) { return emit_same(n); }
+
+std::shared_ptr<GraphModule> Transformer::transform() {
+  tracer_.start(gm_.root());
+  env_.clear();
+  Tracer::Scope scope(tracer_);
+  Argument out;
+  for (const Node* n : gm_.graph().nodes()) {
+    switch (n->op()) {
+      case Opcode::Placeholder:
+        env_[n] = placeholder(*n);
+        break;
+      case Opcode::GetAttr:
+        env_[n] = get_attr(*n);
+        break;
+      case Opcode::CallFunction:
+        env_[n] = call_function(*n);
+        break;
+      case Opcode::CallMethod:
+        env_[n] = call_method(*n);
+        break;
+      case Opcode::CallModule:
+        env_[n] = call_module(*n);
+        break;
+      case Opcode::Output:
+        out = remap(n->args().at(0));
+        break;
+    }
+  }
+  auto graph = tracer_.finish_graph();
+  graph->output(out);
+  graph->eliminate_dead_code();
+  auto result = std::make_shared<GraphModule>(gm_.root(), std::move(graph),
+                                              gm_.kind());
+  result->recompile();
+  return result;
+}
+
+}  // namespace fxcpp::fx

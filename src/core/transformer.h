@@ -1,0 +1,51 @@
+// Transformer — graph-to-graph rewriting by interpretation, mirroring
+// fx.Transformer: walk the source graph, re-emitting each node into a fresh
+// graph through overridable per-opcode hooks. Because hooks receive tracing
+// Proxies, a subclass can expand one node into many simply by calling the
+// trace-aware functional API (fx::fn::*), and the expansion is recorded —
+// the idiomatic way to write decomposition/lowering passes.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/graph_module.h"
+#include "core/tracer.h"
+
+namespace fxcpp::fx {
+
+class Transformer {
+ public:
+  explicit Transformer(GraphModule& gm) : gm_(gm) {}
+  virtual ~Transformer() = default;
+
+  // Produce the rewritten GraphModule (shares gm's module hierarchy).
+  std::shared_ptr<GraphModule> transform();
+
+ protected:
+  // Per-opcode hooks. Defaults re-emit the node unchanged. `n` is the source
+  // node; use value_of()/remap() to translate its arguments.
+  virtual Value placeholder(const Node& n);
+  virtual Value get_attr(const Node& n);
+  virtual Value call_function(const Node& n);
+  virtual Value call_method(const Node& n);
+  virtual Value call_module(const Node& n);
+
+  // Source-graph value as a Proxy into the new graph.
+  Value value_of(const Node* src) const;
+  // Translate a source Argument (Node refs -> new-graph nodes; immediates
+  // pass through).
+  Argument remap(const Argument& a) const;
+  // Default re-emission for any opcode.
+  Value emit_same(const Node& n);
+
+  Tracer& tracer() { return tracer_; }
+  GraphModule& source() { return gm_; }
+
+ private:
+  GraphModule& gm_;
+  Tracer tracer_;
+  std::unordered_map<const Node*, Value> env_;
+};
+
+}  // namespace fxcpp::fx

@@ -1,0 +1,83 @@
+// Proxy and Value — the paper's symbolic-tracing data model (Section 4.1).
+//
+// In Python, Proxy is a duck-typed object intercepting attribute access and
+// operator dispatch via __torch_function__. The C++ analog: user-facing model
+// code is written against `Value`, a sum type holding either a concrete
+// Tensor (eager execution) or a Proxy (a Node being recorded by a Tracer).
+// Every functional operator (core/functional.h) and Module call dispatches on
+// which alternative is live — the same code path runs eagerly and under
+// capture, which is the property symbolic tracing depends on.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fxcpp::fx {
+
+class Node;
+class Tracer;
+
+// Raised when a traced program performs an operation symbolic tracing cannot
+// record — e.g. coercing a Proxy to a concrete bool/int for control flow
+// (Section 5.3: "the user receives an error message describing the problem").
+class TraceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// An abstract value standing in for a runtime value during symbolic tracing.
+struct Proxy {
+  Node* node = nullptr;
+  Tracer* tracer = nullptr;
+};
+
+class Value {
+ public:
+  Value() = default;
+  /*implicit*/ Value(Tensor t) : v_(std::move(t)) {}
+  /*implicit*/ Value(Proxy p) : v_(p) {}
+  /*implicit*/ Value(std::vector<Value> tuple) : v_(std::move(tuple)) {}
+
+  bool defined() const { return !std::holds_alternative<std::monostate>(v_); }
+  bool is_tensor() const { return std::holds_alternative<Tensor>(v_); }
+  bool is_proxy() const { return std::holds_alternative<Proxy>(v_); }
+  bool is_tuple() const { return std::holds_alternative<std::vector<Value>>(v_); }
+
+  // Concrete tensor; throws TraceError if this is a Proxy (the guarded
+  // "escape from the traced region" failure mode).
+  const Tensor& tensor() const;
+  Proxy proxy() const;
+  const std::vector<Value>& tuple() const;
+
+  // Concrete scalar extraction — ALWAYS an error under tracing, with a
+  // message pointing at the recorded node (Section 5.3).
+  double item() const;
+
+  // --- trace-aware tensor methods (recorded as call_method Nodes) --------
+  Value neg() const;
+  Value relu() const;
+  Value reshape(std::vector<std::int64_t> shape) const;
+  Value flatten(std::int64_t start_dim = 0) const;
+  Value dequantize() const;
+
+  // Operators (recorded as call_function add/sub/mul/div).
+  friend Value operator+(const Value& a, const Value& b);
+  friend Value operator-(const Value& a, const Value& b);
+  friend Value operator*(const Value& a, const Value& b);
+  friend Value operator/(const Value& a, const Value& b);
+  friend Value operator+(const Value& a, double s);
+  friend Value operator-(const Value& a, double s);
+  friend Value operator*(const Value& a, double s);
+  friend Value operator/(const Value& a, double s);
+  Value operator-() const;
+
+ private:
+  std::variant<std::monostate, Tensor, Proxy, std::vector<Value>> v_;
+};
+
+}  // namespace fxcpp::fx

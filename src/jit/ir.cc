@@ -1,0 +1,158 @@
+#include "jit/ir.h"
+
+#include <sstream>
+
+namespace fxcpp::jit {
+
+JGraph::JGraph() : top_(std::make_unique<Block>()) {
+  stack_.push_back(top_.get());
+}
+
+std::string JGraph::fresh(const std::string& hint) {
+  std::string out = "%";
+  if (!hint.empty()) {
+    out += hint;
+    out += '.';
+  }
+  out += std::to_string(next_value_++);
+  return out;
+}
+
+std::string JGraph::add_input(const std::string& hint) {
+  const std::string v = fresh(hint);
+  top_->inputs.push_back(v);
+  return v;
+}
+
+std::string JGraph::emit(const std::string& kind,
+                         std::vector<std::string> inputs,
+                         const std::string& attr) {
+  auto n = std::make_unique<JNode>();
+  n->kind = kind;
+  n->inputs = std::move(inputs);
+  n->attr = attr;
+  const std::string out = fresh("");
+  n->outputs.push_back(out);
+  stack_.back()->nodes.push_back(std::move(n));
+  return out;
+}
+
+void JGraph::emit_void(const std::string& kind,
+                       std::vector<std::string> inputs,
+                       const std::string& attr) {
+  auto n = std::make_unique<JNode>();
+  n->kind = kind;
+  n->inputs = std::move(inputs);
+  n->attr = attr;
+  stack_.back()->nodes.push_back(std::move(n));
+}
+
+std::string JGraph::const_int(std::int64_t v) {
+  return emit("prim::Constant", {}, "int " + std::to_string(v));
+}
+std::string JGraph::const_double(double v) {
+  std::ostringstream os;
+  os << "float " << v;
+  return emit("prim::Constant", {}, os.str());
+}
+std::string JGraph::const_bool(bool v) {
+  return emit("prim::Constant", {}, v ? "bool 1" : "bool 0");
+}
+std::string JGraph::const_str(const std::string& v) {
+  return emit("prim::Constant", {}, "str \"" + v + "\"");
+}
+std::string JGraph::const_none() { return emit("prim::Constant", {}, "None"); }
+
+std::string JGraph::int_list(const std::vector<std::int64_t>& vs) {
+  std::vector<std::string> ins;
+  ins.reserve(vs.size());
+  for (auto v : vs) ins.push_back(const_int(v));
+  return emit("prim::ListConstruct", std::move(ins));
+}
+
+Block* JGraph::open_block(JNode* owner) {
+  owner->blocks.push_back(std::make_unique<Block>());
+  Block* b = owner->blocks.back().get();
+  stack_.push_back(b);
+  return b;
+}
+
+void JGraph::close_block() { stack_.pop_back(); }
+
+JNode* JGraph::last_node() {
+  return stack_.back()->nodes.empty() ? nullptr
+                                      : stack_.back()->nodes.back().get();
+}
+
+namespace {
+int count_block(const Block& b) {
+  int n = 0;
+  for (const auto& node : b.nodes) {
+    ++n;
+    for (const auto& sub : node->blocks) n += count_block(*sub);
+  }
+  return n;
+}
+
+int count_kind_block(const Block& b, const std::string& kind) {
+  int n = 0;
+  for (const auto& node : b.nodes) {
+    if (node->kind == kind) ++n;
+    for (const auto& sub : node->blocks) n += count_kind_block(*sub, kind);
+  }
+  return n;
+}
+
+void print_block(const Block& b, std::ostringstream& os, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  for (const auto& node : b.nodes) {
+    os << pad;
+    for (std::size_t i = 0; i < node->outputs.size(); ++i) {
+      if (i) os << ", ";
+      os << node->outputs[i];
+    }
+    if (!node->outputs.empty()) os << " = ";
+    os << node->kind;
+    if (!node->attr.empty()) os << "[" << node->attr << "]";
+    os << "(";
+    for (std::size_t i = 0; i < node->inputs.size(); ++i) {
+      if (i) os << ", ";
+      os << node->inputs[i];
+    }
+    os << ")\n";
+    for (const auto& sub : node->blocks) {
+      os << pad << "  block";
+      if (!sub->inputs.empty()) {
+        os << "(";
+        for (std::size_t i = 0; i < sub->inputs.size(); ++i) {
+          if (i) os << ", ";
+          os << sub->inputs[i];
+        }
+        os << ")";
+      }
+      os << ":\n";
+      print_block(*sub, os, indent + 2);
+    }
+  }
+}
+}  // namespace
+
+int JGraph::count_ops() const { return count_block(*top_); }
+
+int JGraph::count_kind(const std::string& kind) const {
+  return count_kind_block(*top_, kind);
+}
+
+std::string JGraph::to_string() const {
+  std::ostringstream os;
+  os << "graph(";
+  for (std::size_t i = 0; i < top_->inputs.size(); ++i) {
+    if (i) os << ",\n      ";
+    os << top_->inputs[i];
+  }
+  os << "):\n";
+  print_block(*top_, os, 1);
+  return os.str();
+}
+
+}  // namespace fxcpp::jit

@@ -1,0 +1,100 @@
+// TorchScript-like IR — the baseline representation for the paper's
+// Section 6.1 IR-complexity comparison (Figure 5).
+//
+// Unlike the fx IR, this one is "very rich": scalar constants, data
+// structure construction (prim::ListConstruct), attribute chains
+// (prim::GetAttr), and block-structured control flow (prim::If, prim::Loop)
+// are all first-class nodes. That richness is exactly what the paper
+// measures: 2614 ops for scripted ResNet50 vs 860 traced vs 445 in fx IR.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fxcpp::jit {
+
+class JNode;
+
+// A sequence of nodes (the top level of a graph, or a branch of If/Loop).
+class Block {
+ public:
+  std::vector<std::unique_ptr<JNode>> nodes;
+  std::vector<std::string> inputs;   // block parameters (%x)
+  std::vector<std::string> outputs;  // block results
+};
+
+class JNode {
+ public:
+  std::string kind;                   // "prim::Constant", "aten::conv2d", ...
+  std::vector<std::string> inputs;    // value names
+  std::vector<std::string> outputs;   // value names
+  std::string attr;                   // constant repr / GetAttr name / type
+  std::vector<std::unique_ptr<Block>> blocks;  // sub-blocks (If/Loop)
+};
+
+// Graph with a builder API. Values are %-prefixed names.
+class JGraph {
+ public:
+  JGraph();
+
+  // Declare a top-level graph input (e.g. %self, %x.1).
+  std::string add_input(const std::string& hint);
+
+  // Append a node to the current block; returns its (single) output value.
+  std::string emit(const std::string& kind, std::vector<std::string> inputs,
+                   const std::string& attr = "");
+  // Node with no outputs (e.g. prim::RaiseException).
+  void emit_void(const std::string& kind, std::vector<std::string> inputs,
+                 const std::string& attr = "");
+
+  // Constant helpers (each is a distinct prim::Constant node, as in
+  // TorchScript where constants are materialized in the graph).
+  std::string const_int(std::int64_t v);
+  std::string const_double(double v);
+  std::string const_bool(bool v);
+  std::string const_str(const std::string& v);
+  std::string const_none();
+  // prim::ListConstruct of n ints (emits n constants + the list node).
+  std::string int_list(const std::vector<std::int64_t>& vs);
+
+  // Open a sub-block on `owner` and make it current; returns it. Use
+  // BlockScope for RAII.
+  Block* open_block(JNode* owner);
+  void close_block();
+  // The most recently emitted node of the current block.
+  JNode* last_node();
+
+  class BlockScope {
+   public:
+    BlockScope(JGraph& g, JNode* owner) : g_(g) { g_.open_block(owner); }
+    ~BlockScope() { g_.close_block(); }
+    BlockScope(const BlockScope&) = delete;
+    BlockScope& operator=(const BlockScope&) = delete;
+
+   private:
+    JGraph& g_;
+  };
+
+  // Total node count across all blocks — the Figure 5 "operations" metric.
+  int count_ops() const;
+  // Count nodes of a given kind (e.g. "prim::Constant").
+  int count_kind(const std::string& kind) const;
+
+  // Figure-5a style listing.
+  std::string to_string() const;
+
+  Block& top() { return *top_; }
+  const Block& top() const { return *top_; }
+
+ private:
+  std::string fresh(const std::string& hint);
+
+  std::unique_ptr<Block> top_;
+  std::vector<Block*> stack_;
+  int next_value_ = 0;
+};
+
+using JGraphPtr = std::unique_ptr<JGraph>;
+
+}  // namespace fxcpp::jit

@@ -1,0 +1,24 @@
+// jit::script — a model of TorchScript's embedded-language front-end
+// (DeVito et al., 2018), the "rich IR" baseline of Figure 5.
+//
+// TorchScript compiles each module's Python forward with a full
+// lexer-parser-compiler pipeline, preserving *everything*: attribute
+// lookups, scalar constants, list construction for every stride/padding
+// argument, dtype/dimension assertions, padding-mode and training-mode
+// branches, and the downsample `if` in residual blocks. No Python source
+// exists in this reproduction, so each built-in module class carries an
+// emitter that produces the IR the real front-end produces for its
+// (canonical) forward; compound modules are inlined recursively. Node
+// *categories* and per-layer counts are modeled on Figure 5a and the
+// TorchScript graphs of torchvision layers.
+#pragma once
+
+#include "jit/ir.h"
+#include "core/module.h"
+
+namespace fxcpp::jit {
+
+// Compile `root` to scripted IR. `input_hint` names the graph input.
+JGraphPtr script(const nn::Module& root, const std::string& input_hint = "x");
+
+}  // namespace fxcpp::jit

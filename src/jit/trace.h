@@ -1,0 +1,23 @@
+// jit::trace — a model of torch.jit.trace, the example-input tracing
+// baseline of Figure 5.
+//
+// jit.trace records the dispatched ATen calls during a concrete run:
+// control flow disappears (like fx), but every scalar argument becomes a
+// prim::Constant node, every stride/padding tuple a prim::ListConstruct,
+// and every parameter access a prim::GetAttr chain through the module
+// hierarchy (Figure 5a). fx inlines all of those as immediate arguments,
+// which is why its IR is roughly half the size (Section 6.1).
+//
+// Implementation: symbolically trace the module with fx (for ResNet-class
+// models the recorded op sequence is identical to a concrete run), then
+// expand each fx Node into the nodes a concrete jit.trace run would record.
+#pragma once
+
+#include "core/graph_module.h"
+#include "jit/ir.h"
+
+namespace fxcpp::jit {
+
+JGraphPtr trace(fx::GraphModule& gm, const std::string& input_hint = "x");
+
+}  // namespace fxcpp::jit

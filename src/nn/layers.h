@@ -1,0 +1,157 @@
+// Built-in neural network layers — the torch.nn surface the paper's models
+// are written against.
+//
+// All layers are `builtin` Modules: the default Tracer records them as
+// opaque call_module Nodes ("torch.fx keeps PyTorch built-in Modules such as
+// nn.Conv2d intact while tracing", Section 5.2), except Sequential, which is
+// a container traced through (its Python loop disappears from the trace,
+// Section 5.1).
+//
+// Forwards read parameters through param_value(), so a Tracer configured to
+// trace *into* a builtin layer records get_attr + call_function Nodes
+// instead — the configurability case of Section 5.2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/functional.h"
+#include "core/module.h"
+
+namespace fxcpp::nn {
+
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, bool bias = true);
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+  bool has_bias() const { return has_bias_; }
+
+ private:
+  std::int64_t in_, out_;
+  bool has_bias_;
+};
+
+class Conv2d : public Module {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride = 1, std::int64_t padding = 0,
+         bool bias = true);
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+
+  std::int64_t in_channels() const { return in_; }
+  std::int64_t out_channels() const { return out_; }
+  std::vector<std::int64_t> stride() const { return {stride_, stride_}; }
+  std::vector<std::int64_t> padding() const { return {padding_, padding_}; }
+  bool has_bias() const { return has_bias_; }
+
+ private:
+  std::int64_t in_, out_, kernel_, stride_, padding_;
+  bool has_bias_;
+};
+
+// Inference-mode batch normalization over channel dim 1 (running stats).
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(std::int64_t features, double eps = 1e-5);
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+
+  std::int64_t num_features() const { return features_; }
+  double eps() const { return eps_; }
+
+ private:
+  std::int64_t features_;
+  double eps_;
+};
+
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::int64_t dim, double eps = 1e-5);
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+
+ private:
+  double eps_;
+};
+
+// Elementwise activations.
+#define FXCPP_DECLARE_ACTIVATION(NAME)                          \
+  class NAME : public Module {                                  \
+   public:                                                      \
+    NAME();                                                     \
+    fx::Value forward(const std::vector<fx::Value>& inputs) override; \
+  };
+FXCPP_DECLARE_ACTIVATION(ReLU)
+FXCPP_DECLARE_ACTIVATION(GELU)
+FXCPP_DECLARE_ACTIVATION(SELU)
+FXCPP_DECLARE_ACTIVATION(Sigmoid)
+FXCPP_DECLARE_ACTIVATION(Tanh)
+#undef FXCPP_DECLARE_ACTIVATION
+
+class MaxPool2d : public Module {
+ public:
+  MaxPool2d(std::int64_t kernel, std::int64_t stride, std::int64_t padding = 0);
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t padding() const { return padding_; }
+
+ private:
+  std::int64_t kernel_, stride_, padding_;
+};
+
+class AdaptiveAvgPool2d : public Module {
+ public:
+  explicit AdaptiveAvgPool2d(std::int64_t output_size);
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+  std::int64_t output_size() const { return out_; }
+
+ private:
+  std::int64_t out_;
+};
+
+class Flatten : public Module {
+ public:
+  explicit Flatten(std::int64_t start_dim = 1);
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+
+ private:
+  std::int64_t start_dim_;
+};
+
+class Dropout : public Module {
+ public:
+  explicit Dropout(double p);
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+  double p() const { return p_; }
+
+ private:
+  double p_;
+};
+
+class Identity : public Module {
+ public:
+  Identity();
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+};
+
+class Embedding : public Module {
+ public:
+  Embedding(std::int64_t num_embeddings, std::int64_t dim);
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+};
+
+// Container executing children in registration order. NOT a tracing leaf:
+// the iteration loop is control flow not dependent on inputs, so tracing
+// flattens it away (the paper's torch.nn.Sequential example).
+class Sequential : public Module {
+ public:
+  Sequential();
+  explicit Sequential(std::vector<Ptr> mods);
+  // Append with auto-assigned name "0", "1", ...
+  void append(Ptr m);
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+};
+
+}  // namespace fxcpp::nn

@@ -1,0 +1,38 @@
+#include "nn/models/deep_recommender.h"
+
+namespace fxcpp::nn::models {
+
+DeepRecommender::DeepRecommender(DeepRecommenderConfig cfg)
+    : Module("DeepRecommender"), cfg_(std::move(cfg)) {
+  auto encoder = std::make_shared<Sequential>();
+  std::int64_t prev = cfg_.item_dim;
+  for (std::int64_t h : cfg_.hidden) {
+    encoder->append(std::make_shared<Linear>(prev, h));
+    encoder->append(std::make_shared<SELU>());
+    prev = h;
+  }
+  register_module("encoder", encoder);
+  register_module("drop", std::make_shared<Dropout>(cfg_.dropout));
+
+  auto decoder = std::make_shared<Sequential>();
+  for (auto it = cfg_.hidden.rbegin() + 1; it != cfg_.hidden.rend(); ++it) {
+    decoder->append(std::make_shared<Linear>(prev, *it));
+    decoder->append(std::make_shared<SELU>());
+    prev = *it;
+  }
+  decoder->append(std::make_shared<Linear>(prev, cfg_.item_dim));
+  decoder->append(std::make_shared<SELU>());
+  register_module("decoder", decoder);
+}
+
+fx::Value DeepRecommender::forward(const std::vector<fx::Value>& inputs) {
+  fx::Value x = (*get_submodule("encoder"))(inputs.at(0));
+  x = (*get_submodule("drop"))(x);
+  return (*get_submodule("decoder"))(x);
+}
+
+std::shared_ptr<DeepRecommender> deep_recommender(DeepRecommenderConfig cfg) {
+  return std::make_shared<DeepRecommender>(std::move(cfg));
+}
+
+}  // namespace fxcpp::nn::models

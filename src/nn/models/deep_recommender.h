@@ -1,0 +1,38 @@
+// DeepRecommender (Kuchaiev & Ginsburg, 2017) — the deep autoencoder for
+// collaborative filtering quantized in the paper's Section 6.2.1 experiment.
+//
+// An encoder/decoder stack of Linear + SELU layers over a (large) item
+// vector, with dropout at the bottleneck. The original evaluates on the
+// Netflix ratings vector (~17k items); `item_dim` is configurable so the
+// benchmark fits this machine while preserving the layer structure the
+// quantization transform instruments.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace fxcpp::nn::models {
+
+struct DeepRecommenderConfig {
+  std::int64_t item_dim = 4096;
+  // Hidden sizes of the encoder; the decoder mirrors them.
+  std::vector<std::int64_t> hidden{512, 512, 1024};
+  double dropout = 0.8;  // at the code layer (inference no-op)
+};
+
+class DeepRecommender : public Module {
+ public:
+  explicit DeepRecommender(DeepRecommenderConfig cfg);
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+  const DeepRecommenderConfig& config() const { return cfg_; }
+
+ private:
+  DeepRecommenderConfig cfg_;
+};
+
+std::shared_ptr<DeepRecommender> deep_recommender(
+    DeepRecommenderConfig cfg = {});
+
+}  // namespace fxcpp::nn::models

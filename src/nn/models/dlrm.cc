@@ -1,0 +1,51 @@
+#include "nn/models/dlrm.h"
+
+namespace fxcpp::nn::models {
+
+namespace {
+Module::Ptr make_mlp(std::int64_t in, const std::vector<std::int64_t>& sizes,
+                     bool final_sigmoid) {
+  auto seq = std::make_shared<Sequential>();
+  std::int64_t prev = in;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    seq->append(std::make_shared<Linear>(prev, sizes[i]));
+    const bool last = i + 1 == sizes.size();
+    if (!last) seq->append(std::make_shared<ReLU>());
+    else if (final_sigmoid) seq->append(std::make_shared<Sigmoid>());
+    prev = sizes[i];
+  }
+  return seq;
+}
+}  // namespace
+
+DLRM::DLRM(DlrmConfig cfg) : Module("DLRM"), cfg_(std::move(cfg)) {
+  register_module("bottom",
+                  make_mlp(cfg_.dense_dim, cfg_.bottom_mlp, false));
+  for (std::size_t i = 0; i < cfg_.table_sizes.size(); ++i) {
+    register_module("emb_" + std::to_string(i),
+                    std::make_shared<Embedding>(cfg_.table_sizes[i],
+                                                cfg_.embedding_dim));
+  }
+  const std::int64_t interaction_dim =
+      cfg_.bottom_mlp.back() +
+      static_cast<std::int64_t>(cfg_.table_sizes.size()) * cfg_.embedding_dim;
+  register_module("top", make_mlp(interaction_dim, cfg_.top_mlp, true));
+}
+
+fx::Value DLRM::forward(const std::vector<fx::Value>& inputs) {
+  fx::Value dense = (*get_submodule("bottom"))(inputs.at(0));
+  std::vector<fx::Value> features{dense};
+  for (std::size_t i = 0; i < cfg_.table_sizes.size(); ++i) {
+    features.push_back(
+        (*get_submodule("emb_" + std::to_string(i)))(inputs.at(i + 1)));
+  }
+  // Feature interaction by concatenation — still a flat DAG.
+  fx::Value interact = fx::fn::cat(features, 1);
+  return (*get_submodule("top"))(interact);
+}
+
+std::shared_ptr<DLRM> dlrm(DlrmConfig cfg) {
+  return std::make_shared<DLRM>(std::move(cfg));
+}
+
+}  // namespace fxcpp::nn::models

@@ -1,0 +1,39 @@
+// DLRM-style personalization model (Naumov et al., 2019) — the paper's
+// Section 2.3 example of a recommendation architecture that is "easily
+// expressed" as a basic-block program: embedding lookups + MLPs + a feature
+// interaction implemented with concatenation, no control flow anywhere.
+//
+// Inputs: one dense feature tensor [B, dense_dim] followed by one Int64
+// index tensor [B] per embedding table.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace fxcpp::nn::models {
+
+struct DlrmConfig {
+  std::int64_t dense_dim = 16;
+  std::int64_t embedding_dim = 16;
+  std::vector<std::int64_t> table_sizes{100, 100, 100};
+  std::vector<std::int64_t> bottom_mlp{32, 16};
+  std::vector<std::int64_t> top_mlp{64, 1};
+};
+
+class DLRM : public Module {
+ public:
+  explicit DLRM(DlrmConfig cfg);
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+  const DlrmConfig& config() const { return cfg_; }
+  // 1 dense input + one index tensor per table.
+  std::size_t num_inputs() const { return 1 + cfg_.table_sizes.size(); }
+
+ private:
+  DlrmConfig cfg_;
+};
+
+std::shared_ptr<DLRM> dlrm(DlrmConfig cfg = {});
+
+}  // namespace fxcpp::nn::models

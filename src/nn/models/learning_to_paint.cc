@@ -1,0 +1,22 @@
+#include "nn/models/learning_to_paint.h"
+
+namespace fxcpp::nn::models {
+
+LearningToPaintActor::LearningToPaintActor(LearningToPaintConfig cfg)
+    : Module("LearningToPaintActor"), cfg_(cfg) {
+  register_module("backbone", resnet18(cfg.width, cfg.action_dim,
+                                       cfg.in_channels));
+  register_module("out_act", std::make_shared<Sigmoid>());
+}
+
+fx::Value LearningToPaintActor::forward(const std::vector<fx::Value>& inputs) {
+  fx::Value x = (*get_submodule("backbone"))(inputs.at(0));
+  return (*get_submodule("out_act"))(x);
+}
+
+std::shared_ptr<LearningToPaintActor> learning_to_paint_actor(
+    LearningToPaintConfig cfg) {
+  return std::make_shared<LearningToPaintActor>(cfg);
+}
+
+}  // namespace fxcpp::nn::models

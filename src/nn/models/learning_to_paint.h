@@ -1,0 +1,35 @@
+// LearningToPaint actor (Huang et al., 2019) — the second model of the
+// paper's TensorRT lowering experiment (Section 6.4 / Appendix D).
+//
+// The released agent's actor is a ResNet-18 policy network over a 9-channel
+// canvas/target/step-encoding state, emitting 65 sigmoid-squashed stroke
+// parameters. Much smaller than ResNet-50, which is exactly why the paper's
+// TensorRT speedup is smaller for it (1.54x vs 3.7x) — less graph for the
+// AoT compiler to fuse relative to fixed per-op overhead.
+#pragma once
+
+#include <memory>
+
+#include "nn/models/resnet.h"
+
+namespace fxcpp::nn::models {
+
+struct LearningToPaintConfig {
+  std::int64_t in_channels = 9;
+  std::int64_t action_dim = 65;
+  std::int64_t width = 64;
+};
+
+class LearningToPaintActor : public Module {
+ public:
+  explicit LearningToPaintActor(LearningToPaintConfig cfg);
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+
+ private:
+  LearningToPaintConfig cfg_;
+};
+
+std::shared_ptr<LearningToPaintActor> learning_to_paint_actor(
+    LearningToPaintConfig cfg = {});
+
+}  // namespace fxcpp::nn::models

@@ -1,0 +1,38 @@
+#include "nn/models/mlp.h"
+
+#include <stdexcept>
+
+namespace fxcpp::nn::models {
+
+namespace {
+Module::Ptr make_activation(const std::string& kind) {
+  if (kind == "relu") return std::make_shared<ReLU>();
+  if (kind == "gelu") return std::make_shared<GELU>();
+  if (kind == "selu") return std::make_shared<SELU>();
+  if (kind == "tanh") return std::make_shared<Tanh>();
+  if (kind == "sigmoid") return std::make_shared<Sigmoid>();
+  throw std::invalid_argument("MLP: unknown activation '" + kind + "'");
+}
+}  // namespace
+
+MLP::MLP(std::vector<std::int64_t> sizes, const std::string& activation)
+    : Module("MLP") {
+  if (sizes.size() < 2) throw std::invalid_argument("MLP: need >= 2 sizes");
+  auto body = std::make_shared<Sequential>();
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    body->append(std::make_shared<Linear>(sizes[i], sizes[i + 1]));
+    if (i + 2 < sizes.size()) body->append(make_activation(activation));
+  }
+  register_module("body", body);
+}
+
+fx::Value MLP::forward(const std::vector<fx::Value>& inputs) {
+  return (*get_submodule("body"))(inputs.at(0));
+}
+
+std::shared_ptr<MLP> mlp(std::vector<std::int64_t> sizes,
+                         const std::string& activation) {
+  return std::make_shared<MLP>(std::move(sizes), activation);
+}
+
+}  // namespace fxcpp::nn::models

@@ -1,0 +1,23 @@
+// Simple MLP — the "typical model" workhorse for tests and examples.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace fxcpp::nn::models {
+
+// Fully-connected stack: sizes {in, h1, ..., out} with the given activation
+// ("relu", "gelu", "selu", "tanh", "sigmoid") between layers.
+class MLP : public Module {
+ public:
+  MLP(std::vector<std::int64_t> sizes, const std::string& activation = "relu");
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+};
+
+std::shared_ptr<MLP> mlp(std::vector<std::int64_t> sizes,
+                         const std::string& activation = "relu");
+
+}  // namespace fxcpp::nn::models

@@ -1,0 +1,158 @@
+#include "nn/models/resnet.h"
+
+namespace fxcpp::nn::models {
+
+namespace {
+Module::Ptr make_downsample(std::int64_t in_ch, std::int64_t out_ch,
+                            std::int64_t stride) {
+  auto seq = std::make_shared<Sequential>();
+  seq->append(std::make_shared<Conv2d>(in_ch, out_ch, /*kernel=*/1, stride,
+                                       /*padding=*/0, /*bias=*/false));
+  seq->append(std::make_shared<BatchNorm2d>(out_ch));
+  return seq;
+}
+}  // namespace
+
+// --- BasicBlock -------------------------------------------------------------
+
+BasicBlock::BasicBlock(std::int64_t in_ch, std::int64_t out_ch,
+                       std::int64_t stride, Module::Ptr downsample)
+    : Module("BasicBlock"), has_downsample_(downsample != nullptr) {
+  register_module("conv1", std::make_shared<Conv2d>(in_ch, out_ch, 3, stride,
+                                                    1, /*bias=*/false));
+  register_module("bn1", std::make_shared<BatchNorm2d>(out_ch));
+  register_module("relu", std::make_shared<ReLU>());
+  register_module("conv2",
+                  std::make_shared<Conv2d>(out_ch, out_ch, 3, 1, 1, false));
+  register_module("bn2", std::make_shared<BatchNorm2d>(out_ch));
+  if (downsample) register_module("downsample", std::move(downsample));
+}
+
+fx::Value BasicBlock::forward(const std::vector<fx::Value>& inputs) {
+  const fx::Value& x = inputs.at(0);
+  fx::Value identity = x;
+  fx::Value out = (*get_submodule("conv1"))(x);
+  out = (*get_submodule("bn1"))(out);
+  out = (*get_submodule("relu"))(out);
+  out = (*get_submodule("conv2"))(out);
+  out = (*get_submodule("bn2"))(out);
+  if (has_downsample_) identity = (*get_submodule("downsample"))(x);
+  out = out + identity;
+  return (*get_submodule("relu"))(out);
+}
+
+// --- Bottleneck -------------------------------------------------------------
+
+Bottleneck::Bottleneck(std::int64_t in_ch, std::int64_t mid_ch,
+                       std::int64_t stride, Module::Ptr downsample)
+    : Module("Bottleneck"), has_downsample_(downsample != nullptr) {
+  const std::int64_t out_ch = mid_ch * kExpansion;
+  register_module("conv1",
+                  std::make_shared<Conv2d>(in_ch, mid_ch, 1, 1, 0, false));
+  register_module("bn1", std::make_shared<BatchNorm2d>(mid_ch));
+  register_module("conv2", std::make_shared<Conv2d>(mid_ch, mid_ch, 3, stride,
+                                                    1, false));
+  register_module("bn2", std::make_shared<BatchNorm2d>(mid_ch));
+  register_module("conv3",
+                  std::make_shared<Conv2d>(mid_ch, out_ch, 1, 1, 0, false));
+  register_module("bn3", std::make_shared<BatchNorm2d>(out_ch));
+  register_module("relu", std::make_shared<ReLU>());
+  if (downsample) register_module("downsample", std::move(downsample));
+}
+
+fx::Value Bottleneck::forward(const std::vector<fx::Value>& inputs) {
+  const fx::Value& x = inputs.at(0);
+  fx::Value identity = x;
+  fx::Value out = (*get_submodule("conv1"))(x);
+  out = (*get_submodule("bn1"))(out);
+  out = (*get_submodule("relu"))(out);
+  out = (*get_submodule("conv2"))(out);
+  out = (*get_submodule("bn2"))(out);
+  out = (*get_submodule("relu"))(out);
+  out = (*get_submodule("conv3"))(out);
+  out = (*get_submodule("bn3"))(out);
+  if (has_downsample_) identity = (*get_submodule("downsample"))(x);
+  out = out + identity;
+  return (*get_submodule("relu"))(out);
+}
+
+// --- ResNet --------------------------------------------------------------------
+
+ResNet::ResNet(ResNetConfig cfg) : Module("ResNet"), cfg_(cfg) {
+  const std::int64_t w = cfg_.width;
+  in_planes_ = w;
+  register_module("conv1", std::make_shared<Conv2d>(cfg_.in_channels, w, 7, 2,
+                                                    3, /*bias=*/false));
+  register_module("bn1", std::make_shared<BatchNorm2d>(w));
+  register_module("relu", std::make_shared<ReLU>());
+  register_module("maxpool", std::make_shared<MaxPool2d>(3, 2, 1));
+  register_module("layer1", make_stage(cfg_.layers.at(0), w, 1));
+  register_module("layer2", make_stage(cfg_.layers.at(1), w * 2, 2));
+  register_module("layer3", make_stage(cfg_.layers.at(2), w * 4, 2));
+  register_module("layer4", make_stage(cfg_.layers.at(3), w * 8, 2));
+  register_module("avgpool", std::make_shared<AdaptiveAvgPool2d>(1));
+  register_module("flatten", std::make_shared<Flatten>(1));
+  register_module("fc", std::make_shared<Linear>(in_planes_, cfg_.num_classes));
+}
+
+Module::Ptr ResNet::make_stage(std::int64_t blocks, std::int64_t planes,
+                               std::int64_t stride) {
+  const std::int64_t expansion =
+      cfg_.bottleneck ? Bottleneck::kExpansion : BasicBlock::kExpansion;
+  auto stage = std::make_shared<Sequential>();
+  for (std::int64_t b = 0; b < blocks; ++b) {
+    const std::int64_t s = b == 0 ? stride : 1;
+    Module::Ptr down;
+    if (b == 0 && (s != 1 || in_planes_ != planes * expansion)) {
+      down = make_downsample(in_planes_, planes * expansion, s);
+    }
+    if (cfg_.bottleneck) {
+      stage->append(std::make_shared<Bottleneck>(in_planes_, planes, s,
+                                                 std::move(down)));
+    } else {
+      stage->append(std::make_shared<BasicBlock>(in_planes_, planes, s,
+                                                 std::move(down)));
+    }
+    in_planes_ = planes * expansion;
+  }
+  return stage;
+}
+
+fx::Value ResNet::forward(const std::vector<fx::Value>& inputs) {
+  fx::Value x = inputs.at(0);
+  x = (*get_submodule("conv1"))(x);
+  x = (*get_submodule("bn1"))(x);
+  x = (*get_submodule("relu"))(x);
+  x = (*get_submodule("maxpool"))(x);
+  x = (*get_submodule("layer1"))(x);
+  x = (*get_submodule("layer2"))(x);
+  x = (*get_submodule("layer3"))(x);
+  x = (*get_submodule("layer4"))(x);
+  x = (*get_submodule("avgpool"))(x);
+  x = (*get_submodule("flatten"))(x);
+  return (*get_submodule("fc"))(x);
+}
+
+std::shared_ptr<ResNet> resnet18(std::int64_t width, std::int64_t num_classes,
+                                 std::int64_t in_channels) {
+  ResNetConfig cfg;
+  cfg.layers = {2, 2, 2, 2};
+  cfg.bottleneck = false;
+  cfg.width = width;
+  cfg.num_classes = num_classes;
+  cfg.in_channels = in_channels;
+  return std::make_shared<ResNet>(cfg);
+}
+
+std::shared_ptr<ResNet> resnet50(std::int64_t width, std::int64_t num_classes,
+                                 std::int64_t in_channels) {
+  ResNetConfig cfg;
+  cfg.layers = {3, 4, 6, 3};
+  cfg.bottleneck = true;
+  cfg.width = width;
+  cfg.num_classes = num_classes;
+  cfg.in_channels = in_channels;
+  return std::make_shared<ResNet>(cfg);
+}
+
+}  // namespace fxcpp::nn::models

@@ -1,0 +1,73 @@
+// ResNet (He et al., 2015) in the torchvision layout — the model used by
+// three of the paper's four experiments (IR complexity, Conv-BN fusion, and
+// TensorRT lowering).
+//
+// `width` scales all channel counts (width=64 is the canonical network) so
+// benches fit the reproduction machine; the topology — and therefore the
+// node counts and fusion opportunities — is unchanged by scaling.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace fxcpp::nn::models {
+
+// conv3x3/conv1x1 + BN + ReLU residual block (ResNet-18/34).
+class BasicBlock : public Module {
+ public:
+  static constexpr std::int64_t kExpansion = 1;
+  BasicBlock(std::int64_t in_ch, std::int64_t out_ch, std::int64_t stride,
+             Module::Ptr downsample);
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+  bool has_downsample() const { return has_downsample_; }
+
+ private:
+  bool has_downsample_;
+};
+
+// 1x1 -> 3x3 -> 1x1(4x) bottleneck residual block (ResNet-50/101/152).
+class Bottleneck : public Module {
+ public:
+  static constexpr std::int64_t kExpansion = 4;
+  Bottleneck(std::int64_t in_ch, std::int64_t mid_ch, std::int64_t stride,
+             Module::Ptr downsample);
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+  bool has_downsample() const { return has_downsample_; }
+
+ private:
+  bool has_downsample_;
+};
+
+struct ResNetConfig {
+  // Blocks per stage; {3,4,6,3} with bottleneck=true is ResNet-50.
+  std::vector<std::int64_t> layers{3, 4, 6, 3};
+  bool bottleneck = true;
+  std::int64_t width = 64;  // channels of the stem (canonical: 64)
+  std::int64_t num_classes = 1000;
+  std::int64_t in_channels = 3;
+};
+
+class ResNet : public Module {
+ public:
+  explicit ResNet(ResNetConfig cfg);
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+  const ResNetConfig& config() const { return cfg_; }
+
+ private:
+  Module::Ptr make_stage(std::int64_t blocks, std::int64_t planes,
+                         std::int64_t stride);
+  ResNetConfig cfg_;
+  std::int64_t in_planes_;
+};
+
+// Canonical topologies with adjustable width / classes.
+std::shared_ptr<ResNet> resnet18(std::int64_t width = 64,
+                                 std::int64_t num_classes = 1000,
+                                 std::int64_t in_channels = 3);
+std::shared_ptr<ResNet> resnet50(std::int64_t width = 64,
+                                 std::int64_t num_classes = 1000,
+                                 std::int64_t in_channels = 3);
+
+}  // namespace fxcpp::nn::models

@@ -1,0 +1,43 @@
+#include "nn/models/transformer.h"
+
+#include <cmath>
+
+namespace fxcpp::nn::models {
+
+TransformerEncoderLayer::TransformerEncoderLayer(std::int64_t dim,
+                                                 std::int64_t ffn_dim)
+    : Module("TransformerEncoderLayer"),
+      scale_(1.0 / std::sqrt(static_cast<double>(dim))) {
+  register_module("wq", std::make_shared<Linear>(dim, dim));
+  register_module("wk", std::make_shared<Linear>(dim, dim));
+  register_module("wv", std::make_shared<Linear>(dim, dim));
+  register_module("wo", std::make_shared<Linear>(dim, dim));
+  register_module("norm1", std::make_shared<LayerNorm>(dim));
+  register_module("norm2", std::make_shared<LayerNorm>(dim));
+  register_module("ffn1", std::make_shared<Linear>(dim, ffn_dim));
+  register_module("ffn2", std::make_shared<Linear>(ffn_dim, dim));
+  register_module("act", std::make_shared<GELU>());
+}
+
+fx::Value TransformerEncoderLayer::forward(
+    const std::vector<fx::Value>& inputs) {
+  const fx::Value& x = inputs.at(0);  // [seq, dim]
+  fx::Value q = (*get_submodule("wq"))(x);
+  fx::Value k = (*get_submodule("wk"))(x);
+  fx::Value v = (*get_submodule("wv"))(x);
+  fx::Value scores = fx::fn::mul(fx::fn::matmul(q, fx::fn::transpose(k, 0, 1)),
+                                 scale_);
+  fx::Value attn = fx::fn::softmax(scores, -1);
+  fx::Value ctx = (*get_submodule("wo"))(fx::fn::matmul(attn, v));
+  fx::Value h = (*get_submodule("norm1"))(x + ctx);
+  fx::Value f = (*get_submodule("ffn2"))(
+      (*get_submodule("act"))((*get_submodule("ffn1"))(h)));
+  return (*get_submodule("norm2"))(h + f);
+}
+
+std::shared_ptr<TransformerEncoderLayer> transformer_encoder_layer(
+    std::int64_t dim, std::int64_t ffn_dim) {
+  return std::make_shared<TransformerEncoderLayer>(dim, ffn_dim);
+}
+
+}  // namespace fxcpp::nn::models

@@ -1,0 +1,28 @@
+// Transformer encoder layer (Vaswani et al., 2017) — supports the paper's
+// Section 5.5 observation that attention blocks are expressible as basic
+// block programs (no control flow), so they trace cleanly into the fx IR.
+//
+// Single-head formulation over a [seq_len, dim] input: every step is a plain
+// tensor op, demonstrating that even "complex" modern architectures capture
+// as a flat DAG.
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.h"
+
+namespace fxcpp::nn::models {
+
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(std::int64_t dim, std::int64_t ffn_dim);
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+
+ private:
+  double scale_;
+};
+
+std::shared_ptr<TransformerEncoderLayer> transformer_encoder_layer(
+    std::int64_t dim, std::int64_t ffn_dim);
+
+}  // namespace fxcpp::nn::models

@@ -1,0 +1,47 @@
+// Reverse-mode automatic differentiation as a graph-to-graph transform.
+//
+// The paper's Section 1 calls program differentiation "the primary program
+// transformation used in deep learning frameworks". In define-by-run
+// frameworks it is a runtime tape; on the fx IR it becomes exactly the kind
+// of ahead-of-time transform the paper's machinery is built for: walk the
+// captured DAG backwards, emit one VJP (vector-Jacobian product) expression
+// per node, and return the gradients as a new GraphModule — inspectable,
+// optimizable by the same passes (DCE/CSE), and executable by the same
+// tape.
+//
+// Supported ops: add/sub/mul/div/neg, relu/sigmoid/tanh/gelu/selu (function
+// or module form), linear (function or nn::Linear), matmul, conv2d
+// (function or nn::Conv2d), eval-mode batch norm (input + gamma/beta
+// grads), flatten/reshape, dropout (eval), sum/mean, Identity. Unsupported
+// targets throw std::invalid_argument naming the node.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/graph_module.h"
+
+namespace fxcpp::passes {
+
+struct GradientGraph {
+  // Same placeholders as the source; returns a tuple of gradient tensors.
+  std::shared_ptr<fx::GraphModule> module;
+  // Tuple entry names, aligned with the output: first the placeholder
+  // names (gradient of the summed output w.r.t. each input), then the
+  // touched parameter qualified names in sorted order.
+  std::vector<std::string> output_names;
+
+  // Convenience: run and return {name -> gradient} for the given inputs.
+  std::vector<std::pair<std::string, Tensor>> run(
+      const std::vector<Tensor>& inputs) const;
+};
+
+// Differentiate d(sum(output))/d{inputs, parameters}. `example_inputs` are
+// needed once for shape propagation (reshape/flatten/mean VJPs consume
+// recorded shapes); the resulting gradient graph is then reusable for any
+// inputs of those shapes.
+GradientGraph build_gradient_graph(fx::GraphModule& gm,
+                                   const std::vector<Tensor>& example_inputs);
+
+}  // namespace fxcpp::passes

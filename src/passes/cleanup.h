@@ -1,0 +1,35 @@
+// Classic cleanup transforms — each a short forward walk, demonstrating the
+// paper's Section 5.5 point: on a basic-block IR with no mutation, passes
+// like CSE that are "more complicated to implement" under control flow
+// reduce to simple single-pass code.
+#pragma once
+
+#include "core/graph_module.h"
+
+namespace fxcpp::passes {
+
+// Dead code elimination (delegates to Graph; recompiles if anything died).
+int dead_code_elimination(fx::GraphModule& gm);
+
+// Common subexpression elimination: structurally identical pure nodes are
+// merged. Legal without any aliasing analysis because the IR models no
+// mutation (Section 5.6). Returns nodes removed.
+int common_subexpression_elimination(fx::GraphModule& gm);
+
+// Constant folding: nodes whose inputs are all parameters/constants are
+// evaluated ahead of time and replaced with get_attr to a "_folded_N"
+// buffer registered on the root. Returns nodes folded.
+int constant_fold(fx::GraphModule& gm);
+
+// Normalize call_function arguments: positional args after the first are
+// rewritten as kwargs using the operator's declared parameter names —
+// fx's NormalizeArgs pass (the capture itself never normalizes; footnote 1).
+// Returns nodes changed.
+int normalize_args(fx::GraphModule& gm);
+
+// Drop submodules of the root hierarchy that no call_module/get_attr Node
+// references any more (GraphModule.delete_all_unused_submodules) — e.g. the
+// BatchNorms left behind by fuse_conv_bn. Returns modules deleted.
+int delete_all_unused_submodules(fx::GraphModule& gm);
+
+}  // namespace fxcpp::passes

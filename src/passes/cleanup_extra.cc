@@ -1,0 +1,77 @@
+#include <set>
+
+#include "passes/cleanup.h"
+
+namespace fxcpp::passes {
+
+int normalize_args(fx::GraphModule& gm) {
+  int changed = 0;
+  for (fx::Node* n : gm.graph().nodes()) {
+    if (n->op() != fx::Opcode::CallFunction) continue;
+    const fx::OpInfo* info = fx::OpRegistry::functions().find(n->target());
+    if (!info) continue;
+    const auto& args = n->args();
+    if (args.size() <= 1) continue;
+    if (args.size() > info->param_names.size()) continue;  // varargs-ish op
+    std::vector<fx::Argument> new_args{args[0]};
+    fx::Kwargs kwargs;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      kwargs.emplace_back(info->param_names[i], args[i]);
+    }
+    for (const auto& kv : n->kwargs()) kwargs.push_back(kv);
+    n->set_args(std::move(new_args));
+    n->set_kwargs(std::move(kwargs));
+    ++changed;
+  }
+  if (changed > 0) {
+    gm.graph().lint();
+    gm.recompile();
+  }
+  return changed;
+}
+
+namespace {
+
+// Does any used path equal `prefix` or live beneath it?
+bool prefix_used(const std::set<std::string>& used, const std::string& prefix) {
+  auto it = used.lower_bound(prefix);
+  if (it != used.end() &&
+      (*it == prefix || it->rfind(prefix + ".", 0) == 0)) {
+    return true;
+  }
+  return false;
+}
+
+int prune(nn::Module& m, const std::set<std::string>& used,
+          const std::string& prefix) {
+  int removed = 0;
+  std::vector<std::string> to_delete;
+  for (const auto& [name, child] : m.children()) {
+    const std::string qual = prefix.empty() ? name : prefix + "." + name;
+    if (!prefix_used(used, qual)) {
+      to_delete.push_back(name);
+    } else {
+      removed += prune(*child, used, qual);
+    }
+  }
+  for (const auto& name : to_delete) {
+    m.delete_submodule(name);
+    ++removed;
+  }
+  return removed;
+}
+
+}  // namespace
+
+int delete_all_unused_submodules(fx::GraphModule& gm) {
+  if (!gm.root()) return 0;
+  std::set<std::string> used;
+  for (const fx::Node* n : gm.graph().nodes()) {
+    if (n->op() == fx::Opcode::CallModule || n->op() == fx::Opcode::GetAttr) {
+      used.insert(n->target());
+    }
+  }
+  return prune(*gm.root(), used, "");
+}
+
+}  // namespace fxcpp::passes

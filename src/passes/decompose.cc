@@ -1,0 +1,60 @@
+#include "passes/decompose.h"
+
+#include "core/functional.h"
+#include "nn/layers.h"
+
+namespace fxcpp::passes {
+
+namespace {
+
+using fx::Node;
+using fx::Opcode;
+using fx::Value;
+
+class BatchNormDecomposer : public fx::Transformer {
+ public:
+  using fx::Transformer::Transformer;
+
+ protected:
+  // y = (x - mean) * (gamma / sqrt(var + eps)) + beta, with the per-channel
+  // vectors reshaped to [C,1,1] so they broadcast over NCHW.
+  Value expand(const Value& x, const Value& gamma, const Value& beta,
+               const Value& mean, const Value& var, double eps) {
+    namespace fn = fx::fn;
+    const std::vector<std::int64_t> chan{-1, 1, 1};
+    Value inv = fn::div(gamma, fn::sqrt(fn::add(var, eps)));
+    Value scaled = fn::mul(fn::sub(x, fn::reshape(mean, chan)),
+                           fn::reshape(inv, chan));
+    return fn::add(scaled, fn::reshape(beta, chan));
+  }
+
+  Value call_function(const Node& n) override {
+    if (n.target() != "batch_norm") return Transformer::call_function(n);
+    const auto& a = n.args();
+    return expand(value_of(a.at(0).node()), value_of(a.at(1).node()),
+                  value_of(a.at(2).node()), value_of(a.at(3).node()),
+                  value_of(a.at(4).node()), a.at(5).as_double());
+  }
+
+  Value call_module(const Node& n) override {
+    auto m = source().resolve_module(n.target());
+    const auto* bn = dynamic_cast<const nn::BatchNorm2d*>(m.get());
+    if (!bn) return Transformer::call_module(n);
+    auto attr = [&](const char* name) {
+      return Value(tracer().create_proxy(Opcode::GetAttr,
+                                         n.target() + "." + name, {}, {}));
+    };
+    return expand(value_of(n.args().at(0).node()), attr("weight"),
+                  attr("bias"), attr("running_mean"), attr("running_var"),
+                  bn->eps());
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<fx::GraphModule> decompose_batch_norm(fx::GraphModule& gm) {
+  BatchNormDecomposer t(gm);
+  return t.transform();
+}
+
+}  // namespace fxcpp::passes

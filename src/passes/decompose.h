@@ -1,0 +1,17 @@
+// Decomposition pass built on fx::Transformer: expand batch_norm (both the
+// functional form and BatchNorm2d call_modules) into elementwise primitives
+// ((x - mean) / sqrt(var + eps) * gamma + beta). The standard fx.Transformer
+// demo — and a prerequisite for backends that only implement primitive ops.
+#pragma once
+
+#include <memory>
+
+#include "core/transformer.h"
+
+namespace fxcpp::passes {
+
+// Returns a new GraphModule with every batch_norm expanded; the input
+// GraphModule is left untouched.
+std::shared_ptr<fx::GraphModule> decompose_batch_norm(fx::GraphModule& gm);
+
+}  // namespace fxcpp::passes

@@ -1,0 +1,42 @@
+// FLOPs / memory-traffic / size estimation (Section 6.3): the basis of the
+// paper's "framework for simulation of deep learning inference at scale" —
+// estimating program runtime and memory consumption from the captured graph
+// instead of running on real devices.
+//
+// Requires ShapeProp to have annotated the graph first.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/graph_module.h"
+
+namespace fxcpp::passes {
+
+struct NodeCost {
+  const fx::Node* node = nullptr;
+  double flops = 0.0;          // multiply-accumulates counted as 2 ops
+  double bytes_read = 0.0;     // activations + parameters
+  double bytes_written = 0.0;  // output activations
+  double param_bytes = 0.0;
+};
+
+struct CostReport {
+  std::vector<NodeCost> per_node;
+  double total_flops = 0.0;
+  double total_bytes = 0.0;    // read + written
+  double param_bytes = 0.0;
+
+  // Predicted runtime on a roofline device model: max(compute, memory) time.
+  double estimate_seconds(double flops_per_sec, double bytes_per_sec) const;
+
+  std::string to_table() const;
+};
+
+// Estimate per-node costs. Nodes without shape metadata are skipped
+// (contributing zero), matching the "estimation over what was captured"
+// character of the paper's simulation framework.
+CostReport estimate_cost(const fx::GraphModule& gm);
+
+}  // namespace fxcpp::passes

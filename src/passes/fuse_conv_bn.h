@@ -1,0 +1,33 @@
+// Convolution/Batch-Norm fusion (Section 6.2.2, Figure 7).
+//
+// During inference a Conv2d -> BatchNorm2d sequence collapses into a single
+// convolution by folding the normalization's affine transform into the conv
+// weights and bias (Markus, 2018). This is the paper's flagship example of a
+// transform needing BOTH non-local program context (who consumes the conv?)
+// and state modification (rewrite the weights) — exactly what GraphModule
+// bundles together (Section 5.6). The whole transform is ~100 lines here,
+// matching the paper's "fewer than 150 lines of Python" observation.
+#pragma once
+
+#include "core/graph_module.h"
+
+namespace fxcpp::passes {
+
+// Compute fused (weight, bias) for conv parameters followed by batch norm
+// with the given statistics. Exposed for direct unit testing.
+struct FusedConvParams {
+  Tensor weight;
+  Tensor bias;
+};
+FusedConvParams fuse_conv_bn_weights(const Tensor& conv_w, const Tensor& conv_b,
+                                     const Tensor& bn_mean, const Tensor& bn_var,
+                                     const Tensor& bn_w, const Tensor& bn_b,
+                                     double eps);
+
+// Fuse every call_module Conv2d -> call_module BatchNorm2d pair where the
+// conv's only consumer is the BN. Replaces the conv module with a fused
+// Conv2d (bias added if absent), rewires users of the BN to the conv node,
+// and erases the BN call. Returns the number of pairs fused.
+int fuse_conv_bn(fx::GraphModule& gm);
+
+}  // namespace fxcpp::passes

@@ -1,0 +1,50 @@
+#include "passes/graph_drawer.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace fxcpp::passes {
+
+namespace {
+const char* color_for(fx::Opcode op) {
+  switch (op) {
+    case fx::Opcode::Placeholder: return "lightblue";
+    case fx::Opcode::CallFunction: return "lightyellow";
+    case fx::Opcode::CallMethod: return "khaki";
+    case fx::Opcode::CallModule: return "lightgreen";
+    case fx::Opcode::GetAttr: return "lightgray";
+    case fx::Opcode::Output: return "salmon";
+  }
+  return "white";
+}
+}  // namespace
+
+std::string to_dot(const fx::GraphModule& gm, const std::string& title) {
+  std::ostringstream os;
+  os << "digraph \"" << title << "\" {\n"
+     << "  rankdir=TB;\n  node [shape=box, style=filled, fontname=\"monospace\"];\n";
+  for (const fx::Node* n : gm.graph().nodes()) {
+    os << "  \"" << n->name() << "\" [fillcolor=" << color_for(n->op())
+       << ", label=\"" << n->name() << "\\n" << fx::opcode_name(n->op());
+    if (n->op() != fx::Opcode::Placeholder && n->op() != fx::Opcode::Output) {
+      os << "\\ntarget=" << n->target();
+    }
+    if (n->has_shape()) os << "\\n" << shape_str(n->shape());
+    os << "\"];\n";
+  }
+  for (const fx::Node* n : gm.graph().nodes()) {
+    for (const fx::Node* in : n->input_nodes()) {
+      os << "  \"" << in->name() << "\" -> \"" << n->name() << "\";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void write_dot(const fx::GraphModule& gm, const std::string& path,
+               const std::string& title) {
+  std::ofstream f(path);
+  f << to_dot(gm, title);
+}
+
+}  // namespace fxcpp::passes

@@ -1,0 +1,20 @@
+// fx.graph_drawer (Section 6.3): Graphviz DOT rendering of the captured DAG
+// — "a commonly-requested way of understanding a deep learning program via a
+// visual representation".
+#pragma once
+
+#include <string>
+
+#include "core/graph_module.h"
+
+namespace fxcpp::passes {
+
+// DOT source for the graph; nodes are colored by opcode and labeled with
+// name/target plus shape metadata when ShapeProp has run.
+std::string to_dot(const fx::GraphModule& gm, const std::string& title = "fx");
+
+// Render to a .dot file (feed to `dot -Tpng` where Graphviz is available).
+void write_dot(const fx::GraphModule& gm, const std::string& path,
+               const std::string& title = "fx");
+
+}  // namespace fxcpp::passes

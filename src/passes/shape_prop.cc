@@ -1,0 +1,25 @@
+#include "passes/shape_prop.h"
+
+namespace fxcpp::passes {
+
+fx::RtValue ShapeProp::run_node(const fx::Node& n) {
+  fx::RtValue out = fx::Interpreter::run_node(n);
+  if (fx::rt_is_tensor(out)) {
+    const Tensor& t = fx::rt_tensor(out);
+    // const_cast: interpreting passes annotate the graph they run over.
+    auto& node = const_cast<fx::Node&>(n);
+    node.set_meta("shape", t.sizes());
+    node.set_meta("dtype", t.dtype());
+  }
+  return out;
+}
+
+void shape_prop(fx::GraphModule& gm, const std::vector<Tensor>& inputs) {
+  ShapeProp sp(gm);
+  std::vector<fx::RtValue> rt;
+  rt.reserve(inputs.size());
+  for (const auto& t : inputs) rt.emplace_back(t);
+  sp.run(std::move(rt));
+}
+
+}  // namespace fxcpp::passes

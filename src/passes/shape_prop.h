@@ -1,0 +1,25 @@
+// ShapeProp — the paper's canonical fx.passes.shape_prop (Section 6.3):
+// "a naive implementation of shape analysis by interpreting the graph and
+// recording the observed shapes."
+//
+// Because the IR is a basic block (Section 5.5), this is a single forward
+// interpretation — no fixpoint, no lattice, no join function.
+#pragma once
+
+#include "core/interpreter.h"
+
+namespace fxcpp::passes {
+
+class ShapeProp : public fx::Interpreter {
+ public:
+  using fx::Interpreter::Interpreter;
+
+  // Runs the graph on the example input(s) and annotates every Node that
+  // produced a Tensor with meta["shape"] and meta["dtype"].
+  fx::RtValue run_node(const fx::Node& n) override;
+};
+
+// Convenience: propagate shapes through `gm` with the given example inputs.
+void shape_prop(fx::GraphModule& gm, const std::vector<Tensor>& inputs);
+
+}  // namespace fxcpp::passes

@@ -1,0 +1,60 @@
+// Symbolic shape propagation — one of the "additional systems ... in
+// development" the paper lists beside naive shape_prop (Section 6.3), and
+// the machinery behind the Figure 4 discussion: on a basic-block IR a single
+// forward transfer suffices, while control flow forces a fixpoint analysis
+// whose join can diverge to "dynamic".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/graph_module.h"
+
+namespace fxcpp::passes {
+
+// A dimension that is either statically known or dynamic (unknown).
+struct SymDim {
+  static SymDim known(std::int64_t v) { return SymDim{true, v}; }
+  static SymDim dynamic() { return SymDim{false, -1}; }
+
+  bool is_known = false;
+  std::int64_t value = -1;
+
+  bool operator==(const SymDim& o) const {
+    return is_known == o.is_known && (!is_known || value == o.value);
+  }
+  std::string str() const {
+    return is_known ? std::to_string(value) : "*dynamic*";
+  }
+};
+
+using SymShape = std::vector<SymDim>;
+
+std::string sym_shape_str(const SymShape& s);
+SymShape sym_of(const Shape& s);
+
+// Lattice join: dims that disagree become dynamic; rank mismatch joins to a
+// fully-dynamic shape of unknown rank (empty optional).
+std::optional<SymShape> join(const SymShape& a, const SymShape& b);
+
+// Forward-propagate symbolic shapes through a (basic block) fx graph given
+// one symbolic shape per placeholder. Annotates each tensor-producing node
+// with meta["sym_shape"] (stringified) and returns the output node's shape.
+// Single pass — the payoff of Section 5.5's no-control-flow decision.
+SymShape propagate_symbolic(fx::GraphModule& gm,
+                            const std::vector<SymShape>& input_shapes);
+
+// Figure 4: the loop `for _ in range(itr): x = cat((x, x), dim=0)` as a
+// fixpoint problem. Repeatedly applies the body transfer function and joins
+// with the accumulated state until convergence (returns iterations taken)
+// or divergence to dynamic in the loop-carried dimension.
+struct LoopAnalysis {
+  SymShape result;
+  int iterations = 0;
+  bool converged = false;
+};
+LoopAnalysis analyze_loop_cat(const SymShape& init, int cat_dim,
+                              int max_iterations = 64);
+
+}  // namespace fxcpp::passes

@@ -1,0 +1,40 @@
+// Gradual shape typing — the paper's third shape-analysis flavor
+// (Section 6.3: "shape propagation via gradual typing semantics ... in
+// development"; later published as the Migeed et al. gradual typing work).
+//
+// Each tensor gets a gradual shape type: fully known, partially known
+// (some dims dynamic), or fully unknown (the gradual "Any"). The checker
+// propagates types forward and *checks consistency* at every operation:
+// known-vs-known mismatches are errors, anything involving an unknown dim
+// is accepted (the gradual guarantee). Unlike ShapeProp it needs no example
+// input and runs on programs that would crash eagerly.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/graph_module.h"
+#include "passes/symbolic_shapes.h"
+
+namespace fxcpp::passes {
+
+struct TypeError {
+  const fx::Node* node = nullptr;
+  std::string message;
+};
+
+struct TypeCheckResult {
+  bool ok() const { return errors.empty(); }
+  std::vector<TypeError> errors;
+  // Inferred output type (empty optional = unknown rank).
+  std::optional<SymShape> output;
+  std::string to_string() const;
+};
+
+// Check `gm` against the given input types. Use std::nullopt for a fully
+// unknown input (gradual Any); SymDim::dynamic() for unknown single dims.
+TypeCheckResult type_check(fx::GraphModule& gm,
+                           const std::vector<std::optional<SymShape>>& inputs);
+
+}  // namespace fxcpp::passes

@@ -1,0 +1,48 @@
+#include "quant/modules.h"
+
+namespace fxcpp::quant {
+
+QuantizedLinear::QuantizedLinear(const nn::Linear& src, QParams out_qparams,
+                                 bool per_channel)
+    : nn::Module("QuantizedLinear", /*builtin=*/true), out_q_(out_qparams) {
+  const Tensor w = src.param("weight");
+  const Tensor b = src.has_bias() ? src.param("bias") : Tensor();
+  packed_ = per_channel ? ops::PackedLinearWeight::pack_per_channel(w, b)
+                        : ops::PackedLinearWeight::pack(w, b);
+  // Expose packed state for inspection / parameter counting.
+  register_buffer("weight_int8", packed_.w_q);
+  if (packed_.bias.defined()) register_buffer("bias", packed_.bias);
+}
+
+fx::Value QuantizedLinear::forward(const std::vector<fx::Value>& inputs) {
+  return fx::Value(ops::quantized_linear(inputs.at(0).tensor(), packed_,
+                                         out_q_.scale, out_q_.zero_point));
+}
+
+QuantizedConv2d::QuantizedConv2d(const nn::Conv2d& src, QParams out_qparams)
+    : nn::Module("QuantizedConv2d", /*builtin=*/true), out_q_(out_qparams) {
+  packed_ = ops::PackedConvWeight::pack(
+      src.param("weight"), src.has_bias() ? src.param("bias") : Tensor(),
+      src.stride(), src.padding());
+  register_buffer("weight_int8", packed_.w_q);
+  if (packed_.bias.defined()) register_buffer("bias", packed_.bias);
+}
+
+fx::Value QuantizedConv2d::forward(const std::vector<fx::Value>& inputs) {
+  return fx::Value(ops::quantized_conv2d(inputs.at(0).tensor(), packed_,
+                                         out_q_.scale, out_q_.zero_point));
+}
+
+QuantizedUnary::QuantizedUnary(std::string op_name, float (*f)(float),
+                               QParams out_qparams)
+    : nn::Module("Quantized" + op_name, /*builtin=*/true),
+      op_(std::move(op_name)),
+      f_(f),
+      out_q_(out_qparams) {}
+
+fx::Value QuantizedUnary::forward(const std::vector<fx::Value>& inputs) {
+  return fx::Value(ops::quantized_unary_lut(inputs.at(0).tensor(), f_,
+                                            out_q_.scale, out_q_.zero_point));
+}
+
+}  // namespace fxcpp::quant

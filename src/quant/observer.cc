@@ -1,0 +1,147 @@
+#include "quant/observer.h"
+
+namespace fxcpp::quant {
+
+void Observer::observe(const Tensor& t) {
+  const std::int64_t n = t.numel();
+  const Tensor tc = t.contiguous();
+  const float* p = tc.data<float>();
+  double mn = min_, mx = max_;
+  for (std::int64_t i = 0; i < n; ++i) {
+    mn = std::min(mn, static_cast<double>(p[i]));
+    mx = std::max(mx, static_cast<double>(p[i]));
+  }
+  min_ = mn;
+  max_ = mx;
+  observed_ = true;
+}
+
+fx::Value Observer::forward(const std::vector<fx::Value>& inputs) {
+  const fx::Value& x = inputs.at(0);
+  if (x.is_tensor()) observe(x.tensor());
+  return x;
+}
+
+QParams Observer::qparams() const {
+  if (!observed_) {
+    throw std::logic_error(
+        "Observer has no statistics; run calibration batches first");
+  }
+  return ops::choose_qparams(min_, max_);
+}
+
+fx::Value FakeQuantObserver::forward(const std::vector<fx::Value>& inputs) {
+  const fx::Value& x = inputs.at(0);
+  if (!x.is_tensor()) return x;
+  observe(x.tensor());
+  const QParams q = qparams();
+  // Snap to the quantized grid: quantize then dequantize.
+  return fx::Value(ops::dequantize(
+      ops::quantize_per_tensor(x.tensor(), q.scale, q.zero_point)));
+}
+
+
+fx::Value MovingAverageObserver::forward(const std::vector<fx::Value>& inputs) {
+  const fx::Value& x = inputs.at(0);
+  if (!x.is_tensor()) return x;
+  observe(x.tensor());
+  // Batch-local extrema.
+  const Tensor tc = x.tensor().contiguous();
+  const float* p = tc.data<float>();
+  double mn = p[0], mx = p[0];
+  for (std::int64_t i = 1; i < tc.numel(); ++i) {
+    mn = std::min(mn, static_cast<double>(p[i]));
+    mx = std::max(mx, static_cast<double>(p[i]));
+  }
+  if (!ema_init_) {
+    ema_min_ = mn;
+    ema_max_ = mx;
+    ema_init_ = true;
+  } else {
+    ema_min_ += momentum_ * (mn - ema_min_);
+    ema_max_ += momentum_ * (mx - ema_max_);
+  }
+  return x;
+}
+
+QParams MovingAverageObserver::qparams_ema() const {
+  if (!ema_init_) return Observer::qparams();
+  return ops::choose_qparams(ema_min_, ema_max_);
+}
+
+HistogramObserver::HistogramObserver(double lo_pct, double hi_pct, int bins)
+    : lo_pct_(lo_pct), hi_pct_(hi_pct),
+      counts_(static_cast<std::size_t>(bins), 0.0) {}
+
+void HistogramObserver::add_histogram(const Tensor& t) {
+  const Tensor tc = t.contiguous();
+  const float* p = tc.data<float>();
+  const std::int64_t n = tc.numel();
+  if (n == 0) return;
+  double mn = p[0], mx = p[0];
+  for (std::int64_t i = 1; i < n; ++i) {
+    mn = std::min(mn, static_cast<double>(p[i]));
+    mx = std::max(mx, static_cast<double>(p[i]));
+  }
+  if (!h_init_) {
+    h_lo_ = mn;
+    h_hi_ = mx + 1e-12;
+    h_init_ = true;
+  } else if (mn < h_lo_ || mx > h_hi_) {
+    // Grow the range and redistribute existing mass into the new bins.
+    const double new_lo = std::min(mn, h_lo_);
+    const double new_hi = std::max(mx, h_hi_) + 1e-12;
+    std::vector<double> next(counts_.size(), 0.0);
+    const double old_w = (h_hi_ - h_lo_) / static_cast<double>(counts_.size());
+    const double new_w = (new_hi - new_lo) / static_cast<double>(next.size());
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+      if (counts_[b] == 0.0) continue;
+      const double center = h_lo_ + (static_cast<double>(b) + 0.5) * old_w;
+      auto idx = static_cast<std::size_t>((center - new_lo) / new_w);
+      if (idx >= next.size()) idx = next.size() - 1;
+      next[idx] += counts_[b];
+    }
+    counts_ = std::move(next);
+    h_lo_ = new_lo;
+    h_hi_ = new_hi;
+  }
+  const double w = (h_hi_ - h_lo_) / static_cast<double>(counts_.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto idx = static_cast<std::size_t>((p[i] - h_lo_) / w);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;
+    counts_[idx] += 1.0;
+  }
+}
+
+fx::Value HistogramObserver::forward(const std::vector<fx::Value>& inputs) {
+  const fx::Value& x = inputs.at(0);
+  if (x.is_tensor()) {
+    observe(x.tensor());
+    add_histogram(x.tensor());
+  }
+  return x;
+}
+
+QParams HistogramObserver::qparams_percentile() const {
+  if (!h_init_) return Observer::qparams();
+  double total = 0.0;
+  for (double c : counts_) total += c;
+  const double w = (h_hi_ - h_lo_) / static_cast<double>(counts_.size());
+  double acc = 0.0;
+  double lo = h_lo_, hi = h_hi_;
+  bool lo_set = false;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    acc += counts_[b];
+    if (!lo_set && acc >= lo_pct_ * total) {
+      lo = h_lo_ + static_cast<double>(b) * w;
+      lo_set = true;
+    }
+    if (acc >= hi_pct_ * total) {
+      hi = h_lo_ + (static_cast<double>(b) + 1.0) * w;
+      break;
+    }
+  }
+  return ops::choose_qparams(lo, hi);
+}
+
+}  // namespace fxcpp::quant

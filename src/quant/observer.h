@@ -1,0 +1,90 @@
+// Observers — phase (1) of the paper's Post-Training Quantization procedure
+// (Section 6.2.1): "instruments the program with 'observer' objects that
+// record statistical information about the floating-point values contained
+// in Tensor values at various points in the program."
+#pragma once
+
+#include <limits>
+#include <memory>
+
+#include "core/module.h"
+#include "tensor/quantized.h"
+
+namespace fxcpp::quant {
+
+// Identity module recording the min/max of everything flowing through it.
+// Inserted as call_module Nodes by prepare(); read back by convert().
+class Observer : public nn::Module {
+ public:
+  Observer() : nn::Module("Observer", /*builtin=*/true) {}
+
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+
+  bool observed() const { return observed_; }
+  double min_val() const { return min_; }
+  double max_val() const { return max_; }
+
+  // Affine activation parameters covering the observed range.
+  QParams qparams() const;
+
+ protected:
+  void observe(const Tensor& t);
+
+ private:
+  bool observed_ = false;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// "Fake quantize" observer for Quantization-Aware Training (the paper's
+// phase-1/2 analog with QAT): records statistics AND snaps values to their
+// quantized grid so training sees quantized numerics.
+class FakeQuantObserver : public Observer {
+ public:
+  FakeQuantObserver() { /* kind stays Observer-compatible */ }
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+};
+
+// Exponential-moving-average min/max observer — smooths batch-to-batch
+// range noise during QAT-style calibration (torch.ao's
+// MovingAverageMinMaxObserver).
+class MovingAverageObserver : public Observer {
+ public:
+  explicit MovingAverageObserver(double momentum = 0.1)
+      : momentum_(momentum) {}
+
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+  QParams qparams_ema() const;
+  double ema_min() const { return ema_min_; }
+  double ema_max() const { return ema_max_; }
+
+ private:
+  double momentum_;
+  double ema_min_ = 0.0, ema_max_ = 0.0;
+  bool ema_init_ = false;
+};
+
+// Histogram observer: accumulates a fixed-bin histogram of observed values
+// (rebinned when the range grows) and picks quantization parameters from
+// percentiles instead of the raw min/max — robust to activation outliers,
+// like torch.ao's HistogramObserver.
+class HistogramObserver : public Observer {
+ public:
+  explicit HistogramObserver(double lo_pct = 0.001, double hi_pct = 0.999,
+                             int bins = 512);
+
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
+
+  // Percentile-clipped parameters (falls back to min/max until data seen).
+  QParams qparams_percentile() const;
+
+ private:
+  void add_histogram(const Tensor& t);
+
+  double lo_pct_, hi_pct_;
+  std::vector<double> counts_;
+  double h_lo_ = 0.0, h_hi_ = 0.0;
+  bool h_init_ = false;
+};
+
+}  // namespace fxcpp::quant

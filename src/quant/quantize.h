@@ -1,0 +1,46 @@
+// FX Graph Mode Quantization — the paper's Section 6.2.1 workflow:
+//
+//   1. prepare():  instrument the traced graph with observers
+//   2. calibrate(): feed batches to populate them
+//   3. convert():  fold statistics into scales/zero-points, swap float
+//                  modules for int8 ones, insert quantize/dequantize at the
+//                  float/int8 boundaries
+//
+// "Quantization makes use of torch.fx's Graph and GraphModule to
+// simultaneously modify the program code and weight values" — convert()
+// does exactly that: graph rewrite + module-hierarchy surgery in one pass.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/graph_module.h"
+#include "core/tracer.h"
+#include "quant/observer.h"
+
+namespace fxcpp::quant {
+
+struct QConfig {
+  // Use fake-quantize observers (QAT numerics during calibration).
+  bool fake_quant = false;
+  // Per-channel (per output row) weight scales for Linear layers — the
+  // FBGEMM default; per-tensor otherwise.
+  bool per_channel_weights = true;
+};
+
+// Phase 1: insert an Observer after every placeholder and every quantizable
+// producer. Returns the number of observers inserted.
+int prepare(fx::GraphModule& gm, const QConfig& cfg = {});
+
+// Phase 2: run calibration batches through the instrumented module.
+void calibrate(fx::GraphModule& gm, const std::vector<Tensor>& batches);
+
+// Phase 3: rewrite to int8. Returns the number of ops converted.
+int convert(fx::GraphModule& gm, const QConfig& cfg = {});
+
+// Convenience pipeline: trace -> prepare -> calibrate -> convert.
+std::shared_ptr<fx::GraphModule> quantize_model(
+    nn::Module::Ptr model, const std::vector<Tensor>& calibration,
+    const QConfig& cfg = {});
+
+}  // namespace fxcpp::quant

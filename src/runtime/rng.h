@@ -1,0 +1,42 @@
+// Deterministic random number generation for tensor initialization and
+// workload synthesis. A fixed default seed keeps tests and benchmark
+// workloads reproducible across runs.
+#pragma once
+
+#include <cstdint>
+
+namespace fxcpp::rt {
+
+// xoshiro256** — small, fast, high-quality; plays the role torch's default
+// generator plays for weight init and synthetic data in the experiments.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EEDF00Dull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  // Uniform 64-bit integer.
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Standard normal via Box-Muller.
+  double normal();
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t randint(std::int64_t lo, std::int64_t hi);
+
+  // Process-wide generator used by tensor factory functions.
+  static Rng& global();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace fxcpp::rt

@@ -1,0 +1,119 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace fxcpp::rt {
+
+namespace {
+std::atomic<int> g_num_threads{0};  // 0 = uninitialized, use hw concurrency
+
+int default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+}  // namespace
+
+ThreadPool::ThreadPool(int num_workers) {
+  workers_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return done_ || !tasks_.empty(); });
+      if (done_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  // One pool per configured size; rebuilding on resize keeps the common case
+  // (size never changes after startup) lock-free at call sites.
+  static std::mutex mu;
+  static std::unique_ptr<ThreadPool> pool;
+  static int pool_size = -1;
+  std::lock_guard<std::mutex> lock(mu);
+  const int want = get_num_threads();
+  if (!pool || pool_size != want) {
+    pool.reset();
+    pool = std::make_unique<ThreadPool>(want);
+    pool_size = want;
+  }
+  return *pool;
+}
+
+void set_num_threads(int n) { g_num_threads.store(n < 1 ? 1 : n); }
+
+int get_num_threads() {
+  int n = g_num_threads.load();
+  if (n == 0) {
+    n = default_threads();
+    g_num_threads.store(n);
+  }
+  return n;
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (end <= begin) return;
+  const std::int64_t range = end - begin;
+  const int threads = get_num_threads();
+  if (threads <= 1 || range <= grain) {
+    fn(begin, end);
+    return;
+  }
+  std::int64_t chunks = (range + grain - 1) / grain;
+  if (chunks > threads) chunks = threads;
+  const std::int64_t chunk = (range + chunks - 1) / chunks;
+
+  std::atomic<std::int64_t> remaining{chunks};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  ThreadPool& pool = ThreadPool::global();
+  for (std::int64_t c = 1; c < chunks; ++c) {
+    const std::int64_t b = begin + c * chunk;
+    const std::int64_t e = std::min(end, b + chunk);
+    pool.submit([&, b, e] {
+      fn(b, e);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_one();
+      }
+    });
+  }
+  // The caller participates in chunk 0.
+  fn(begin, std::min(end, begin + chunk));
+  if (remaining.fetch_sub(1) != 1) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return remaining.load() == 0; });
+  }
+}
+
+}  // namespace fxcpp::rt

@@ -1,0 +1,64 @@
+// Intra-op parallelism runtime.
+//
+// Mirrors the role of ATen's intra-op thread pool in PyTorch: tensor kernels
+// call parallel_for() and the global thread-count knob plays the role of
+// OMP_NUM_THREADS in the paper's Conv-BN fusion experiment (Appendix C,
+// "Threaded" vs "Unthreaded" rows).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fxcpp::rt {
+
+// A fixed-size worker pool executing submitted closures.
+//
+// The pool is lazily constructed on first use via ThreadPool::global() and
+// resized when set_num_threads() changes the configured parallelism.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Number of worker threads (not counting the caller).
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Schedule `fn` on a worker. Never blocks on task completion.
+  void submit(std::function<void()> fn);
+
+  // Process-wide pool sized to the current intra-op thread setting.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+};
+
+// Set the number of threads used by parallel tensor kernels. `n >= 1`.
+// n == 1 disables the pool entirely (kernels run inline on the caller),
+// reproducing the paper's OMP_NUM_THREADS=1 configuration.
+void set_num_threads(int n);
+
+// Current intra-op thread setting (defaults to hardware_concurrency).
+int get_num_threads();
+
+// Run fn(begin, end) over [begin, end) split into roughly equal chunks of at
+// least `grain` iterations, using the intra-op pool. Blocks until all chunks
+// complete. With one thread configured (or a tiny range) runs inline.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace fxcpp::rt

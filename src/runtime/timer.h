@@ -1,0 +1,52 @@
+// Wall-clock timing and summary statistics used by the benchmark harnesses
+// to report the mean/stdev rows of the paper's Appendices B-D.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace fxcpp::rt {
+
+// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  // Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Mean / sample-standard-deviation summary of repeated trials, matching the
+// "Runtime / stdev" columns of the paper's numeric appendices.
+struct TrialStats {
+  double mean = 0.0;
+  double stdev = 0.0;
+  std::size_t n = 0;
+};
+
+inline TrialStats summarize(const std::vector<double>& samples) {
+  TrialStats s;
+  s.n = samples.size();
+  if (s.n == 0) return s;
+  double sum = 0.0;
+  for (double x : samples) sum += x;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n > 1) {
+    double acc = 0.0;
+    for (double x : samples) acc += (x - s.mean) * (x - s.mean);
+    s.stdev = std::sqrt(acc / static_cast<double>(s.n - 1));
+  }
+  return s;
+}
+
+}  // namespace fxcpp::rt

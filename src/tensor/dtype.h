@@ -1,0 +1,61 @@
+// Element types supported by the tensor library.
+//
+// Float32 is the working precision of every model in the paper; Int8 (with
+// affine quantization parameters carried on the Tensor) backs the FBGEMM-like
+// quantized kernels used in the Section 6.2.1 experiment.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fxcpp {
+
+enum class DType : std::uint8_t {
+  Float32,
+  Float64,
+  Int64,
+  Int32,
+  Int8,
+  UInt8,
+  Bool,
+};
+
+inline std::size_t dtype_size(DType dt) {
+  switch (dt) {
+    case DType::Float32: return 4;
+    case DType::Float64: return 8;
+    case DType::Int64: return 8;
+    case DType::Int32: return 4;
+    case DType::Int8: return 1;
+    case DType::UInt8: return 1;
+    case DType::Bool: return 1;
+  }
+  return 0;
+}
+
+inline const char* dtype_name(DType dt) {
+  switch (dt) {
+    case DType::Float32: return "float32";
+    case DType::Float64: return "float64";
+    case DType::Int64: return "int64";
+    case DType::Int32: return "int32";
+    case DType::Int8: return "int8";
+    case DType::UInt8: return "uint8";
+    case DType::Bool: return "bool";
+  }
+  return "?";
+}
+
+// Maps a C++ scalar type to its DType tag (compile-time).
+template <typename T>
+struct dtype_of;
+template <> struct dtype_of<float> { static constexpr DType value = DType::Float32; };
+template <> struct dtype_of<double> { static constexpr DType value = DType::Float64; };
+template <> struct dtype_of<std::int64_t> { static constexpr DType value = DType::Int64; };
+template <> struct dtype_of<std::int32_t> { static constexpr DType value = DType::Int32; };
+template <> struct dtype_of<std::int8_t> { static constexpr DType value = DType::Int8; };
+template <> struct dtype_of<std::uint8_t> { static constexpr DType value = DType::UInt8; };
+template <> struct dtype_of<bool> { static constexpr DType value = DType::Bool; };
+
+}  // namespace fxcpp

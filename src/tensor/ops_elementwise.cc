@@ -1,0 +1,156 @@
+#include <cmath>
+#include <functional>
+
+#include "runtime/rng.h"
+#include "runtime/thread_pool.h"
+#include "tensor/ops.h"
+
+namespace fxcpp::ops {
+
+namespace {
+
+// Apply `f` elementwise to a contiguous fp32 tensor.
+template <typename F>
+Tensor unary_map(const Tensor& x, F f) {
+  const Tensor xc = x.contiguous();
+  Tensor out(xc.sizes(), DType::Float32);
+  const float* in = xc.data<float>();
+  float* o = out.data<float>();
+  const std::int64_t n = xc.numel();
+  for (std::int64_t i = 0; i < n; ++i) o[i] = f(in[i]);
+  return out;
+}
+
+// General broadcasting binary op. Fast paths: identical shapes, and
+// trailing-dim broadcast (e.g. bias add).
+template <typename F>
+Tensor binary_map(const Tensor& a, const Tensor& b, F f) {
+  const Tensor ac = a.contiguous();
+  const Tensor bc = b.contiguous();
+  const Shape out_shape = broadcast_shapes(ac.sizes(), bc.sizes());
+  Tensor out(out_shape, DType::Float32);
+  float* o = out.data<float>();
+  const float* pa = ac.data<float>();
+  const float* pb = bc.data<float>();
+  const std::int64_t n = out.numel();
+
+  if (ac.sizes() == bc.sizes()) {
+    for (std::int64_t i = 0; i < n; ++i) o[i] = f(pa[i], pb[i]);
+    return out;
+  }
+  if (bc.numel() == 1) {
+    const float s = pb[0];
+    for (std::int64_t i = 0; i < n; ++i) o[i] = f(pa[i], s);
+    return out;
+  }
+  if (ac.numel() == 1) {
+    const float s = pa[0];
+    for (std::int64_t i = 0; i < n; ++i) o[i] = f(s, pb[i]);
+    return out;
+  }
+  // Trailing-dim broadcast: a [.., D] (+) b [D].
+  if (ac.sizes() == out_shape && bc.dim() == 1 &&
+      bc.size(0) == out_shape.back()) {
+    const std::int64_t d = bc.size(0);
+    for (std::int64_t i = 0; i < n; ++i) o[i] = f(pa[i], pb[i % d]);
+    return out;
+  }
+  // Generic path: index arithmetic per element.
+  const Strides so = contiguous_strides(out_shape);
+  const std::size_t nd = out_shape.size();
+  auto offset_for = [&](const Tensor& t, std::int64_t flat) {
+    const Shape& ts = t.sizes();
+    const Strides tst = contiguous_strides(ts);
+    std::int64_t off = 0;
+    const std::size_t tnd = ts.size();
+    for (std::size_t d = 0; d < nd; ++d) {
+      const std::int64_t coord = (flat / so[d]) % out_shape[d];
+      if (d + tnd >= nd) {
+        const std::size_t td = d + tnd - nd;
+        off += (ts[td] == 1 ? 0 : coord) * tst[td];
+      }
+    }
+    return off;
+  };
+  for (std::int64_t i = 0; i < n; ++i) {
+    o[i] = f(pa[offset_for(ac, i)], pb[offset_for(bc, i)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_map(a, b, [](float x, float y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_map(a, b, [](float x, float y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_map(a, b, [](float x, float y) { return x * y; });
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_map(a, b, [](float x, float y) { return x / y; });
+}
+
+Tensor add(const Tensor& a, double s) {
+  const float v = static_cast<float>(s);
+  return unary_map(a, [v](float x) { return x + v; });
+}
+Tensor sub(const Tensor& a, double s) { return add(a, -s); }
+Tensor mul(const Tensor& a, double s) {
+  const float v = static_cast<float>(s);
+  return unary_map(a, [v](float x) { return x * v; });
+}
+Tensor div(const Tensor& a, double s) { return mul(a, 1.0 / s); }
+
+Tensor neg(const Tensor& x) {
+  return unary_map(x, [](float v) { return -v; });
+}
+Tensor relu(const Tensor& x) {
+  return unary_map(x, [](float v) { return v > 0.f ? v : 0.f; });
+}
+Tensor gelu(const Tensor& x) {
+  return unary_map(x, [](float v) {
+    return 0.5f * v * (1.f + std::erf(v * 0.70710678118654752440f));
+  });
+}
+Tensor sigmoid(const Tensor& x) {
+  return unary_map(x, [](float v) { return 1.f / (1.f + std::exp(-v)); });
+}
+Tensor tanh(const Tensor& x) {
+  return unary_map(x, [](float v) { return std::tanh(v); });
+}
+Tensor selu(const Tensor& x) {
+  constexpr float kAlpha = 1.6732632423543772848170429916717f;
+  constexpr float kLambda = 1.0507009873554804934193349852946f;
+  return unary_map(x, [](float v) {
+    return v > 0.f ? kLambda * v : kLambda * kAlpha * (std::exp(v) - 1.f);
+  });
+}
+Tensor exp(const Tensor& x) {
+  return unary_map(x, [](float v) { return std::exp(v); });
+}
+Tensor sqrt(const Tensor& x) {
+  return unary_map(x, [](float v) { return std::sqrt(v); });
+}
+Tensor abs(const Tensor& x) {
+  return unary_map(x, [](float v) { return std::fabs(v); });
+}
+
+Tensor dropout(const Tensor& x, double p, bool training) {
+  if (!training || p <= 0.0) return x.clone();
+  const float scale = static_cast<float>(1.0 / (1.0 - p));
+  auto& rng = rt::Rng::global();
+  const Tensor xc = x.contiguous();
+  Tensor out(xc.sizes(), DType::Float32);
+  const float* in = xc.data<float>();
+  float* o = out.data<float>();
+  const std::int64_t n = xc.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    o[i] = rng.uniform() < p ? 0.f : in[i] * scale;
+  }
+  return out;
+}
+
+}  // namespace fxcpp::ops

@@ -1,0 +1,246 @@
+#include <cmath>
+#include <cstring>
+
+#include "runtime/thread_pool.h"
+#include "tensor/ops.h"
+
+namespace fxcpp::ops {
+
+Tensor batch_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                  const Tensor& running_mean, const Tensor& running_var,
+                  double eps) {
+  const Tensor xc = x.contiguous();
+  if (xc.dim() < 2) throw std::invalid_argument("batch_norm: need >= 2 dims");
+  const std::int64_t n = xc.size(0), c = xc.size(1);
+  const std::int64_t spatial = xc.numel() / (n * c);
+  if (gamma.numel() != c || beta.numel() != c || running_mean.numel() != c ||
+      running_var.numel() != c) {
+    throw std::invalid_argument("batch_norm: parameter size mismatch");
+  }
+  Tensor out(xc.sizes(), DType::Float32);
+  const Tensor g = gamma.contiguous(), b = beta.contiguous(),
+               m = running_mean.contiguous(), v = running_var.contiguous();
+  const float* gp = g.data<float>();
+  const float* bp = b.data<float>();
+  const float* mp = m.data<float>();
+  const float* vp = v.data<float>();
+  const float* in = xc.data<float>();
+  float* o = out.data<float>();
+  // Precompute per-channel scale/shift: y = x*s + t.
+  std::vector<float> scale(static_cast<std::size_t>(c)), shift(static_cast<std::size_t>(c));
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const float s = gp[ch] / std::sqrt(vp[ch] + static_cast<float>(eps));
+    scale[static_cast<std::size_t>(ch)] = s;
+    shift[static_cast<std::size_t>(ch)] = bp[ch] - mp[ch] * s;
+  }
+  rt::parallel_for(0, n * c, 4, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t plane = p0; plane < p1; ++plane) {
+      const std::int64_t ch = plane % c;
+      const float s = scale[static_cast<std::size_t>(ch)];
+      const float t = shift[static_cast<std::size_t>(ch)];
+      const float* ip = in + plane * spatial;
+      float* op = o + plane * spatial;
+      for (std::int64_t i = 0; i < spatial; ++i) op[i] = ip[i] * s + t;
+    }
+  });
+  return out;
+}
+
+Tensor batch_norm_train(const Tensor& x, const Tensor& gamma,
+                        const Tensor& beta, Tensor& running_mean,
+                        Tensor& running_var, double momentum, double eps) {
+  const Tensor xc = x.contiguous();
+  if (xc.dim() < 2) throw std::invalid_argument("batch_norm_train: >=2 dims");
+  const std::int64_t n = xc.size(0), c = xc.size(1);
+  const std::int64_t spatial = xc.numel() / (n * c);
+  const std::int64_t per_channel = n * spatial;
+  const float* in = xc.data<float>();
+
+  // Batch statistics per channel.
+  Tensor mean = Tensor::zeros({c});
+  Tensor var = Tensor::zeros({c});
+  float* mp = mean.data<float>();
+  float* vp = var.data<float>();
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* p = in + (img * c + ch) * spatial;
+      for (std::int64_t i = 0; i < spatial; ++i) mp[ch] += p[i];
+    }
+  }
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    mp[ch] /= static_cast<float>(per_channel);
+  }
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* p = in + (img * c + ch) * spatial;
+      for (std::int64_t i = 0; i < spatial; ++i) {
+        const float d = p[i] - mp[ch];
+        vp[ch] += d * d;
+      }
+    }
+  }
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    vp[ch] /= static_cast<float>(per_channel);
+  }
+
+  // Update running stats in place (unbiased variance, as torch does).
+  float* rm = running_mean.data<float>();
+  float* rv = running_var.data<float>();
+  const float m = static_cast<float>(momentum);
+  const float unbias = per_channel > 1
+                           ? static_cast<float>(per_channel) /
+                                 static_cast<float>(per_channel - 1)
+                           : 1.f;
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    rm[ch] = (1.f - m) * rm[ch] + m * mp[ch];
+    rv[ch] = (1.f - m) * rv[ch] + m * vp[ch] * unbias;
+  }
+  return batch_norm(x, gamma, beta, mean, var, eps);
+}
+
+Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                  double eps) {
+  const Tensor xc = x.contiguous();
+  const std::int64_t d = xc.size(-1);
+  if (gamma.numel() != d || beta.numel() != d) {
+    throw std::invalid_argument("layer_norm: parameter size mismatch");
+  }
+  const std::int64_t rows = xc.numel() / d;
+  Tensor out(xc.sizes(), DType::Float32);
+  const Tensor g = gamma.contiguous(), b = beta.contiguous();
+  const float* gp = g.data<float>();
+  const float* bp = b.data<float>();
+  const float* in = xc.data<float>();
+  float* o = out.data<float>();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* ip = in + r * d;
+    float* op = o + r * d;
+    float mean = 0.f;
+    for (std::int64_t i = 0; i < d; ++i) mean += ip[i];
+    mean /= static_cast<float>(d);
+    float var = 0.f;
+    for (std::int64_t i = 0; i < d; ++i) var += (ip[i] - mean) * (ip[i] - mean);
+    var /= static_cast<float>(d);
+    const float inv = 1.f / std::sqrt(var + static_cast<float>(eps));
+    for (std::int64_t i = 0; i < d; ++i) {
+      op[i] = (ip[i] - mean) * inv * gp[i] + bp[i];
+    }
+  }
+  return out;
+}
+
+Tensor softmax(const Tensor& x, int dim) {
+  const Tensor xc = x.contiguous();
+  const auto nd = static_cast<int>(xc.dim());
+  if (dim < 0) dim += nd;
+  if (dim != nd - 1) {
+    throw std::invalid_argument("softmax: only trailing dim supported");
+  }
+  const std::int64_t d = xc.size(-1);
+  const std::int64_t rows = xc.numel() / d;
+  Tensor out(xc.sizes(), DType::Float32);
+  const float* in = xc.data<float>();
+  float* o = out.data<float>();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* ip = in + r * d;
+    float* op = o + r * d;
+    float m = ip[0];
+    for (std::int64_t i = 1; i < d; ++i) m = std::max(m, ip[i]);
+    float z = 0.f;
+    for (std::int64_t i = 0; i < d; ++i) {
+      op[i] = std::exp(ip[i] - m);
+      z += op[i];
+    }
+    const float inv = 1.f / z;
+    for (std::int64_t i = 0; i < d; ++i) op[i] *= inv;
+  }
+  return out;
+}
+
+Tensor sum(const Tensor& x) {
+  const Tensor xc = x.contiguous();
+  const float* p = xc.data<float>();
+  double acc = 0.0;
+  const std::int64_t n = xc.numel();
+  for (std::int64_t i = 0; i < n; ++i) acc += p[i];
+  return Tensor::scalar(acc);
+}
+
+Tensor mean(const Tensor& x) {
+  Tensor s = sum(x);
+  return Tensor::scalar(s.item() / static_cast<double>(x.numel()));
+}
+
+Tensor sum_dim(const Tensor& x, int dim) {
+  const Tensor xc = x.contiguous();
+  const auto nd = static_cast<int>(xc.dim());
+  if (dim < 0) dim += nd;
+  if (dim < 0 || dim >= nd) throw std::out_of_range("sum_dim: bad dim");
+  Shape out_shape;
+  std::int64_t outer = 1, inner = 1;
+  for (int i = 0; i < nd; ++i) {
+    if (i == dim) continue;
+    out_shape.push_back(xc.size(i));
+    if (i < dim) outer *= xc.size(i);
+    else inner *= xc.size(i);
+  }
+  const std::int64_t red = xc.size(dim);
+  Tensor out = Tensor::zeros(out_shape, DType::Float32);
+  const float* in = xc.data<float>();
+  float* o = out.data<float>();
+  for (std::int64_t a = 0; a < outer; ++a) {
+    for (std::int64_t r = 0; r < red; ++r) {
+      const float* ip = in + (a * red + r) * inner;
+      float* op = o + a * inner;
+      for (std::int64_t i = 0; i < inner; ++i) op[i] += ip[i];
+    }
+  }
+  return out;
+}
+
+Tensor cat(const std::vector<Tensor>& xs, int dim) {
+  if (xs.empty()) throw std::invalid_argument("cat: empty list");
+  const auto nd = static_cast<int>(xs[0].dim());
+  if (dim < 0) dim += nd;
+  Shape out_shape = xs[0].sizes();
+  std::int64_t cat_sz = 0;
+  for (const auto& t : xs) {
+    if (static_cast<int>(t.dim()) != nd) throw std::invalid_argument("cat: rank mismatch");
+    for (int i = 0; i < nd; ++i) {
+      if (i != dim && t.size(i) != out_shape[static_cast<std::size_t>(i)]) {
+        throw std::invalid_argument("cat: shape mismatch");
+      }
+    }
+    cat_sz += t.size(dim);
+  }
+  out_shape[static_cast<std::size_t>(dim)] = cat_sz;
+  Tensor out(out_shape, xs[0].dtype());
+  std::int64_t outer = 1, inner = 1;
+  for (int i = 0; i < dim; ++i) outer *= out_shape[static_cast<std::size_t>(i)];
+  for (int i = dim + 1; i < nd; ++i) inner *= out_shape[static_cast<std::size_t>(i)];
+  const std::size_t esz = dtype_size(out.dtype());
+  auto* obase = out.dtype() == DType::Float32
+                    ? reinterpret_cast<std::byte*>(out.data<float>())
+                    : reinterpret_cast<std::byte*>(out.data<std::int64_t>());
+  std::int64_t col = 0;
+  for (const auto& t : xs) {
+    const Tensor tc = t.contiguous();
+    const auto* ibase = tc.dtype() == DType::Float32
+                            ? reinterpret_cast<const std::byte*>(tc.data<float>())
+                            : reinterpret_cast<const std::byte*>(tc.data<std::int64_t>());
+    const std::int64_t tdim = t.size(dim);
+    for (std::int64_t a = 0; a < outer; ++a) {
+      std::memcpy(obase + ((a * cat_sz + col) * inner) * static_cast<std::int64_t>(esz),
+                  ibase + (a * tdim * inner) * static_cast<std::int64_t>(esz),
+                  static_cast<std::size_t>(tdim * inner) * esz);
+    }
+    col += tdim;
+  }
+  return out;
+}
+
+Tensor reshape(const Tensor& x, Shape shape) { return x.reshape(std::move(shape)); }
+
+Tensor flatten(const Tensor& x, int start_dim) { return x.flatten(start_dim); }
+
+}  // namespace fxcpp::ops

@@ -1,0 +1,349 @@
+#include "tensor/quantized.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/thread_pool.h"
+#include "tensor/ops.h"
+
+namespace fxcpp::ops {
+
+namespace {
+constexpr std::int32_t kQMin = -128;
+constexpr std::int32_t kQMax = 127;
+
+inline std::int8_t clamp_q(std::int32_t v) {
+  return static_cast<std::int8_t>(std::clamp(v, kQMin, kQMax));
+}
+
+inline std::int8_t quantize_one(float v, float inv_scale, std::int32_t zp) {
+  return clamp_q(static_cast<std::int32_t>(std::lrintf(v * inv_scale)) + zp);
+}
+}  // namespace
+
+QParams choose_qparams(double mn, double mx) {
+  // Always include zero so padding/ReLU zeros are exact.
+  mn = std::min(mn, 0.0);
+  mx = std::max(mx, 0.0);
+  if (mx - mn < 1e-8) mx = mn + 1e-8;
+  QParams q;
+  q.scale = (mx - mn) / static_cast<double>(kQMax - kQMin);
+  const double zp = kQMin - mn / q.scale;
+  q.zero_point = static_cast<std::int32_t>(
+      std::clamp(std::lround(zp), static_cast<long>(kQMin), static_cast<long>(kQMax)));
+  return q;
+}
+
+QParams choose_qparams_symmetric(double mn, double mx) {
+  const double a = std::max(std::abs(mn), std::abs(mx));
+  QParams q;
+  q.scale = std::max(a, 1e-8) / 127.0;
+  q.zero_point = 0;
+  return q;
+}
+
+Tensor quantize_per_tensor(const Tensor& x, double scale,
+                           std::int32_t zero_point) {
+  const Tensor xc = x.contiguous();
+  Tensor out(xc.sizes(), DType::Int8);
+  out.set_qparams(QParams{scale, zero_point});
+  const float* in = xc.data<float>();
+  auto* o = out.data<std::int8_t>();
+  const float inv = static_cast<float>(1.0 / scale);
+  const std::int64_t n = xc.numel();
+  for (std::int64_t i = 0; i < n; ++i) o[i] = quantize_one(in[i], inv, zero_point);
+  return out;
+}
+
+Tensor dequantize(const Tensor& qx) {
+  const Tensor qc = qx.contiguous();
+  const QParams q = qc.qparams();
+  Tensor out(qc.sizes(), DType::Float32);
+  const auto* in = qc.data<std::int8_t>();
+  float* o = out.data<float>();
+  const float s = static_cast<float>(q.scale);
+  const std::int32_t zp = q.zero_point;
+  const std::int64_t n = qc.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    o[i] = s * static_cast<float>(static_cast<std::int32_t>(in[i]) - zp);
+  }
+  return out;
+}
+
+PackedLinearWeight PackedLinearWeight::pack(const Tensor& w_fp32,
+                                            const Tensor& bias_fp32) {
+  const Tensor wc = w_fp32.contiguous();
+  const std::int64_t out_f = wc.size(0), in_f = wc.size(1);
+  const float* wp = wc.data<float>();
+  double mn = 0.0, mx = 0.0;
+  const std::int64_t n = wc.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    mn = std::min<double>(mn, wp[i]);
+    mx = std::max<double>(mx, wp[i]);
+  }
+  const QParams q = choose_qparams_symmetric(mn, mx);
+
+  PackedLinearWeight packed;
+  packed.w_scale = q.scale;
+  packed.w_q = quantize_per_tensor(wc, q.scale, 0);
+  packed.row_sum.resize(static_cast<std::size_t>(out_f));
+  const auto* wq = packed.w_q.data<std::int8_t>();
+  for (std::int64_t r = 0; r < out_f; ++r) {
+    std::int32_t s = 0;
+    for (std::int64_t c = 0; c < in_f; ++c) s += wq[r * in_f + c];
+    packed.row_sum[static_cast<std::size_t>(r)] = s;
+  }
+  if (bias_fp32.defined()) packed.bias = bias_fp32.contiguous();
+  return packed;
+}
+
+PackedLinearWeight PackedLinearWeight::pack_per_channel(
+    const Tensor& w_fp32, const Tensor& bias_fp32) {
+  const Tensor wc = w_fp32.contiguous();
+  const std::int64_t out_f = wc.size(0), in_f = wc.size(1);
+  const float* wp = wc.data<float>();
+
+  PackedLinearWeight packed;
+  packed.per_channel = true;
+  packed.w_q = Tensor(Shape{out_f, in_f}, DType::Int8);
+  packed.w_q.set_qparams(QParams{1.0, 0});  // per-row scales carried below
+  packed.row_scale.resize(static_cast<std::size_t>(out_f));
+  packed.row_sum.resize(static_cast<std::size_t>(out_f));
+  auto* wq = packed.w_q.data<std::int8_t>();
+  for (std::int64_t r = 0; r < out_f; ++r) {
+    double mx = 0.0;
+    for (std::int64_t col = 0; col < in_f; ++col) {
+      mx = std::max(mx, std::abs(static_cast<double>(wp[r * in_f + col])));
+    }
+    const float scale = static_cast<float>(std::max(mx, 1e-8) / 127.0);
+    packed.row_scale[static_cast<std::size_t>(r)] = scale;
+    const float inv = 1.f / scale;
+    std::int32_t sum = 0;
+    for (std::int64_t col = 0; col < in_f; ++col) {
+      const auto q = quantize_one(wp[r * in_f + col], inv, 0);
+      wq[r * in_f + col] = q;
+      sum += q;
+    }
+    packed.row_sum[static_cast<std::size_t>(r)] = sum;
+  }
+  if (bias_fp32.defined()) packed.bias = bias_fp32.contiguous();
+  return packed;
+}
+
+Tensor quantized_linear(const Tensor& x_q, const PackedLinearWeight& pw,
+                        double out_scale, std::int32_t out_zp) {
+  const Tensor xc = x_q.contiguous();
+  const QParams xq = xc.qparams();
+  const std::int64_t in_f = pw.w_q.size(1), out_f = pw.w_q.size(0);
+  if (xc.size(-1) != in_f) {
+    throw std::invalid_argument("quantized_linear: in_features mismatch");
+  }
+  const std::int64_t rows = xc.numel() / in_f;
+  Shape out_shape = xc.sizes();
+  out_shape.back() = out_f;
+  Tensor y(out_shape, DType::Int8);
+  y.set_qparams(QParams{out_scale, out_zp});
+
+  const auto* xp = xc.data<std::int8_t>();
+  const auto* wp = pw.w_q.data<std::int8_t>();
+  auto* yp = y.data<std::int8_t>();
+  const float* bias = pw.bias.defined() ? pw.bias.data<float>() : nullptr;
+  // real = sx*sw[j] * (acc - zx * row_sum[j]) + bias[j]; then requantize.
+  const float sx = static_cast<float>(xq.scale);
+  const float sw_tensor = static_cast<float>(pw.w_scale);
+  const float inv_out = static_cast<float>(1.0 / out_scale);
+  const std::int32_t zx = xq.zero_point;
+
+  // 8-row register blocking, mirroring the fp32 kernel: each int8 weight
+  // row streams once per 8 activation rows.
+  constexpr std::int64_t kRowBlock = 8;
+  rt::parallel_for(0, (rows + kRowBlock - 1) / kRowBlock, 1,
+                   [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t blk = b0; blk < b1; ++blk) {
+      const std::int64_t r0 = blk * kRowBlock;
+      const std::int64_t nrows = std::min(kRowBlock, rows - r0);
+      for (std::int64_t j = 0; j < out_f; ++j) {
+        const std::int8_t* wrow = wp + j * in_f;  // L1-resident per block
+        const std::int32_t corr =
+            zx * pw.row_sum[static_cast<std::size_t>(j)];
+        const float sx_sw =
+            sx * (pw.per_channel ? pw.row_scale[static_cast<std::size_t>(j)]
+                                 : sw_tensor);
+        for (std::int64_t r = 0; r < nrows; ++r) {
+          const std::int8_t* xrow = xp + (r0 + r) * in_f;
+          std::int32_t acc = 0;
+          for (std::int64_t k = 0; k < in_f; ++k) {
+            acc += static_cast<std::int32_t>(xrow[k]) *
+                   static_cast<std::int32_t>(wrow[k]);
+          }
+          float real = sx_sw * static_cast<float>(acc - corr);
+          if (bias) real += bias[j];
+          yp[(r0 + r) * out_f + j] = quantize_one(real, inv_out, out_zp);
+        }
+      }
+    }
+  });
+  return y;
+}
+
+PackedConvWeight PackedConvWeight::pack(const Tensor& w_fp32,
+                                        const Tensor& bias_fp32,
+                                        std::vector<std::int64_t> stride,
+                                        std::vector<std::int64_t> padding) {
+  const Tensor wc = w_fp32.contiguous();
+  const float* wp = wc.data<float>();
+  double mn = 0.0, mx = 0.0;
+  const std::int64_t n = wc.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    mn = std::min<double>(mn, wp[i]);
+    mx = std::max<double>(mx, wp[i]);
+  }
+  const QParams q = choose_qparams_symmetric(mn, mx);
+
+  PackedConvWeight packed;
+  packed.w_scale = q.scale;
+  packed.w_q = quantize_per_tensor(wc, q.scale, 0);
+  packed.stride = std::move(stride);
+  packed.padding = std::move(padding);
+  const std::int64_t o = wc.size(0);
+  const std::int64_t k = wc.numel() / o;
+  packed.filt_sum.resize(static_cast<std::size_t>(o));
+  const auto* wq = packed.w_q.data<std::int8_t>();
+  for (std::int64_t f = 0; f < o; ++f) {
+    std::int32_t s = 0;
+    for (std::int64_t i = 0; i < k; ++i) s += wq[f * k + i];
+    packed.filt_sum[static_cast<std::size_t>(f)] = s;
+  }
+  if (bias_fp32.defined()) packed.bias = bias_fp32.contiguous();
+  return packed;
+}
+
+Tensor quantized_conv2d(const Tensor& x_q, const PackedConvWeight& pw,
+                        double out_scale, std::int32_t out_zp) {
+  const Tensor xc = x_q.contiguous();
+  const QParams xq = xc.qparams();
+  const std::int64_t n = xc.size(0), c = xc.size(1), h = xc.size(2), w = xc.size(3);
+  const std::int64_t o = pw.w_q.size(0), kh = pw.w_q.size(2), kw = pw.w_q.size(3);
+  const std::int64_t sh = pw.stride.empty() ? 1 : pw.stride[0];
+  const std::int64_t sw = pw.stride.size() > 1 ? pw.stride[1] : sh;
+  const std::int64_t ph = pw.padding.empty() ? 0 : pw.padding[0];
+  const std::int64_t pwd = pw.padding.size() > 1 ? pw.padding[1] : ph;
+  const std::int64_t oh = (h + 2 * ph - kh) / sh + 1;
+  const std::int64_t ow = (w + 2 * pwd - kw) / sw + 1;
+
+  Tensor y(Shape{n, o, oh, ow}, DType::Int8);
+  y.set_qparams(QParams{out_scale, out_zp});
+  const auto* xp = xc.data<std::int8_t>();
+  const auto* wq = pw.w_q.data<std::int8_t>();
+  auto* yp = y.data<std::int8_t>();
+  const float* bias = pw.bias.defined() ? pw.bias.data<float>() : nullptr;
+  const float sx_sw = static_cast<float>(xq.scale * pw.w_scale);
+  const float inv_out = static_cast<float>(1.0 / out_scale);
+  const std::int32_t zx = xq.zero_point;
+  const std::int64_t k = c * kh * kw;
+  const std::int64_t spatial = oh * ow;
+
+  // int8 im2col with zero-point padding so padded pixels dequantize to 0.
+  std::vector<std::int8_t> col(static_cast<std::size_t>(k * spatial));
+  for (std::int64_t img = 0; img < n; ++img) {
+    const std::int8_t* xin = xp + img * c * h * w;
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t ky = 0; ky < kh; ++ky) {
+        for (std::int64_t kx = 0; kx < kw; ++kx) {
+          std::int8_t* crow =
+              col.data() + ((ch * kh + ky) * kw + kx) * spatial;
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            const std::int64_t iy = oy * sh - ph + ky;
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              const std::int64_t ix = ox * sw - pwd + kx;
+              crow[oy * ow + ox] =
+                  (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                      ? xin[(ch * h + iy) * w + ix]
+                      : static_cast<std::int8_t>(std::clamp(zx, -128, 127));
+            }
+          }
+        }
+      }
+    }
+    std::int8_t* yout = yp + img * o * spatial;
+    rt::parallel_for(0, o, 4, [&](std::int64_t f0, std::int64_t f1) {
+      for (std::int64_t f = f0; f < f1; ++f) {
+        const std::int8_t* wrow = wq + f * k;
+        std::int8_t* yrow = yout + f * spatial;
+        const float b = bias ? bias[f] : 0.f;
+        const std::int32_t corr = zx * pw.filt_sum[static_cast<std::size_t>(f)];
+        for (std::int64_t j = 0; j < spatial; ++j) {
+          std::int32_t acc = 0;
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            acc += static_cast<std::int32_t>(col[static_cast<std::size_t>(kk * spatial + j)]) *
+                   static_cast<std::int32_t>(wrow[kk]);
+          }
+          const float real = sx_sw * static_cast<float>(acc - corr) + b;
+          yrow[j] = quantize_one(real, inv_out, out_zp);
+        }
+      }
+    });
+  }
+  return y;
+}
+
+Tensor quantized_relu(const Tensor& x_q) {
+  const Tensor xc = x_q.contiguous();
+  const QParams q = xc.qparams();
+  Tensor out(xc.sizes(), DType::Int8);
+  out.set_qparams(q);
+  const auto* in = xc.data<std::int8_t>();
+  auto* o = out.data<std::int8_t>();
+  const auto zp = static_cast<std::int8_t>(std::clamp(q.zero_point, -128, 127));
+  const std::int64_t n = xc.numel();
+  for (std::int64_t i = 0; i < n; ++i) o[i] = std::max(in[i], zp);
+  return out;
+}
+
+Tensor quantized_add(const Tensor& a_q, const Tensor& b_q, double out_scale,
+                     std::int32_t out_zp) {
+  const Tensor ac = a_q.contiguous();
+  const Tensor bc = b_q.contiguous();
+  if (ac.sizes() != bc.sizes()) {
+    throw std::invalid_argument("quantized_add: shape mismatch");
+  }
+  const QParams qa = ac.qparams(), qb = bc.qparams();
+  Tensor out(ac.sizes(), DType::Int8);
+  out.set_qparams(QParams{out_scale, out_zp});
+  const auto* pa = ac.data<std::int8_t>();
+  const auto* pb = bc.data<std::int8_t>();
+  auto* o = out.data<std::int8_t>();
+  const float sa = static_cast<float>(qa.scale), sb = static_cast<float>(qb.scale);
+  const float inv = static_cast<float>(1.0 / out_scale);
+  const std::int64_t n = ac.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float real = sa * static_cast<float>(pa[i] - qa.zero_point) +
+                       sb * static_cast<float>(pb[i] - qb.zero_point);
+    o[i] = quantize_one(real, inv, out_zp);
+  }
+  return out;
+}
+
+Tensor quantized_unary_lut(const Tensor& x_q, float (*f)(float),
+                           double out_scale, std::int32_t out_zp) {
+  const Tensor xc = x_q.contiguous();
+  const QParams q = xc.qparams();
+  // Table over all 256 possible int8 inputs.
+  std::int8_t lut[256];
+  const float inv = static_cast<float>(1.0 / out_scale);
+  for (int v = kQMin; v <= kQMax; ++v) {
+    const float real = static_cast<float>(q.scale) * static_cast<float>(v - q.zero_point);
+    lut[v - kQMin] = quantize_one(f(real), inv, out_zp);
+  }
+  Tensor out(xc.sizes(), DType::Int8);
+  out.set_qparams(QParams{out_scale, out_zp});
+  const auto* in = xc.data<std::int8_t>();
+  auto* o = out.data<std::int8_t>();
+  const std::int64_t n = xc.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    o[i] = lut[static_cast<std::int32_t>(in[i]) - kQMin];
+  }
+  return out;
+}
+
+}  // namespace fxcpp::ops

@@ -1,0 +1,85 @@
+// Int8 affine-quantized kernels — the FBGEMM stand-in for the Section 6.2.1
+// quantization experiment.
+//
+// Scheme (mirrors PyTorch's default server CPU config):
+//   * activations: per-tensor affine int8, zero_point in [-128, 127]
+//   * weights:     per-tensor *symmetric* int8 (zero_point = 0)
+//   * accumulation in int32, requantized to the output's scale/zero_point
+//
+// The speedup mechanism is the same one the paper measures: 4x smaller
+// operands (memory bandwidth at small batch) and integer arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fxcpp::ops {
+
+// Pick scale/zero_point covering [mn, mx] over the int8 range, always
+// including 0.0 exactly (required so zero padding is representable).
+QParams choose_qparams(double mn, double mx);
+
+// Symmetric variant for weights: zero_point = 0, range [-127, 127].
+QParams choose_qparams_symmetric(double mn, double mx);
+
+// fp32 -> int8 with the given parameters (result carries them).
+Tensor quantize_per_tensor(const Tensor& x, double scale,
+                           std::int32_t zero_point);
+
+// int8 -> fp32 using the tensor's carried parameters.
+Tensor dequantize(const Tensor& qx);
+
+// Prepacked linear weight: symmetric int8 weights plus the per-row sums
+// used for the activation-zero-point correction term, and the fp32 bias.
+// Supports per-tensor or per-channel (per output row) weight scales — the
+// latter is FBGEMM's default and markedly more accurate when row magnitudes
+// vary.
+struct PackedLinearWeight {
+  Tensor w_q;                        // int8 [out, in]
+  std::vector<std::int32_t> row_sum; // sum of each weight row
+  Tensor bias;                       // fp32 [out] (may be undefined)
+  double w_scale = 1.0;              // per-tensor scale (when !per_channel)
+  std::vector<float> row_scale;      // per-channel scales (when per_channel)
+  bool per_channel = false;
+
+  static PackedLinearWeight pack(const Tensor& w_fp32, const Tensor& bias_fp32);
+  static PackedLinearWeight pack_per_channel(const Tensor& w_fp32,
+                                             const Tensor& bias_fp32);
+};
+
+// y_q = requant(x_q @ w^T + bias), output int8 with (out_scale, out_zp).
+Tensor quantized_linear(const Tensor& x_q, const PackedLinearWeight& pw,
+                        double out_scale, std::int32_t out_zp);
+
+// Prepacked conv weight (same scheme, plus geometry).
+struct PackedConvWeight {
+  Tensor w_q;                        // int8 [O, C, kh, kw]
+  std::vector<std::int32_t> filt_sum;
+  Tensor bias;                       // fp32 [O]
+  double w_scale = 1.0;
+  std::vector<std::int64_t> stride;
+  std::vector<std::int64_t> padding;
+
+  static PackedConvWeight pack(const Tensor& w_fp32, const Tensor& bias_fp32,
+                               std::vector<std::int64_t> stride,
+                               std::vector<std::int64_t> padding);
+};
+
+Tensor quantized_conv2d(const Tensor& x_q, const PackedConvWeight& pw,
+                        double out_scale, std::int32_t out_zp);
+
+// int8 ReLU: clamp below at the zero point (no dequantization needed).
+Tensor quantized_relu(const Tensor& x_q);
+
+// Elementwise add with requantization to the output parameters.
+Tensor quantized_add(const Tensor& a_q, const Tensor& b_q, double out_scale,
+                     std::int32_t out_zp);
+
+// Arbitrary unary f applied through a 256-entry lookup table — how int8
+// runtimes implement activations like SELU/sigmoid/GELU. f maps real->real.
+Tensor quantized_unary_lut(const Tensor& x_q, float (*f)(float),
+                           double out_scale, std::int32_t out_zp);
+
+}  // namespace fxcpp::ops

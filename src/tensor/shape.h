@@ -1,0 +1,60 @@
+// Shape and stride helpers shared by the tensor library and the fx passes
+// (shape propagation stores Shape values in Node metadata).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fxcpp {
+
+using Shape = std::vector<std::int64_t>;
+using Strides = std::vector<std::int64_t>;
+
+inline std::int64_t shape_numel(const Shape& s) {
+  std::int64_t n = 1;
+  for (auto d : s) n *= d;
+  return n;
+}
+
+// Row-major (C-contiguous) strides for a shape.
+inline Strides contiguous_strides(const Shape& s) {
+  Strides st(s.size(), 1);
+  for (int i = static_cast<int>(s.size()) - 2; i >= 0; --i) {
+    st[static_cast<std::size_t>(i)] =
+        st[static_cast<std::size_t>(i) + 1] * s[static_cast<std::size_t>(i) + 1];
+  }
+  return st;
+}
+
+inline std::string shape_str(const Shape& s) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) os << ", ";
+    os << s[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+// NumPy/PyTorch broadcasting of two shapes; throws on incompatibility.
+inline Shape broadcast_shapes(const Shape& a, const Shape& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  Shape out(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t da = i < a.size() ? a[a.size() - 1 - i] : 1;
+    const std::int64_t db = i < b.size() ? b[b.size() - 1 - i] : 1;
+    if (da != db && da != 1 && db != 1) {
+      throw std::invalid_argument("broadcast_shapes: incompatible " +
+                                  shape_str(a) + " vs " + shape_str(b));
+    }
+    out[n - 1 - i] = std::max(da, db);
+  }
+  return out;
+}
+
+}  // namespace fxcpp

@@ -1,0 +1,145 @@
+// A strided, reference-counted eager tensor — the substrate PyTorch provides
+// for torch.fx. Supports the semantics the paper's Section 2.3 discussion
+// hinges on: shared storage, views (slice/reshape of contiguous data), and
+// in-place mutation, which is exactly what makes transform safety hard in
+// eager IRs and what fx sidesteps by keeping state in Modules.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tensor/dtype.h"
+#include "tensor/shape.h"
+
+namespace fxcpp {
+
+// Shared, RAII-managed flat byte buffer (64-byte aligned for vectorization).
+class Storage {
+ public:
+  explicit Storage(std::size_t nbytes);
+
+  std::byte* data() { return data_.get(); }
+  const std::byte* data() const { return data_.get(); }
+  std::size_t nbytes() const { return nbytes_; }
+
+ private:
+  struct AlignedDelete {
+    void operator()(std::byte* p) const { ::operator delete[](p, std::align_val_t{64}); }
+  };
+  std::unique_ptr<std::byte[], AlignedDelete> data_;
+  std::size_t nbytes_ = 0;
+};
+
+// Affine quantization parameters attached to Int8/UInt8 tensors
+// (real = scale * (q - zero_point)), mirroring torch.quantize_per_tensor.
+struct QParams {
+  double scale = 1.0;
+  std::int32_t zero_point = 0;
+};
+
+class Tensor {
+ public:
+  // Empty (undefined) tensor.
+  Tensor() = default;
+
+  // Uninitialized tensor of the given shape/dtype.
+  explicit Tensor(Shape shape, DType dtype = DType::Float32);
+
+  bool defined() const { return storage_ != nullptr; }
+  DType dtype() const { return dtype_; }
+  const Shape& sizes() const { return shape_; }
+  const Strides& strides() const { return strides_; }
+  std::int64_t size(int dim) const;
+  std::int64_t dim() const { return static_cast<std::int64_t>(shape_.size()); }
+  std::int64_t numel() const { return shape_numel(shape_); }
+  bool is_contiguous() const;
+
+  // Quantization parameters; only meaningful for Int8/UInt8 tensors.
+  bool is_quantized() const { return qparams_ != nullptr; }
+  const QParams& qparams() const;
+  void set_qparams(QParams q);
+
+  // Raw typed element access. Checked against the tensor's dtype.
+  template <typename T>
+  T* data() {
+    check_dtype(dtype_of<T>::value);
+    return reinterpret_cast<T*>(storage_->data()) + offset_;
+  }
+  template <typename T>
+  const T* data() const {
+    check_dtype(dtype_of<T>::value);
+    return reinterpret_cast<const T*>(storage_->data()) + offset_;
+  }
+
+  // Value of a single-element tensor as double (any dtype).
+  double item() const;
+
+  // Element at a flat contiguous index, converted to double (any dtype).
+  double at_flat(std::int64_t i) const;
+  void set_flat(std::int64_t i, double v);
+
+  // --- views ----------------------------------------------------------
+  // These share storage with *this (PyTorch aliasing semantics).
+
+  // Reinterpret shape; requires contiguity and matching numel. One dim may
+  // be -1 (inferred).
+  Tensor reshape(Shape new_shape) const;
+  // Collapse dims [start_dim, end) into one.
+  Tensor flatten(int start_dim = 0) const;
+  // Narrow dimension `dim` to [start, start+length) — a true view.
+  Tensor narrow(int dim, std::int64_t start, std::int64_t length) const;
+  // select(): index along dim 0, removing it — a true view.
+  Tensor select(std::int64_t index) const;
+
+  // --- materializers ---------------------------------------------------
+  Tensor contiguous() const;  // copy iff non-contiguous
+  Tensor clone() const;       // always copies
+  Tensor to(DType dt) const;  // dtype conversion (copies)
+
+  // --- in-place --------------------------------------------------------
+  Tensor& fill_(double v);
+  Tensor& zero_() { return fill_(0.0); }
+  Tensor& copy_(const Tensor& src);  // same shape, converts dtype
+  Tensor& add_(const Tensor& other, double alpha = 1.0);  // this += alpha*other
+  Tensor& mul_(double v);
+
+  // Shares storage with `other`? (view detection, used in aliasing tests)
+  bool shares_storage_with(const Tensor& other) const {
+    return storage_ != nullptr && storage_ == other.storage_;
+  }
+
+  std::string to_string(std::int64_t max_elems = 16) const;
+
+  // --- factories -------------------------------------------------------
+  static Tensor zeros(Shape shape, DType dt = DType::Float32);
+  static Tensor ones(Shape shape, DType dt = DType::Float32);
+  static Tensor full(Shape shape, double v, DType dt = DType::Float32);
+  // Standard normal / uniform [0,1) from the global deterministic RNG.
+  static Tensor randn(Shape shape);
+  static Tensor rand(Shape shape);
+  static Tensor from_vector(const std::vector<float>& v, Shape shape);
+  static Tensor arange(std::int64_t n);  // Int64 [0..n)
+  static Tensor scalar(double v, DType dt = DType::Float32);
+
+ private:
+  void check_dtype(DType want) const;
+
+  std::shared_ptr<Storage> storage_;
+  std::int64_t offset_ = 0;  // in elements
+  Shape shape_;
+  Strides strides_;
+  DType dtype_ = DType::Float32;
+  std::shared_ptr<QParams> qparams_;
+};
+
+// True when shapes match and elements differ by at most atol + rtol*|b|.
+bool allclose(const Tensor& a, const Tensor& b, double rtol = 1e-5,
+              double atol = 1e-6);
+// Largest absolute elementwise difference (shapes must match).
+double max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace fxcpp

@@ -1,0 +1,100 @@
+// TRTSim — an ahead-of-time graph compiler standing in for NVIDIA TensorRT
+// in the paper's Section 6.4 lowering experiment (no GPU exists here; see
+// DESIGN.md's substitution table).
+//
+// It reproduces the *mechanisms* that make an AoT backend beat eager
+// per-operator execution, which is the effect Figure 8 measures:
+//   * build-time operator fusion: Conv+BN folded into conv weights,
+//     ReLU fused into the epilogue of Conv/Linear/Add kernels
+//   * static memory planning: liveness-based buffer reuse in one arena,
+//     zero allocations at run time (plus a prebuilt im2col scratch)
+//   * a flat execution plan: no dispatch, no refcounting, no Python-like
+//     interpretation between kernels
+//
+// Engines are built for a static input shape, exactly like a TensorRT
+// engine built for fixed dims.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/graph_module.h"
+
+namespace fxcpp::trt {
+
+// One fused kernel invocation in the execution plan.
+struct EngineOp {
+  enum class Kind {
+    Conv,          // conv2d (+ folded BN) (+ fused ReLU)
+    Linear,        // linear (+ fused ReLU)
+    Add,           // elementwise add (+ fused ReLU)
+    Relu,
+    Sigmoid,
+    Tanh,
+    MaxPool,
+    AdaptiveAvgPool,
+    Identity,      // flatten/reshape/dropout: logical only, aliases buffers
+  };
+  Kind kind = Kind::Identity;
+  bool fuse_relu = false;
+
+  Shape in_shape, in2_shape, out_shape;
+  std::vector<std::int64_t> stride{1, 1}, padding{0, 0}, kernel{1, 1};
+  Tensor weight, bias;  // prepared at build time (BN already folded)
+
+  // Arena offsets (floats) of inputs/output; -1 second input = unused.
+  std::int64_t in_off = -1, in2_off = -1, out_off = -1;
+};
+
+struct EngineStats {
+  int plan_ops = 0;
+  int fused_batchnorms = 0;
+  int fused_relus = 0;
+  std::size_t arena_bytes = 0;     // after liveness-based buffer reuse
+  std::size_t unplanned_bytes = 0; // sum of all logical buffers (no reuse)
+  std::size_t weight_bytes = 0;
+  // Memory saved by the static planner (the paper's "memory
+  // planning/scheduling" requirement for specialized processors, §6.4).
+  double planner_saving() const {
+    return unplanned_bytes == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(arena_bytes) /
+                           static_cast<double>(unplanned_bytes);
+  }
+  std::string to_string() const;
+};
+
+class Engine {
+ public:
+  // Compile `gm` for a fixed input shape. The source GraphModule and its
+  // weights are read, never mutated. Throws std::invalid_argument when the
+  // graph contains an unsupported node (use lower_to_trtsim() for
+  // auto-splitting instead).
+  static std::unique_ptr<Engine> build(fx::GraphModule& gm,
+                                       const Shape& input_shape);
+
+  // Execute the plan. `input` must match the build shape.
+  Tensor run(const Tensor& input);
+
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  Engine() = default;
+  void exec_op(const EngineOp& op, float* arena) const;
+
+  std::vector<EngineOp> plan_;
+  std::vector<float> arena_;
+  std::vector<float> im2col_;
+  Shape input_shape_, output_shape_;
+  std::int64_t input_off_ = 0, output_off_ = 0;
+  EngineStats stats_;
+};
+
+// Is this node lowerable to a TRTSim engine? (The operator-support table
+// driving the paper's "automatic splitting of the model based on supported
+// operators".)
+bool is_supported(const fx::GraphModule& gm, const fx::Node& n);
+
+}  // namespace fxcpp::trt

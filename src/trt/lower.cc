@@ -1,0 +1,85 @@
+#include "trt/lower.h"
+
+#include <map>
+
+#include "core/interpreter.h"
+
+namespace fxcpp::trt {
+
+namespace {
+
+// Interpreter that records the input shape flowing into each submodule.
+class InputShapeCapture : public fx::Interpreter {
+ public:
+  using fx::Interpreter::Interpreter;
+  std::map<std::string, Shape> input_shapes;
+
+  fx::RtValue run_node(const fx::Node& n) override {
+    if (n.op() == fx::Opcode::CallModule && !n.args().empty() &&
+        n.args()[0].is_node()) {
+      const fx::RtValue v = eval_arg(n.args()[0]);
+      if (fx::rt_is_tensor(v)) {
+        input_shapes[n.target()] = fx::rt_tensor(v).sizes();
+      }
+    }
+    return fx::Interpreter::run_node(n);
+  }
+};
+
+}  // namespace
+
+LoweredModel lower_to_trtsim(std::shared_ptr<fx::GraphModule> gm,
+                             const Tensor& example_input) {
+  // Contiguous runs of (un)supported nodes share a partition.
+  std::unordered_map<const fx::Node*, int> part;
+  std::map<int, bool> part_supported;
+  int cur = -1;
+  bool cur_sup = false;
+  for (const fx::Node* n : gm->graph().nodes()) {
+    if (n->op() == fx::Opcode::Placeholder || n->op() == fx::Opcode::Output ||
+        n->op() == fx::Opcode::GetAttr) {
+      continue;  // get_attr travels with its consumer inside split_module
+    }
+    const bool sup = is_supported(*gm, *n);
+    if (cur < 0 || sup != cur_sup) {
+      ++cur;
+      cur_sup = sup;
+      part_supported[cur] = sup;
+    }
+    part[n] = cur;
+  }
+
+  fx::SplitResult split = fx::split_module(
+      *gm, [&part](const fx::Node& n) { return part.at(&n); });
+
+  // Discover each segment's runtime input shape with one example run.
+  InputShapeCapture capture(*split.parent);
+  capture.run(std::vector<fx::RtValue>{example_input});
+
+  LoweredModel lowered;
+  for (std::size_t i = 0; i < split.submodules.size(); ++i) {
+    const std::string& name = split.submodule_names[i];
+    auto& sub = split.submodules[i];
+    bool compiled = false;
+    if (part_supported[static_cast<int>(i)] &&
+        sub->graph().placeholders().size() == 1 &&
+        capture.input_shapes.count(name)) {
+      try {
+        auto engine = Engine::build(*sub, capture.input_shapes.at(name));
+        lowered.engine_stats.push_back(engine->stats());
+        split.parent->root()->set_submodule(
+            name, std::make_shared<EngineModule>(std::move(engine)));
+        compiled = true;
+      } catch (const std::invalid_argument&) {
+        // Fall back to eager for this segment.
+      }
+    }
+    if (compiled) ++lowered.engine_segments;
+    else ++lowered.eager_segments;
+  }
+  split.parent->recompile();
+  lowered.module = split.parent;
+  return lowered;
+}
+
+}  // namespace fxcpp::trt

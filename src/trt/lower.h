@@ -1,0 +1,49 @@
+// fx-to-TRTSim lowering with automatic model splitting (Section 6.4):
+// "automatic splitting of the model based on TensorRT's supported operators
+// and automatically scheduling unsupported operations in non-optimized
+// blocks."
+//
+// Contiguous runs of supported nodes become compiled Engine segments;
+// unsupported runs stay as eager sub-GraphModules. The result is a parent
+// GraphModule usable anywhere a Module is.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/split.h"
+#include "trt/engine.h"
+
+namespace fxcpp::trt {
+
+// Leaf Module wrapping a compiled Engine so lowered segments live in the
+// normal module hierarchy.
+class EngineModule : public nn::Module {
+ public:
+  explicit EngineModule(std::unique_ptr<Engine> engine)
+      : nn::Module("TRTSimEngine", /*builtin=*/true),
+        engine_(std::move(engine)) {}
+
+  fx::Value forward(const std::vector<fx::Value>& inputs) override {
+    return fx::Value(engine_->run(inputs.at(0).tensor()));
+  }
+  const Engine& engine() const { return *engine_; }
+
+ private:
+  std::unique_ptr<Engine> engine_;
+};
+
+struct LoweredModel {
+  std::shared_ptr<fx::GraphModule> module;  // run this
+  int engine_segments = 0;
+  int eager_segments = 0;
+  std::vector<EngineStats> engine_stats;
+};
+
+// Lower `gm` for the (static) example input. Segments that cannot be
+// compiled (unsupported ops, multi-input/multi-output after splitting) fall
+// back to eager execution.
+LoweredModel lower_to_trtsim(std::shared_ptr<fx::GraphModule> gm,
+                             const Tensor& example_input);
+
+}  // namespace fxcpp::trt

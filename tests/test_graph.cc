@@ -1,0 +1,228 @@
+// IR tests: Node/Graph invariants, use-def maintenance, manipulation APIs,
+// lint, DCE, clone, and graph inlining — the machinery every transform in
+// the paper builds on.
+#include <gtest/gtest.h>
+
+#include "core/graph.h"
+
+namespace fxcpp::fx {
+namespace {
+
+TEST(Argument, ImmediateValuesAndPrinting) {
+  EXPECT_EQ(Argument().to_string(), "None");
+  EXPECT_EQ(Argument(true).to_string(), "True");
+  EXPECT_EQ(Argument(std::int64_t{42}).to_string(), "42");
+  EXPECT_EQ(Argument(3.5).to_string(), "3.5");
+  EXPECT_EQ(Argument("pad").to_string(), "'pad'");
+  Argument list(std::vector<std::int64_t>{1, 2});
+  EXPECT_EQ(list.to_string(), "[1, 2]");
+  EXPECT_EQ(list.int_list(), (std::vector<std::int64_t>{1, 2}));
+  EXPECT_TRUE(Argument(std::int64_t{1}) == Argument(std::int64_t{1}));
+  EXPECT_FALSE(Argument(std::int64_t{1}) == Argument(2.0));
+}
+
+TEST(Graph, BuildAndPrintFigure1Style) {
+  Graph g;
+  Node* x = g.placeholder("x");
+  Node* relu = g.call_function("relu", {Argument(x)});
+  Node* neg = g.call_method("neg", {Argument(relu)});
+  g.output(Argument(neg));
+  const std::string expected =
+      "x = placeholder target=x args=()\n"
+      "relu = call_function target=relu args=(x,)\n"
+      "neg = call_method target=neg args=(relu,)\n"
+      "output = output target=output args=(neg,)\n";
+  EXPECT_EQ(g.to_string(), expected);
+  EXPECT_NO_THROW(g.lint());
+}
+
+TEST(Graph, UseDefChains) {
+  Graph g;
+  Node* x = g.placeholder("x");
+  Node* a = g.call_function("relu", {Argument(x)});
+  Node* b = g.call_function("neg", {Argument(x)});
+  Node* c = g.call_function("add", {Argument(a), Argument(b)});
+  g.output(Argument(c));
+
+  EXPECT_EQ(x->users().size(), 2u);
+  EXPECT_TRUE(x->users().count(a));
+  EXPECT_TRUE(x->users().count(b));
+  EXPECT_EQ(c->input_nodes(), (std::vector<Node*>{a, b}));
+}
+
+TEST(Graph, ReplaceAllUsesWith) {
+  Graph g;
+  Node* x = g.placeholder("x");
+  Node* relu = g.call_function("relu", {Argument(x)});
+  Node* gelu = g.call_function("gelu", {Argument(x)});
+  Node* neg = g.call_function("neg", {Argument(relu)});
+  g.output(Argument(neg));
+
+  EXPECT_EQ(relu->replace_all_uses_with(gelu), 1);
+  EXPECT_TRUE(relu->users().empty());
+  EXPECT_EQ(neg->input_nodes(), (std::vector<Node*>{gelu}));
+  // Order: gelu defined before its new user? It was created before neg.
+  EXPECT_NO_THROW(g.lint());
+}
+
+TEST(Graph, EraseGuardsAgainstLiveUsers) {
+  Graph g;
+  Node* x = g.placeholder("x");
+  Node* relu = g.call_function("relu", {Argument(x)});
+  g.output(Argument(relu));
+  EXPECT_THROW(g.erase_node(relu), std::logic_error);
+}
+
+TEST(Graph, DeadCodeElimination) {
+  Graph g;
+  Node* x = g.placeholder("x");
+  Node* live = g.call_function("relu", {Argument(x)});
+  Node* dead1 = g.call_function("neg", {Argument(x)});
+  g.call_function("gelu", {Argument(dead1)});  // dead chain
+  g.output(Argument(live));
+  EXPECT_EQ(g.size(), 5u);
+  EXPECT_EQ(g.eliminate_dead_code(), 2);
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_NO_THROW(g.lint());
+}
+
+TEST(Graph, InsertionPointAndMove) {
+  Graph g;
+  Node* x = g.placeholder("x");
+  Node* b = g.call_function("relu", {Argument(x)});
+  g.output(Argument(b));
+  Node* a = nullptr;
+  {
+    Graph::InsertScope scope(g, b);
+    a = g.call_function("neg", {Argument(x)});
+  }
+  // a sits before b.
+  auto order = g.nodes();
+  EXPECT_EQ(order[1], a);
+  EXPECT_EQ(order[2], b);
+  // Appending resumes at the end after scope exit... (output already there,
+  // so just verify a name-unique second relu goes last before nothing).
+  g.move_before(a, nullptr);  // move to end
+  order = g.nodes();
+  EXPECT_EQ(order.back(), a);
+}
+
+TEST(Graph, UniqueNamesAndSanitization) {
+  Graph g;
+  Node* x = g.placeholder("x");
+  Node* m1 = g.call_module("layer1.0.conv1", {Argument(x)});
+  Node* m2 = g.call_module("layer1.0.conv1", {Argument(x)});
+  EXPECT_EQ(m1->name(), "layer1_0_conv1");
+  EXPECT_EQ(m2->name(), "layer1_0_conv1_1");
+  EXPECT_NE(g.find("layer1_0_conv1"), nullptr);
+}
+
+TEST(Graph, LintCatchesUseBeforeDef) {
+  Graph g;
+  Node* x = g.placeholder("x");
+  Node* a = g.call_function("relu", {Argument(x)});
+  Node* b = g.call_function("neg", {Argument(a)});
+  g.output(Argument(b));
+  // Break topology: move a after b.
+  g.move_before(b, a);
+  EXPECT_THROW(g.lint(), std::logic_error);
+}
+
+TEST(Graph, KwargsStoredAndPrinted) {
+  Graph g;
+  Node* x = g.placeholder("x");
+  Node* n = g.call_function("softmax", {Argument(x)},
+                            {{"dim", Argument(std::int64_t{-1})}});
+  g.output(Argument(n));
+  EXPECT_EQ(n->kwarg("dim").as_int(), -1);
+  EXPECT_TRUE(n->kwarg("missing").is_none());
+  EXPECT_NE(n->format().find("kwargs={dim: -1}"), std::string::npos);
+}
+
+TEST(Graph, NestedListArgumentsTrackUses) {
+  Graph g;
+  Node* x = g.placeholder("x");
+  Node* y = g.placeholder("y");
+  Argument::List items{Argument(x), Argument(y)};
+  Node* cat = g.call_function("cat", {Argument(std::move(items)),
+                                      Argument(std::int64_t{0})});
+  g.output(Argument(cat));
+  EXPECT_TRUE(x->users().count(cat));
+  EXPECT_TRUE(y->users().count(cat));
+  EXPECT_EQ(cat->input_nodes().size(), 2u);
+  EXPECT_NO_THROW(g.lint());
+}
+
+TEST(Graph, CloneIsDeepAndEquivalent) {
+  Graph g;
+  Node* x = g.placeholder("x");
+  Node* r = g.call_function("relu", {Argument(x)});
+  r->set_meta("shape", Shape{2, 2});
+  g.output(Argument(r));
+
+  std::unordered_map<const Node*, Node*> map;
+  auto copy = g.clone(&map);
+  EXPECT_EQ(copy->to_string(), g.to_string());
+  EXPECT_NE(map.at(r), r);
+  EXPECT_EQ(std::get<Shape>(map.at(r)->meta("shape")), (Shape{2, 2}));
+  // Mutating the clone leaves the original intact.
+  map.at(r)->replace_all_uses_with(map.at(x));
+  EXPECT_EQ(r->users().size(), 1u);
+}
+
+TEST(Graph, InlineGraphSplicesBody) {
+  // Inner: f(a) = relu(a)
+  Graph inner;
+  Node* a = inner.placeholder("a");
+  Node* r = inner.call_function("relu", {Argument(a)});
+  inner.output(Argument(r));
+
+  Graph outer;
+  Node* x = outer.placeholder("x");
+  Node* n = outer.call_function("neg", {Argument(x)});
+  Argument result = outer.inline_graph(inner, {Argument(n)});
+  outer.output(result);
+
+  ASSERT_TRUE(result.is_node());
+  EXPECT_EQ(result.node()->target(), "relu");
+  EXPECT_EQ(result.node()->input_nodes(), (std::vector<Node*>{n}));
+  EXPECT_NO_THROW(outer.lint());
+}
+
+TEST(Graph, InlineGraphChecksArity) {
+  Graph inner;
+  inner.placeholder("a");
+  inner.placeholder("b");
+  Node* out = inner.call_function("add", {Argument(inner.find("a")),
+                                          Argument(inner.find("b"))});
+  inner.output(Argument(out));
+
+  Graph outer;
+  Node* x = outer.placeholder("x");
+  EXPECT_THROW(outer.inline_graph(inner, {Argument(x)}), std::invalid_argument);
+}
+
+TEST(Graph, SingleOutputEnforced) {
+  Graph g;
+  Node* x = g.placeholder("x");
+  g.output(Argument(x));
+  EXPECT_THROW(g.output(Argument(x)), std::logic_error);
+}
+
+TEST(Node, MetaRoundTrip) {
+  Graph g;
+  Node* x = g.placeholder("x");
+  x->set_meta("shape", Shape{1, 2, 3});
+  x->set_meta("dtype", DType::Float32);
+  x->set_meta("note", std::string("hello"));
+  EXPECT_TRUE(x->has_shape());
+  EXPECT_EQ(x->shape(), (Shape{1, 2, 3}));
+  EXPECT_EQ(x->dtype(), DType::Float32);
+  EXPECT_EQ(std::get<std::string>(x->meta("note")), "hello");
+  EXPECT_THROW(x->meta("absent"), std::out_of_range);
+  x->clear_meta("note");
+  EXPECT_FALSE(x->has_meta("note"));
+}
+
+}  // namespace
+}  // namespace fxcpp::fx

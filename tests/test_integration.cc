@@ -1,0 +1,128 @@
+// Cross-module integration: chains of transforms composed the way the
+// paper's case studies compose them — capture, analyze, optimize, quantize,
+// split, lower, re-capture — verifying semantics at every boundary.
+#include <gtest/gtest.h>
+
+#include "core/functional.h"
+#include "tensor/ops.h"
+#include "core/graph_io.h"
+#include "core/subgraph_rewriter.h"
+#include "core/tracer.h"
+#include "nn/models/mlp.h"
+#include "nn/models/resnet.h"
+#include "passes/cleanup.h"
+#include "passes/decompose.h"
+#include "passes/flops.h"
+#include "passes/fuse_conv_bn.h"
+#include "passes/shape_prop.h"
+#include "passes/type_check.h"
+#include "quant/quantize.h"
+#include "trt/lower.h"
+
+namespace fxcpp {
+namespace {
+
+using fx::Value;
+
+// capture -> type check -> fuse -> prune -> lower -> execute.
+TEST(Integration, DeploymentPipelineResNet) {
+  auto gm = fx::symbolic_trace(nn::models::resnet18(8, 10));
+  Tensor x = Tensor::randn({1, 3, 32, 32});
+  Tensor reference = gm->run(x);
+
+  // 1. Static validation before any example data exists.
+  using passes::SymDim;
+  auto tc = passes::type_check(
+      *gm, {passes::SymShape{SymDim::dynamic(), SymDim::known(3),
+                             SymDim::known(32), SymDim::known(32)}});
+  ASSERT_TRUE(tc.ok()) << tc.to_string();
+
+  // 2. Optimize: fold BNs, prune the dead modules, clean the graph.
+  EXPECT_EQ(passes::fuse_conv_bn(*gm), 20);
+  EXPECT_EQ(passes::delete_all_unused_submodules(*gm), 20);
+  passes::dead_code_elimination(*gm);
+  gm->recompile();
+  EXPECT_LT(max_abs_diff(gm->run(x), reference), 1e-2);
+
+  // 3. Lower to the backend; verify end-to-end.
+  auto lowered = trt::lower_to_trtsim(gm, x);
+  EXPECT_EQ(lowered.engine_segments, 1);
+  EXPECT_LT(max_abs_diff(lowered.module->run(x), reference), 1e-2);
+  // The engine found nothing left to fold (fusion already ran) but still
+  // fused the activations.
+  EXPECT_EQ(lowered.engine_stats.at(0).fused_batchnorms, 0);
+  EXPECT_GT(lowered.engine_stats.at(0).fused_relus, 0);
+}
+
+// capture -> decompose -> CSE/DCE -> rewrite pattern -> execute.
+TEST(Integration, TransformStackCompose) {
+  auto gm = fx::symbolic_trace(std::function<Value(Value)>([](Value x) {
+    Value a = fx::fn::relu(x);
+    Value b = fx::fn::relu(x);  // duplicate for CSE
+    return fx::fn::gelu(a + b);
+  }));
+  Tensor x = Tensor::randn({4, 4});
+  Tensor reference = gm->run(x);
+
+  EXPECT_EQ(passes::common_subexpression_elimination(*gm), 1);
+  auto pattern = fx::symbolic_trace(
+      std::function<Value(Value)>([](Value v) { return fx::fn::gelu(v); }));
+  auto replacement = fx::symbolic_trace(
+      std::function<Value(Value)>([](Value v) { return fx::fn::relu(v); }));
+  EXPECT_EQ(fx::replace_pattern(*gm, pattern->graph(), replacement->graph()),
+            1);
+  // gelu(a+b) became relu(a+b): recompute the expectation.
+  Tensor expect = ops::relu(ops::add(ops::relu(x), ops::relu(x)));
+  EXPECT_TRUE(allclose(gm->run(x), expect));
+}
+
+// quantize -> serialize -> parse -> rebind -> execute.
+TEST(Integration, QuantizedModelSurvivesSerialization) {
+  auto model = nn::models::mlp({16, 32, 8}, "relu");
+  std::vector<Tensor> calib;
+  for (int i = 0; i < 4; ++i) calib.push_back(Tensor::randn({4, 16}));
+  auto q = quant::quantize_model(model, calib);
+  Tensor x = Tensor::randn({4, 16});
+  Tensor expected = q->run(x);
+
+  const std::string text = fx::serialize_graph(q->graph());
+  auto parsed = fx::parse_graph(text);
+  fx::GraphModule reloaded(q->root(), std::move(parsed), "ReloadedQuant");
+  reloaded.recompile();
+  EXPECT_TRUE(allclose(reloaded.run(x), expected));
+}
+
+// trace -> shape prop -> cost model before/after fusion (the §6.3 hardware
+// simulation workflow steering the §6.2.2 optimization).
+TEST(Integration, CostModelSeesFusionWin) {
+  auto gm = fx::symbolic_trace(nn::models::resnet18(8, 10));
+  Tensor x = Tensor::randn({1, 3, 32, 32});
+  passes::shape_prop(*gm, {x});
+  const auto before = passes::estimate_cost(*gm);
+
+  passes::fuse_conv_bn(*gm);
+  passes::shape_prop(*gm, {x});
+  const auto after = passes::estimate_cost(*gm);
+
+  // BN flops and their activation traffic are gone.
+  EXPECT_LT(after.total_flops, before.total_flops);
+  EXPECT_LT(after.total_bytes, before.total_bytes);
+  // On a bandwidth-limited device model the predicted runtime drops too.
+  EXPECT_LT(after.estimate_seconds(1e12, 10e9),
+            before.estimate_seconds(1e12, 10e9));
+}
+
+// decompose -> engine lowering falls back gracefully (sqrt isn't in the
+// support table) while the un-decomposed model compiles fully.
+TEST(Integration, DecomposedGraphAutoSplits) {
+  auto gm = fx::symbolic_trace(nn::models::resnet18(8, 10));
+  Tensor x = Tensor::randn({1, 3, 32, 32});
+  auto dec = passes::decompose_batch_norm(*gm);
+  auto lowered = trt::lower_to_trtsim(dec, x);
+  // Decomposition introduced unsupported primitives: must split, not fail.
+  EXPECT_GT(lowered.eager_segments + lowered.engine_segments, 1);
+  EXPECT_LT(max_abs_diff(lowered.module->run(x), gm->run(x)), 1e-2);
+}
+
+}  // namespace
+}  // namespace fxcpp

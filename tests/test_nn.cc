@@ -1,0 +1,188 @@
+// Module hierarchy tests: registration, qualified lookup/replacement,
+// state iteration, training flags, and model-level shape checks.
+#include <gtest/gtest.h>
+
+#include "core/graph_module.h"
+#include "core/tracer.h"
+#include "nn/models/deep_recommender.h"
+#include "nn/models/learning_to_paint.h"
+#include "nn/models/mlp.h"
+#include "nn/models/dlrm.h"
+#include "nn/models/resnet.h"
+#include "nn/models/transformer.h"
+#include "tensor/ops.h"
+
+namespace fxcpp {
+namespace {
+
+using fx::Value;
+
+TEST(Module, RegistrationAndQualifiedLookup) {
+  auto model = nn::models::resnet50(8, 10);
+  auto conv = model->get_submodule("layer1.0.conv1");
+  EXPECT_EQ(conv->kind(), "Conv2d");
+  Tensor w = model->get_parameter("layer1.0.conv1.weight");
+  EXPECT_EQ(w.sizes(), (Shape{8, 8, 1, 1}));
+  EXPECT_TRUE(model->has_parameter("fc.bias"));
+  EXPECT_FALSE(model->has_parameter("fc.nope"));
+  EXPECT_THROW(model->get_submodule("layer9"), std::out_of_range);
+  EXPECT_THROW(model->get_parameter("layer1.0.conv1.gamma"), std::out_of_range);
+}
+
+TEST(Module, DuplicateRegistrationRejected) {
+  auto m = std::make_shared<nn::Linear>(2, 2);
+  EXPECT_THROW(m->register_parameter("weight", Tensor::zeros({1})),
+               std::logic_error);
+  auto seq = std::make_shared<nn::Sequential>();
+  seq->register_module("a", std::make_shared<nn::ReLU>());
+  EXPECT_THROW(seq->register_module("a", std::make_shared<nn::ReLU>()),
+               std::logic_error);
+}
+
+TEST(Module, SetSubmoduleReplacesAndAdds) {
+  auto model = nn::models::mlp({4, 8, 2}, "relu");
+  model->set_submodule("body.1", std::make_shared<nn::GELU>());
+  EXPECT_EQ(model->get_submodule("body.1")->kind(), "GELU");
+  model->set_submodule("extra", std::make_shared<nn::ReLU>());
+  EXPECT_EQ(model->get_submodule("extra")->kind(), "ReLU");
+  model->delete_submodule("extra");
+  EXPECT_THROW(model->get_submodule("extra"), std::out_of_range);
+}
+
+TEST(Module, SetParameterOverwritesValue) {
+  auto model = nn::models::mlp({4, 4});
+  model->set_parameter("body.0.bias", Tensor::zeros({4}));
+  EXPECT_EQ(model->get_parameter("body.0.bias").at_flat(0), 0.0);
+}
+
+TEST(Module, NamedStateAndParamCount) {
+  auto model = nn::models::mlp({4, 8, 2});
+  const auto state = model->named_state();
+  // 2 linears x (weight + bias).
+  EXPECT_EQ(state.size(), 4u);
+  EXPECT_EQ(state[0].first, "body.0.weight");
+  EXPECT_EQ(model->num_parameters(), 4 * 8 + 8 + 8 * 2 + 2);
+}
+
+TEST(Module, TrainPropagates) {
+  auto model = nn::models::mlp({4, 4});
+  EXPECT_FALSE(model->get_submodule("body.0")->training());
+  model->train(true);
+  EXPECT_TRUE(model->get_submodule("body.0")->training());
+  model->train(false);
+  EXPECT_FALSE(model->get_submodule("body.0")->training());
+}
+
+TEST(Models, ResNet50OutputShapeAndBlockCount) {
+  auto model = nn::models::resnet50(8, 17);
+  Tensor y = (*model)(Value(Tensor::randn({2, 3, 32, 32}))).tensor();
+  EXPECT_EQ(y.sizes(), (Shape{2, 17}));
+  // 3+4+6+3 bottlenecks.
+  int blocks = 0;
+  for (const auto& [name, stage] : model->children()) {
+    if (name.rfind("layer", 0) == 0) {
+      blocks += static_cast<int>(stage->children().size());
+    }
+  }
+  EXPECT_EQ(blocks, 16);
+}
+
+TEST(Models, ResNet18TracedNodeCount) {
+  auto model = nn::models::resnet18(8, 10);
+  auto gm = fx::symbolic_trace(model);
+  // 20 convs + 20 bns + 17 relu calls + 8 adds + maxpool/avgpool/flatten/fc
+  // + placeholder + output = 71.
+  EXPECT_EQ(gm->graph().size(), 71u);
+}
+
+TEST(Models, DeepRecommenderRoundTripShape) {
+  nn::models::DeepRecommenderConfig cfg;
+  cfg.item_dim = 128;
+  cfg.hidden = {64, 32};
+  auto model = nn::models::deep_recommender(cfg);
+  Tensor y = (*model)(Value(Tensor::rand({4, 128}))).tensor();
+  EXPECT_EQ(y.sizes(), (Shape{4, 128}));
+}
+
+TEST(Models, LearningToPaintActionRange) {
+  auto model = nn::models::learning_to_paint_actor({9, 65, 8});
+  Tensor y = (*model)(Value(Tensor::randn({2, 9, 32, 32}))).tensor();
+  EXPECT_EQ(y.sizes(), (Shape{2, 65}));
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_GE(y.at_flat(i), 0.0);
+    EXPECT_LE(y.at_flat(i), 1.0);
+  }
+}
+
+TEST(Models, DlrmMultiInputForwardAndTrace) {
+  nn::models::DlrmConfig cfg;
+  auto model = nn::models::dlrm(cfg);
+  const std::int64_t B = 4;
+  std::vector<Value> inputs{Value(Tensor::randn({B, cfg.dense_dim}))};
+  for (std::size_t t = 0; t < cfg.table_sizes.size(); ++t) {
+    Tensor idx(Shape{B}, DType::Int64);
+    for (std::int64_t i = 0; i < B; ++i) {
+      idx.set_flat(i, static_cast<double>((i * 7 + static_cast<std::int64_t>(t) * 13) %
+                                          cfg.table_sizes[t]));
+    }
+    inputs.emplace_back(idx);
+  }
+  Tensor eager = (*model)(inputs).tensor();
+  EXPECT_EQ(eager.sizes(), (Shape{B, 1}));
+  for (std::int64_t i = 0; i < eager.numel(); ++i) {
+    EXPECT_GE(eager.at_flat(i), 0.0);
+    EXPECT_LE(eager.at_flat(i), 1.0);
+  }
+  // Multi-input tracing: 1 dense + 3 sparse placeholders; cat recorded with
+  // a node-list argument.
+  fx::Tracer tracer;
+  auto gm = tracer.trace(std::static_pointer_cast<nn::Module>(model),
+                         {"dense", "idx0", "idx1", "idx2"});
+  EXPECT_EQ(gm->graph().placeholders().size(), 4u);
+  bool saw_cat = false;
+  for (const fx::Node* n : gm->graph().nodes()) {
+    if (n->target() == "cat") saw_cat = true;
+  }
+  EXPECT_TRUE(saw_cat);
+  std::vector<Tensor> rt;
+  for (const auto& v : inputs) rt.push_back(v.tensor());
+  EXPECT_TRUE(allclose(gm->run(rt), eager));
+}
+
+TEST(Models, TransformerLayerPreservesShape) {
+  auto model = nn::models::transformer_encoder_layer(16, 64);
+  Tensor y = (*model)(Value(Tensor::randn({10, 16}))).tensor();
+  EXPECT_EQ(y.sizes(), (Shape{10, 16}));
+}
+
+TEST(Module, ParamValueRecordsGetAttrUnderTrace) {
+  class F : public nn::Module {
+   public:
+    F() : nn::Module("F") { register_parameter("scale", Tensor::full({1}, 3.f)); }
+    Value forward(const std::vector<Value>& in) override {
+      return in.at(0) * param_value("scale");
+    }
+  };
+  auto model = std::make_shared<F>();
+  auto gm = fx::symbolic_trace(std::static_pointer_cast<nn::Module>(model));
+  bool saw_get_attr = false;
+  for (const fx::Node* n : gm->graph().nodes()) {
+    if (n->op() == fx::Opcode::GetAttr) {
+      saw_get_attr = true;
+      EXPECT_EQ(n->target(), "scale");
+    }
+  }
+  EXPECT_TRUE(saw_get_attr);
+  Tensor x = Tensor::randn({4});
+  EXPECT_TRUE(allclose(gm->run(x), ops::mul(x, 3.0)));
+}
+
+TEST(Module, DescribeListsHierarchy) {
+  auto model = nn::models::mlp({4, 8, 2});
+  const std::string desc = model->describe();
+  EXPECT_NE(desc.find("MLP"), std::string::npos);
+  EXPECT_NE(desc.find("body"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fxcpp

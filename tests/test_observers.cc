@@ -1,0 +1,66 @@
+// Observer tests: min/max recording, fake-quant snapping, and the
+// percentile-clipping HistogramObserver's robustness to outliers.
+#include <gtest/gtest.h>
+
+#include "quant/observer.h"
+#include "tensor/ops.h"
+
+namespace fxcpp {
+namespace {
+
+TEST(Observer, RecordsRunningMinMax) {
+  quant::Observer obs;
+  EXPECT_FALSE(obs.observed());
+  EXPECT_THROW(obs.qparams(), std::logic_error);
+  obs.forward({fx::Value(Tensor::from_vector({-1.f, 2.f}, {2}))});
+  obs.forward({fx::Value(Tensor::from_vector({0.5f, 3.f}, {2}))});
+  EXPECT_TRUE(obs.observed());
+  EXPECT_EQ(obs.min_val(), -1.0);
+  EXPECT_EQ(obs.max_val(), 3.0);
+  const QParams q = obs.qparams();
+  EXPECT_NEAR(q.scale, 4.0 / 255.0, 1e-9);
+}
+
+TEST(Observer, IsIdentityOnData) {
+  quant::Observer obs;
+  Tensor x = Tensor::randn({8});
+  Tensor y = obs.forward({fx::Value(x)}).tensor();
+  EXPECT_TRUE(allclose(y, x));
+}
+
+TEST(HistogramObserver, PercentileClipsOutliers) {
+  quant::HistogramObserver obs(0.005, 0.995);
+  // Bulk in [-1, 1], a few 100x outliers.
+  Tensor bulk = Tensor::rand({2000});
+  bulk = ops::sub(ops::mul(bulk, 2.0), 1.0);
+  obs.forward({fx::Value(bulk)});
+  Tensor outliers = Tensor::from_vector({100.f, -100.f}, {2});
+  obs.forward({fx::Value(outliers)});
+
+  const QParams naive = obs.qparams();             // min/max: huge scale
+  const QParams clipped = obs.qparams_percentile();  // percentile: tight
+  EXPECT_GT(naive.scale, 0.5);
+  EXPECT_LT(clipped.scale, naive.scale / 10.0);
+  // The clipped scale still covers the bulk.
+  EXPECT_GT(clipped.scale * 255.0, 1.8);
+}
+
+TEST(HistogramObserver, RangeGrowthRebins) {
+  quant::HistogramObserver obs(0.0, 1.0);  // no clipping: spans everything
+  obs.forward({fx::Value(Tensor::rand({100}))});          // [0, 1)
+  obs.forward({fx::Value(ops::mul(Tensor::rand({100}), 10.0))});  // [0, 10)
+  const QParams q = obs.qparams_percentile();
+  EXPECT_GT(q.scale * 255.0, 8.0);  // range covers ~[0, 10]
+}
+
+TEST(HistogramObserver, MatchesMinMaxOnCleanData) {
+  quant::HistogramObserver obs(0.0, 1.0);
+  Tensor x = Tensor::randn({4000});
+  obs.forward({fx::Value(x)});
+  const QParams a = obs.qparams();
+  const QParams b = obs.qparams_percentile();
+  EXPECT_NEAR(a.scale, b.scale, a.scale * 0.1);
+}
+
+}  // namespace
+}  // namespace fxcpp

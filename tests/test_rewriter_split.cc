@@ -1,0 +1,196 @@
+// Subgraph rewriting (Figure 2's activation swap), split_module, and the
+// Section 6.2.3 pipelining scheduler.
+#include <gtest/gtest.h>
+
+#include "core/functional.h"
+#include "core/split.h"
+#include "core/subgraph_rewriter.h"
+#include "core/tracer.h"
+#include "nn/models/mlp.h"
+#include "passes/scheduler.h"
+#include "tensor/ops.h"
+
+namespace fxcpp {
+namespace {
+
+using fx::Node;
+using fx::Opcode;
+using fx::Value;
+
+std::unique_ptr<fx::Graph> graph_of(const std::function<Value(Value)>& f) {
+  auto gm = fx::symbolic_trace(f);
+  return gm->graph().clone();
+}
+
+// Figure 2: replace torch.relu(x) with torch.gelu(x) everywhere.
+TEST(Rewriter, Figure2ActivationSwap) {
+  auto f = [](Value x) -> Value { return fx::fn::relu(x).neg(); };
+  auto traced = fx::symbolic_trace(std::function<Value(Value)>(f));
+
+  auto pattern = graph_of([](Value x) { return fx::fn::relu(x); });
+  auto replacement = graph_of([](Value x) { return fx::fn::gelu(x); });
+  EXPECT_EQ(fx::replace_pattern(*traced, *pattern, *replacement), 1);
+
+  Tensor x = Tensor::randn({4});
+  EXPECT_TRUE(allclose(traced->run(x), ops::neg(ops::gelu(x))));
+  EXPECT_NE(traced->code().find("torch.gelu"), std::string::npos);
+  EXPECT_EQ(traced->code().find("torch.relu"), std::string::npos);
+}
+
+TEST(Rewriter, MultipleNonOverlappingMatches) {
+  auto f = [](Value x) -> Value {
+    return fx::fn::relu(fx::fn::relu(fx::fn::relu(x)));
+  };
+  auto traced = fx::symbolic_trace(std::function<Value(Value)>(f));
+  auto pattern = graph_of([](Value x) { return fx::fn::relu(x); });
+  auto replacement = graph_of([](Value x) { return fx::fn::gelu(x); });
+  EXPECT_EQ(fx::replace_pattern(*traced, *pattern, *replacement), 3);
+}
+
+TEST(Rewriter, MultiNodePatternWithImmediates) {
+  // Pattern: mul(add(x, 1.0), 2.0); replacement: mul(x, 2.0) (just to test
+  // structure, not algebra).
+  auto f = [](Value x) -> Value {
+    Value y = fx::fn::mul(fx::fn::add(x, 1.0), 2.0);
+    return fx::fn::mul(fx::fn::add(y, 3.0), 2.0);  // different const: no match
+  };
+  auto traced = fx::symbolic_trace(std::function<Value(Value)>(f));
+  auto pattern = graph_of([](Value x) {
+    return fx::fn::mul(fx::fn::add(x, 1.0), 2.0);
+  });
+  auto replacement = graph_of([](Value x) { return fx::fn::mul(x, 2.0); });
+  // Only the (x+1)*2 instance matches; (y+3)*2 has a different immediate.
+  EXPECT_EQ(fx::replace_pattern(*traced, *pattern, *replacement), 1);
+  Tensor x = Tensor::randn({4});
+  Tensor want = ops::mul(ops::add(ops::mul(x, 2.0), 3.0), 2.0);
+  EXPECT_TRUE(allclose(traced->run(x), want));
+}
+
+TEST(Rewriter, InternalEscapePreventsMatch) {
+  // add(x,1) feeds both mul and the output: the 2-node pattern must not
+  // match because removing add would orphan its other user.
+  auto f = [](Value x) -> Value {
+    Value a = fx::fn::add(x, 1.0);
+    Value m = fx::fn::mul(a, 2.0);
+    return m + a;
+  };
+  auto traced = fx::symbolic_trace(std::function<Value(Value)>(f));
+  auto pattern = graph_of([](Value x) {
+    return fx::fn::mul(fx::fn::add(x, 1.0), 2.0);
+  });
+  auto replacement = graph_of([](Value x) { return fx::fn::mul(x, 2.0); });
+  EXPECT_EQ(fx::replace_pattern(*traced, *pattern, *replacement), 0);
+}
+
+TEST(Rewriter, SamePlaceholderMustBindConsistently) {
+  // Pattern add(x, x): matches add(a, a) but not add(a, b).
+  fx::Graph pattern;
+  Node* p = pattern.placeholder("p");
+  Node* add = pattern.call_function("add", {fx::Argument(p), fx::Argument(p)});
+  pattern.output(fx::Argument(add));
+
+  auto match_case = [&](const std::function<Value(const std::vector<Value>&)>& f,
+                        std::size_t want) {
+    fx::Tracer t;
+    auto gm = t.trace_function(f, {"a", "b"});
+    return fx::match_pattern(gm->graph(), pattern).size() == want;
+  };
+  EXPECT_TRUE(match_case(
+      [](const std::vector<Value>& in) { return in[0] + in[0]; }, 1));
+  EXPECT_TRUE(match_case(
+      [](const std::vector<Value>& in) { return in[0] + in[1]; }, 0));
+}
+
+TEST(Split, TwoWayPartitionPreservesSemantics) {
+  auto model = nn::models::mlp({8, 16, 16, 4}, "relu");
+  auto gm = fx::symbolic_trace(model);
+  // Partition: first half / second half by node index.
+  const auto nodes = gm->graph().nodes();
+  std::unordered_map<const Node*, int> part;
+  int idx = 0;
+  for (const Node* n : nodes) {
+    part[n] = idx++ < static_cast<int>(nodes.size()) / 2 ? 0 : 1;
+  }
+  auto split = fx::split_module(
+      *gm, [&part](const Node& n) { return part.at(&n); });
+  EXPECT_EQ(split.submodules.size(), 2u);
+  Tensor x = Tensor::randn({2, 8});
+  EXPECT_TRUE(allclose(split.parent->run(x), gm->run(x)));
+}
+
+TEST(Split, MultiOutputPartitionUsesGetitem) {
+  // Stage 0 produces two values consumed by stage 1.
+  auto f = [](Value x) -> Value {
+    Value a = fx::fn::relu(x);   // partition 0
+    Value b = fx::fn::neg(x);    // partition 0
+    return a + b;                // partition 1
+  };
+  auto gm = fx::symbolic_trace(std::function<Value(Value)>(f));
+  auto split = fx::split_module(*gm, [](const Node& n) {
+    return n.target() == "add" ? 1 : 0;
+  });
+  bool saw_getitem = false;
+  for (const Node* n : split.parent->graph().nodes()) {
+    if (n->target() == "getitem") saw_getitem = true;
+  }
+  EXPECT_TRUE(saw_getitem);
+  Tensor x = Tensor::randn({4});
+  EXPECT_TRUE(allclose(split.parent->run(x), gm->run(x)));
+}
+
+TEST(Split, ReorderableAcyclicPartitionsStillWork) {
+  // relu -> partition 1, neg -> partition 0: first-appearance ordering
+  // executes partition {relu} first; legal because there is no cycle.
+  auto f = [](Value x) -> Value { return fx::fn::neg(fx::fn::relu(x)); };
+  auto gm = fx::symbolic_trace(std::function<Value(Value)>(f));
+  auto split = fx::split_module(*gm, [](const Node& n) {
+    return n.target() == "relu" ? 1 : 0;
+  });
+  Tensor x = Tensor::randn({4});
+  EXPECT_TRUE(allclose(split.parent->run(x), gm->run(x)));
+}
+
+TEST(Split, CyclicPartitionAssignmentThrows) {
+  // p0 = {relu, mul}, p1 = {neg}: p1 needs p0's relu, p0's mul needs p1's
+  // neg — a genuine partition cycle.
+  auto f = [](Value x) -> Value {
+    Value a = fx::fn::relu(x);       // p0
+    Value b = fx::fn::neg(a);        // p1
+    return fx::fn::mul(a, b);        // p0
+  };
+  auto gm = fx::symbolic_trace(std::function<Value(Value)>(f));
+  EXPECT_THROW(fx::split_module(*gm, [](const Node& n) {
+                 return n.target() == "neg" ? 1 : 0;
+               }),
+               std::invalid_argument);
+}
+
+TEST(Scheduler, PipelinedMatchesSerial) {
+  auto model = nn::models::mlp({8, 32, 32, 4}, "relu");
+  auto gm = fx::symbolic_trace(model);
+  // Split roughly in the middle at the first relu.
+  std::string boundary;
+  for (const Node* n : gm->graph().nodes()) {
+    if (n->op() == Opcode::CallModule) boundary = n->name();
+  }
+  // Use the *second* call_module as the boundary for a real 2-stage split.
+  int count = 0;
+  for (const Node* n : gm->graph().nodes()) {
+    if (n->op() == Opcode::CallModule && ++count == 2) {
+      boundary = n->name();
+      break;
+    }
+  }
+  auto split = passes::split_at(*gm, boundary);
+  std::vector<Tensor> stream;
+  for (int i = 0; i < 6; ++i) stream.push_back(Tensor::randn({2, 8}));
+  auto serial = passes::run_serial(split, stream);
+  auto piped = passes::run_pipelined(split, stream);
+  ASSERT_EQ(serial.size(), piped.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(allclose(serial[i], piped[i]));
+  }
+}
+
+}  // namespace
+}  // namespace fxcpp

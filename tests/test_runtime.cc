@@ -1,0 +1,115 @@
+// Runtime substrate tests: intra-op parallelism, deterministic RNG, and
+// trial statistics used by the benchmark harnesses.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "runtime/rng.h"
+#include "runtime/thread_pool.h"
+#include "runtime/timer.h"
+
+namespace fxcpp::rt {
+namespace {
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  for (int threads : {1, 2, 4}) {
+    set_num_threads(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for(0, 1000, 10, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+  set_num_threads(1);
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges) {
+  set_num_threads(4);
+  int calls = 0;
+  parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(0, 3, 100, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 3);
+  set_num_threads(1);
+}
+
+TEST(ParallelFor, ParallelSumMatchesSerial) {
+  std::vector<double> data(10000);
+  std::iota(data.begin(), data.end(), 0.0);
+  auto run = [&](int threads) {
+    set_num_threads(threads);
+    std::atomic<long long> acc{0};
+    parallel_for(0, 10000, 64, [&](std::int64_t b, std::int64_t e) {
+      long long local = 0;
+      for (std::int64_t i = b; i < e; ++i) {
+        local += static_cast<long long>(data[static_cast<std::size_t>(i)]);
+      }
+      acc += local;
+    });
+    return acc.load();
+  };
+  EXPECT_EQ(run(1), run(4));
+  set_num_threads(1);
+}
+
+TEST(ThreadSetting, Roundtrip) {
+  set_num_threads(3);
+  EXPECT_EQ(get_num_threads(), 3);
+  set_num_threads(0);  // clamped to 1
+  EXPECT_EQ(get_num_threads(), 1);
+}
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c(124);
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInRangeAndNormalMoments) {
+  Rng r(7);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < n; ++i) {
+    const double z = r.normal();
+    sum += z;
+    sum2 += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.randint(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(TrialStats, MeanAndStdev) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_NEAR(s.mean, 2.5, 1e-12);
+  EXPECT_NEAR(s.stdev, 1.2909944487358056, 1e-9);
+  EXPECT_EQ(s.n, 4u);
+  const auto e = summarize({});
+  EXPECT_EQ(e.n, 0u);
+  const auto one = summarize({5.0});
+  EXPECT_EQ(one.stdev, 0.0);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 1000000; ++i) x = x + 1.0;
+  EXPECT_GT(t.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace fxcpp::rt

@@ -1,0 +1,226 @@
+// Symbolic tracing tests — covers the Figure 1/2/3 flows of the paper plus
+// the Section 5.2/5.3 customization and failure modes.
+#include <gtest/gtest.h>
+
+#include "core/functional.h"
+#include "core/graph_module.h"
+#include "core/tracer.h"
+#include "nn/layers.h"
+#include "nn/models/mlp.h"
+#include "tensor/ops.h"
+
+namespace fxcpp {
+namespace {
+
+using fx::GraphModule;
+using fx::Node;
+using fx::Opcode;
+using fx::symbolic_trace;
+using fx::Value;
+
+// Figure 1: my_func(x) = torch.relu(x).neg()
+Value my_func(Value x) { return fx::fn::relu(x).neg(); }
+
+TEST(Tracer, Figure1CaptureStructure) {
+  auto traced = symbolic_trace(std::function<Value(Value)>(my_func));
+  const auto nodes = traced->graph().nodes();
+  ASSERT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(nodes[0]->op(), Opcode::Placeholder);
+  EXPECT_EQ(nodes[0]->name(), "x");
+  EXPECT_EQ(nodes[1]->op(), Opcode::CallFunction);
+  EXPECT_EQ(nodes[1]->target(), "relu");
+  EXPECT_EQ(nodes[2]->op(), Opcode::CallMethod);
+  EXPECT_EQ(nodes[2]->target(), "neg");
+  EXPECT_EQ(nodes[3]->op(), Opcode::Output);
+}
+
+TEST(Tracer, Figure1GeneratedCodeMatchesPaper) {
+  auto traced = symbolic_trace(std::function<Value(Value)>(my_func));
+  const std::string expected =
+      "def forward(self, x):\n"
+      "    relu = torch.relu(x);  x = None\n"
+      "    neg = relu.neg();  relu = None\n"
+      "    return neg\n";
+  EXPECT_EQ(traced->code(), expected);
+}
+
+TEST(Tracer, TracedFunctionExecutesCorrectly) {
+  auto traced = symbolic_trace(std::function<Value(Value)>(my_func));
+  Tensor x = Tensor::randn({4, 5});
+  Tensor expected = ops::neg(ops::relu(x));
+  EXPECT_TRUE(allclose(traced->run(x), expected));
+}
+
+TEST(Tracer, ModuleTraceRecordsCallModule) {
+  auto model = nn::models::mlp({8, 16, 4});
+  auto traced = symbolic_trace(model);
+  int call_modules = 0;
+  for (const Node* n : traced->graph().nodes()) {
+    if (n->op() == Opcode::CallModule) ++call_modules;
+  }
+  // 2 Linear + 1 ReLU leaves; Sequential and MLP are traced through.
+  EXPECT_EQ(call_modules, 3);
+}
+
+TEST(Tracer, TracedModuleMatchesEager) {
+  auto model = nn::models::mlp({8, 16, 4});
+  auto traced = symbolic_trace(model);
+  Tensor x = Tensor::randn({3, 8});
+  Tensor eager = (*model)(Value(x)).tensor();
+  EXPECT_TRUE(allclose(traced->run(x), eager));
+}
+
+// Figure 3: install a GraphModule inside a new module and re-trace; the
+// generated code is inlined.
+class SampleModule : public nn::Module {
+ public:
+  SampleModule() : nn::Module("SampleModule") {}
+  Value forward(const std::vector<Value>& inputs) override {
+    constexpr double kPi = 3.141592653589793;
+    return (*get_submodule("act"))(inputs.at(0) + kPi);
+  }
+};
+
+TEST(Tracer, Figure3RetracingInlinesGraphModules) {
+  // First capture relu(x).neg(), transform relu -> gelu is exercised in the
+  // rewriter tests; here we re-trace the captured module directly.
+  auto traced = symbolic_trace(std::function<Value(Value)>(my_func));
+  auto sample = std::make_shared<SampleModule>();
+  sample->register_module("act", traced);
+
+  auto retraced = symbolic_trace(std::static_pointer_cast<nn::Module>(sample));
+  // add -> relu -> neg -> output (+ placeholder): GraphModule was inlined,
+  // no call_module remains.
+  for (const Node* n : retraced->graph().nodes()) {
+    EXPECT_NE(n->op(), Opcode::CallModule);
+  }
+  Tensor x = Tensor::randn({2, 3});
+  Tensor expected = ops::neg(ops::relu(ops::add(x, 3.141592653589793)));
+  EXPECT_TRUE(allclose(retraced->run(x), expected));
+}
+
+TEST(Tracer, RootGraphModuleRetrace) {
+  auto traced = symbolic_trace(std::function<Value(Value)>(my_func));
+  auto again = symbolic_trace(std::static_pointer_cast<nn::Module>(traced));
+  Tensor x = Tensor::randn({2, 2});
+  EXPECT_TRUE(allclose(again->run(x), traced->run(x)));
+}
+
+// Section 5.3: coercing a Proxy to a concrete value raises a TraceError.
+TEST(Tracer, DataDependentControlFlowErrors) {
+  auto f = [](Value x) -> Value {
+    if (fx::fn::sum(x).item() > 0.0) {  // untraceable
+      return fx::fn::relu(x);
+    }
+    return fx::fn::neg(x);
+  };
+  EXPECT_THROW(symbolic_trace(std::function<Value(Value)>(f)),
+               fx::TraceError);
+}
+
+// Section 5.1: control flow NOT dependent on inputs traces fine (the loop
+// unrolls into the graph).
+TEST(Tracer, InputIndependentControlFlowUnrolls) {
+  auto f = [](Value x) -> Value {
+    for (int i = 0; i < 3; ++i) x = fx::fn::relu(x);
+    return x;
+  };
+  auto traced = symbolic_trace(std::function<Value(Value)>(f));
+  int relus = 0;
+  for (const Node* n : traced->graph().nodes()) {
+    if (n->target() == "relu") ++relus;
+  }
+  EXPECT_EQ(relus, 3);
+}
+
+// Section 5.2: a custom Tracer that treats user modules as leaves.
+class AllLeafTracer : public fx::Tracer {
+ public:
+  bool is_leaf_module(const nn::Module& m,
+                      const std::string& qualname) const override {
+    (void)qualname;
+    return dynamic_cast<const fx::GraphModule*>(&m) == nullptr;
+  }
+};
+
+TEST(Tracer, CustomLeafPolicyBlocksOutSubmodules) {
+  auto model = nn::models::mlp({8, 16, 4});
+  AllLeafTracer tracer;
+  auto traced = tracer.trace(model);
+  // Only the top-level child ("body", the Sequential) appears.
+  int call_modules = 0;
+  std::string target;
+  for (const Node* n : traced->graph().nodes()) {
+    if (n->op() == Opcode::CallModule) {
+      ++call_modules;
+      target = n->target();
+    }
+  }
+  EXPECT_EQ(call_modules, 1);
+  EXPECT_EQ(target, "body");
+  Tensor x = Tensor::randn({2, 8});
+  EXPECT_TRUE(allclose(traced->run(x), (*model)(Value(x)).tensor()));
+}
+
+// Section 5.2: tracing *into* builtin modules via a custom leaf policy
+// produces get_attr + call_function nodes instead of call_module.
+class NoLeafTracer : public fx::Tracer {
+ public:
+  bool is_leaf_module(const nn::Module&, const std::string&) const override {
+    return false;
+  }
+};
+
+TEST(Tracer, TraceThroughBuiltinsRecordsGetAttr) {
+  auto model = nn::models::mlp({4, 8, 2});
+  NoLeafTracer tracer;
+  auto traced = tracer.trace(model);
+  int get_attrs = 0, call_fns = 0, call_mods = 0;
+  for (const Node* n : traced->graph().nodes()) {
+    if (n->op() == Opcode::GetAttr) ++get_attrs;
+    if (n->op() == Opcode::CallFunction) ++call_fns;
+    if (n->op() == Opcode::CallModule) ++call_mods;
+  }
+  EXPECT_EQ(call_mods, 0);
+  EXPECT_EQ(get_attrs, 4);  // 2 Linear x (weight + bias)
+  EXPECT_EQ(call_fns, 3);   // linear, relu, linear
+  Tensor x = Tensor::randn({2, 4});
+  EXPECT_TRUE(allclose(traced->run(x), (*model)(Value(x)).tensor()));
+}
+
+// Concrete tensors captured mid-trace become get_attr'd constants.
+TEST(Tracer, TensorConstantsBecomeGetAttr) {
+  Tensor c = Tensor::randn({3});
+  auto f = [&c](Value x) -> Value { return x + Value(c); };
+  auto traced = symbolic_trace(std::function<Value(Value)>(f));
+  int get_attrs = 0;
+  for (const Node* n : traced->graph().nodes()) {
+    if (n->op() == Opcode::GetAttr) {
+      ++get_attrs;
+      EXPECT_EQ(n->target().rfind("_tensor_constant", 0), 0u);
+    }
+  }
+  EXPECT_EQ(get_attrs, 1);
+  Tensor x = Tensor::randn({2, 3});
+  EXPECT_TRUE(allclose(traced->run(x), ops::add(x, c)));
+}
+
+TEST(Tracer, MultiInputFunction) {
+  auto f = [](const std::vector<Value>& in) -> Value {
+    return fx::fn::mul(in.at(0) + in.at(1), 0.5);
+  };
+  fx::Tracer t;
+  auto traced = t.trace_function(f, {"a", "b"});
+  Tensor a = Tensor::randn({4}), b = Tensor::randn({4});
+  Tensor out = traced->run({a, b});
+  EXPECT_TRUE(allclose(out, ops::mul(ops::add(a, b), 0.5)));
+}
+
+TEST(Tracer, GraphLintHoldsAfterTrace) {
+  auto model = nn::models::mlp({8, 16, 4});
+  auto traced = symbolic_trace(model);
+  EXPECT_NO_THROW(traced->graph().lint());
+}
+
+}  // namespace
+}  // namespace fxcpp

@@ -1,0 +1,109 @@
+// Training-mode behaviors: batch-norm batch statistics with running-stat
+// updates (the "mutable state hidden inside well-understood Modules" of
+// Section 5.6), dropout train/eval switching, and the moving-average
+// observer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tracer.h"
+#include "nn/layers.h"
+#include "quant/observer.h"
+#include "tensor/ops.h"
+
+namespace fxcpp {
+namespace {
+
+using fx::Value;
+
+TEST(BatchNormTrain, NormalizesByBatchStats) {
+  Tensor x = Tensor::randn({8, 4, 5, 5});
+  Tensor gamma = Tensor::ones({4});
+  Tensor beta = Tensor::zeros({4});
+  Tensor rm = Tensor::zeros({4});
+  Tensor rv = Tensor::ones({4});
+  Tensor y = ops::batch_norm_train(x, gamma, beta, rm, rv, 0.1, 1e-5);
+  // Each output channel should be ~zero-mean unit-variance.
+  const std::int64_t per = 8 * 25;
+  for (std::int64_t ch = 0; ch < 4; ++ch) {
+    double mean = 0.0, var = 0.0;
+    for (std::int64_t img = 0; img < 8; ++img) {
+      for (std::int64_t i = 0; i < 25; ++i) {
+        mean += y.at_flat((img * 4 + ch) * 25 + i);
+      }
+    }
+    mean /= static_cast<double>(per);
+    for (std::int64_t img = 0; img < 8; ++img) {
+      for (std::int64_t i = 0; i < 25; ++i) {
+        const double d = y.at_flat((img * 4 + ch) * 25 + i) - mean;
+        var += d * d;
+      }
+    }
+    var /= static_cast<double>(per);
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTrain, UpdatesRunningStats) {
+  Tensor x = ops::add(ops::mul(Tensor::randn({16, 2, 4, 4}), 2.0), 5.0);
+  Tensor gamma = Tensor::ones({2}), beta = Tensor::zeros({2});
+  Tensor rm = Tensor::zeros({2}), rv = Tensor::ones({2});
+  ops::batch_norm_train(x, gamma, beta, rm, rv, /*momentum=*/1.0, 1e-5);
+  // With momentum 1.0 the running stats become the batch stats.
+  EXPECT_NEAR(rm.at_flat(0), 5.0, 0.5);
+  EXPECT_NEAR(rv.at_flat(0), 4.0, 1.0);
+}
+
+TEST(BatchNormTrain, ModuleSwitchesWithTrainingFlag) {
+  auto bn = std::make_shared<nn::BatchNorm2d>(3);
+  Tensor x = ops::add(Tensor::randn({4, 3, 4, 4}), 2.0);
+
+  // Eval mode: running stats (zeros/ones) -> output ~= input.
+  Tensor eval_out = (*bn)(Value(x)).tensor();
+  EXPECT_LT(max_abs_diff(eval_out, x), 1e-3);
+
+  // Train mode: batch stats -> output ~zero-mean, and running_mean moves.
+  bn->train(true);
+  Tensor train_out = (*bn)(Value(x)).tensor();
+  EXPECT_NEAR(ops::mean(train_out).item(), 0.0, 1e-3);
+  EXPECT_GT(bn->param("running_mean").at_flat(0), 0.01);
+
+  // Tracing a training-mode BN still records the inference graph form
+  // (leaf call_module), keeping mutation inside the module.
+  bn->train(false);
+}
+
+TEST(Dropout, TrainEvalSwitch) {
+  auto drop = std::make_shared<nn::Dropout>(0.5);
+  Tensor x = Tensor::ones({1000});
+  Tensor eval_out = (*drop)(Value(x)).tensor();
+  EXPECT_TRUE(allclose(eval_out, x));
+  drop->train(true);
+  Tensor train_out = (*drop)(Value(x)).tensor();
+  int zeros = 0;
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    if (train_out.at_flat(i) == 0.0) ++zeros;
+  }
+  EXPECT_GT(zeros, 350);
+  EXPECT_LT(zeros, 650);
+}
+
+TEST(MovingAverageObserver, SmoothsRange) {
+  quant::MovingAverageObserver obs(0.5);
+  obs.forward({Value(Tensor::from_vector({-1.f, 1.f}, {2}))});
+  EXPECT_NEAR(obs.ema_min(), -1.0, 1e-9);
+  // A spiky batch moves the EMA only halfway.
+  obs.forward({Value(Tensor::from_vector({-9.f, 9.f}, {2}))});
+  EXPECT_NEAR(obs.ema_min(), -5.0, 1e-9);
+  EXPECT_NEAR(obs.ema_max(), 5.0, 1e-9);
+  // Plain min/max keeps the raw extrema.
+  EXPECT_EQ(obs.min_val(), -9.0);
+  EXPECT_EQ(obs.max_val(), 9.0);
+  const QParams ema = obs.qparams_ema();
+  const QParams raw = obs.qparams();
+  EXPECT_LT(ema.scale, raw.scale);
+}
+
+}  // namespace
+}  // namespace fxcpp

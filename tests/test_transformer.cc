@@ -1,0 +1,142 @@
+// fx::Transformer and the passes built on it: identity rewrites, batch-norm
+// decomposition, argument normalization, and unused-submodule pruning.
+#include <gtest/gtest.h>
+
+#include "core/functional.h"
+#include "core/transformer.h"
+#include "core/tracer.h"
+#include "nn/models/resnet.h"
+#include "nn/models/mlp.h"
+#include "passes/cleanup.h"
+#include "passes/decompose.h"
+#include "passes/fuse_conv_bn.h"
+#include "tensor/ops.h"
+
+namespace fxcpp {
+namespace {
+
+using fx::Node;
+using fx::Opcode;
+using fx::Value;
+
+TEST(Transformer, IdentityRewritePreservesProgram) {
+  auto gm = fx::symbolic_trace(nn::models::mlp({8, 16, 4}, "relu"));
+  fx::Transformer t(*gm);
+  auto copy = t.transform();
+  EXPECT_EQ(copy->graph().size(), gm->graph().size());
+  Tensor x = Tensor::randn({2, 8});
+  EXPECT_TRUE(allclose(copy->run(x), gm->run(x)));
+  // Source is untouched.
+  EXPECT_NO_THROW(gm->graph().lint());
+}
+
+TEST(Transformer, HookCanRewriteFunctions) {
+  // Swap every relu for gelu via the Transformer (alternative to the
+  // pattern rewriter for whole-target rewrites).
+  class Swap : public fx::Transformer {
+   public:
+    using fx::Transformer::Transformer;
+    Value call_function(const Node& n) override {
+      if (n.target() == "relu") {
+        return fx::fn::gelu(value_of(n.args().at(0).node()));
+      }
+      return fx::Transformer::call_function(n);
+    }
+  };
+  auto gm = fx::symbolic_trace(std::function<Value(Value)>(
+      [](Value x) { return fx::fn::relu(x).neg(); }));
+  Swap t(*gm);
+  auto out = t.transform();
+  Tensor x = Tensor::randn({4});
+  EXPECT_TRUE(allclose(out->run(x), ops::neg(ops::gelu(x))));
+}
+
+TEST(Decompose, FunctionalBatchNorm) {
+  // Functional-style model: trace through builtins to get batch_norm as a
+  // call_function, then decompose it.
+  class F : public nn::Module {
+   public:
+    F() : nn::Module("F") {
+      register_parameter("g", Tensor::rand({4}));
+      register_parameter("b", Tensor::randn({4}));
+      register_buffer("m", Tensor::randn({4}));
+      register_buffer("v", ops::add(Tensor::rand({4}), 0.5));
+    }
+    Value forward(const std::vector<Value>& in) override {
+      return fx::fn::batch_norm(in.at(0), param_value("g"), param_value("b"),
+                                param_value("m"), param_value("v"), 1e-5);
+    }
+  };
+  auto gm = fx::symbolic_trace(
+      std::static_pointer_cast<nn::Module>(std::make_shared<F>()));
+  auto dec = passes::decompose_batch_norm(*gm);
+  for (const Node* n : dec->graph().nodes()) {
+    EXPECT_NE(n->target(), "batch_norm");
+  }
+  Tensor x = Tensor::randn({2, 4, 3, 3});
+  EXPECT_LT(max_abs_diff(dec->run(x), gm->run(x)), 1e-4);
+}
+
+TEST(Decompose, BatchNormModulesInResNet) {
+  auto gm = fx::symbolic_trace(nn::models::resnet18(8, 10));
+  auto dec = passes::decompose_batch_norm(*gm);
+  int bn_modules = 0;
+  for (const Node* n : dec->graph().nodes()) {
+    if (n->op() == Opcode::CallModule &&
+        dec->resolve_module(n->target())->kind() == "BatchNorm2d") {
+      ++bn_modules;
+    }
+  }
+  EXPECT_EQ(bn_modules, 0);
+  Tensor x = Tensor::randn({1, 3, 32, 32});
+  EXPECT_LT(max_abs_diff(dec->run(x), gm->run(x)), 1e-3);
+}
+
+TEST(NormalizeArgs, PositionalBecomeKwargs) {
+  auto gm = fx::symbolic_trace(std::function<Value(Value)>(
+      [](Value x) { return fx::fn::softmax(fx::fn::flatten(x, 1), -1); }));
+  Tensor x = Tensor::randn({2, 3, 4});
+  Tensor before = gm->run(x);
+  const int changed = passes::normalize_args(*gm);
+  EXPECT_EQ(changed, 2);
+  for (const Node* n : gm->graph().nodes()) {
+    if (n->target() == "softmax") {
+      EXPECT_EQ(n->args().size(), 1u);
+      EXPECT_EQ(n->kwarg("dim").as_int(), -1);
+    }
+    if (n->target() == "flatten") {
+      EXPECT_EQ(n->kwarg("start_dim").as_int(), 1);
+    }
+  }
+  EXPECT_TRUE(allclose(gm->run(x), before));
+  // Codegen renders keyword form.
+  EXPECT_NE(gm->code().find("dim = -1"), std::string::npos);
+}
+
+TEST(DeleteUnused, PrunesFoldedBatchNorms) {
+  auto gm = fx::symbolic_trace(nn::models::resnet18(8, 10));
+  passes::fuse_conv_bn(*gm);
+  const int removed = passes::delete_all_unused_submodules(*gm);
+  // 20 BN modules became unused (none of their params referenced).
+  EXPECT_EQ(removed, 20);
+  // The model still runs (tape rebuilt against the pruned hierarchy).
+  gm->recompile();
+  EXPECT_NO_THROW(gm->run(Tensor::randn({1, 3, 32, 32})));
+  // No BatchNorm2d remains anywhere in the hierarchy.
+  std::function<void(const nn::Module&)> walk = [&](const nn::Module& m) {
+    for (const auto& [name, c] : m.children()) {
+      (void)name;
+      EXPECT_NE(c->kind(), "BatchNorm2d");
+      walk(*c);
+    }
+  };
+  walk(*gm->root());
+}
+
+TEST(DeleteUnused, KeepsEverythingWhenAllUsed) {
+  auto gm = fx::symbolic_trace(nn::models::mlp({4, 8, 2}, "relu"));
+  EXPECT_EQ(passes::delete_all_unused_submodules(*gm), 0);
+}
+
+}  // namespace
+}  // namespace fxcpp

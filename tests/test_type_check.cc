@@ -1,0 +1,98 @@
+// Gradual shape typing tests (Section 6.3's third shape-analysis flavor):
+// known-vs-known mismatches are rejected, anything involving unknowns is
+// gradually accepted, and no example input is ever needed.
+#include <gtest/gtest.h>
+
+#include "core/functional.h"
+#include "core/tracer.h"
+#include "nn/models/mlp.h"
+#include "nn/models/resnet.h"
+#include "passes/type_check.h"
+
+namespace fxcpp {
+namespace {
+
+using fx::Value;
+using passes::SymDim;
+using passes::SymShape;
+
+TEST(TypeCheck, AcceptsCorrectMlp) {
+  auto gm = fx::symbolic_trace(nn::models::mlp({16, 32, 8}));
+  auto r = passes::type_check(
+      *gm, {SymShape{SymDim::dynamic(), SymDim::known(16)}});
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  ASSERT_TRUE(r.output.has_value());
+  EXPECT_EQ((*r.output)[1].value, 8);
+}
+
+TEST(TypeCheck, RejectsWrongFeatureDim) {
+  auto gm = fx::symbolic_trace(nn::models::mlp({16, 32, 8}));
+  auto r = passes::type_check(
+      *gm, {SymShape{SymDim::dynamic(), SymDim::known(17)}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.errors.at(0).message.find("Linear"), std::string::npos);
+}
+
+TEST(TypeCheck, GradualAnyInputAlwaysAccepted) {
+  auto gm = fx::symbolic_trace(nn::models::mlp({16, 32, 8}));
+  auto r = passes::type_check(*gm, {std::nullopt});
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(TypeCheck, DynamicDimIsConsistentWithAnything) {
+  auto gm = fx::symbolic_trace(nn::models::mlp({16, 32, 8}));
+  auto r = passes::type_check(
+      *gm, {SymShape{SymDim::known(4), SymDim::dynamic()}});
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(TypeCheck, ConvChannelMismatchCaught) {
+  auto gm = fx::symbolic_trace(nn::models::resnet18(8, 10));
+  auto r = passes::type_check(
+      *gm, {SymShape{SymDim::known(1), SymDim::known(4), SymDim::known(32),
+                     SymDim::known(32)}});  // 4 channels, model wants 3
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.errors.at(0).message.find("Conv2d"), std::string::npos);
+}
+
+TEST(TypeCheck, ResNetChecksCleanWithoutExampleInput) {
+  auto gm = fx::symbolic_trace(nn::models::resnet18(8, 10));
+  auto r = passes::type_check(
+      *gm, {SymShape{SymDim::dynamic(), SymDim::known(3), SymDim::known(32),
+                     SymDim::known(32)}});
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  ASSERT_TRUE(r.output.has_value());
+  EXPECT_EQ((*r.output)[1].value, 10);
+  // Nodes were annotated with gradual types.
+  bool annotated = false;
+  for (const fx::Node* n : gm->graph().nodes()) {
+    if (n->has_meta("gradual_type")) annotated = true;
+  }
+  EXPECT_TRUE(annotated);
+}
+
+TEST(TypeCheck, BroadcastMismatchCaught) {
+  fx::Tracer t;
+  auto gm = t.trace_function(
+      [](const std::vector<Value>& in) { return in.at(0) + in.at(1); },
+      {"a", "b"});
+  auto ok = passes::type_check(
+      *gm, {SymShape{SymDim::known(4), SymDim::known(3)},
+            SymShape{SymDim::known(3)}});
+  EXPECT_TRUE(ok.ok());
+  auto bad = passes::type_check(
+      *gm, {SymShape{SymDim::known(4), SymDim::known(3)},
+            SymShape{SymDim::known(5)}});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.errors.at(0).message.find("broadcastable"), std::string::npos);
+}
+
+TEST(TypeCheck, RankErrorCaught) {
+  auto gm = fx::symbolic_trace(nn::models::resnet18(8, 10));
+  auto r = passes::type_check(
+      *gm, {SymShape{SymDim::known(3), SymDim::known(32)}});  // rank 2
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace fxcpp
