@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ir_complexity.dir/bench_ir_complexity.cc.o"
+  "CMakeFiles/bench_ir_complexity.dir/bench_ir_complexity.cc.o.d"
+  "bench_ir_complexity"
+  "bench_ir_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ir_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

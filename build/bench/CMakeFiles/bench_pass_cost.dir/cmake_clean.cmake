@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pass_cost.dir/bench_pass_cost.cc.o"
+  "CMakeFiles/bench_pass_cost.dir/bench_pass_cost.cc.o.d"
+  "bench_pass_cost"
+  "bench_pass_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pass_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

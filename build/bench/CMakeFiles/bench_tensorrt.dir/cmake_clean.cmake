@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tensorrt.dir/bench_tensorrt.cc.o"
+  "CMakeFiles/bench_tensorrt.dir/bench_tensorrt.cc.o.d"
+  "bench_tensorrt"
+  "bench_tensorrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tensorrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

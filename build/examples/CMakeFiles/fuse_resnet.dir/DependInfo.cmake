@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fuse_resnet.cpp" "examples/CMakeFiles/fuse_resnet.dir/fuse_resnet.cpp.o" "gcc" "examples/CMakeFiles/fuse_resnet.dir/fuse_resnet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trt/CMakeFiles/fxcpp_trt.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/fxcpp_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/fxcpp_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/fxcpp_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fxcpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fxcpp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fxcpp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fxcpp_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

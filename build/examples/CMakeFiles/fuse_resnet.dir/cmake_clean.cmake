@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuse_resnet.dir/fuse_resnet.cpp.o"
+  "CMakeFiles/fuse_resnet.dir/fuse_resnet.cpp.o.d"
+  "fuse_resnet"
+  "fuse_resnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuse_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lower_to_trtsim.dir/lower_to_trtsim.cpp.o"
+  "CMakeFiles/lower_to_trtsim.dir/lower_to_trtsim.cpp.o.d"
+  "lower_to_trtsim"
+  "lower_to_trtsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lower_to_trtsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lower_to_trtsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_schedule.dir/pipeline_schedule.cpp.o"
+  "CMakeFiles/pipeline_schedule.dir/pipeline_schedule.cpp.o.d"
+  "pipeline_schedule"
+  "pipeline_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

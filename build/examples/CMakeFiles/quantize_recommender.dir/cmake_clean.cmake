@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantize_recommender.dir/quantize_recommender.cpp.o"
+  "CMakeFiles/quantize_recommender.dir/quantize_recommender.cpp.o.d"
+  "quantize_recommender"
+  "quantize_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantize_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shape_and_flops.dir/shape_and_flops.cpp.o"
+  "CMakeFiles/shape_and_flops.dir/shape_and_flops.cpp.o.d"
+  "shape_and_flops"
+  "shape_and_flops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_and_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

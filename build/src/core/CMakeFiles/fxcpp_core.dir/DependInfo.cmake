@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/codegen.cc" "src/core/CMakeFiles/fxcpp_core.dir/codegen.cc.o" "gcc" "src/core/CMakeFiles/fxcpp_core.dir/codegen.cc.o.d"
+  "/root/repo/src/core/custom_op.cc" "src/core/CMakeFiles/fxcpp_core.dir/custom_op.cc.o" "gcc" "src/core/CMakeFiles/fxcpp_core.dir/custom_op.cc.o.d"
+  "/root/repo/src/core/functional.cc" "src/core/CMakeFiles/fxcpp_core.dir/functional.cc.o" "gcc" "src/core/CMakeFiles/fxcpp_core.dir/functional.cc.o.d"
+  "/root/repo/src/core/graph_io.cc" "src/core/CMakeFiles/fxcpp_core.dir/graph_io.cc.o" "gcc" "src/core/CMakeFiles/fxcpp_core.dir/graph_io.cc.o.d"
+  "/root/repo/src/core/graph_module.cc" "src/core/CMakeFiles/fxcpp_core.dir/graph_module.cc.o" "gcc" "src/core/CMakeFiles/fxcpp_core.dir/graph_module.cc.o.d"
+  "/root/repo/src/core/interpreter.cc" "src/core/CMakeFiles/fxcpp_core.dir/interpreter.cc.o" "gcc" "src/core/CMakeFiles/fxcpp_core.dir/interpreter.cc.o.d"
+  "/root/repo/src/core/ir.cc" "src/core/CMakeFiles/fxcpp_core.dir/ir.cc.o" "gcc" "src/core/CMakeFiles/fxcpp_core.dir/ir.cc.o.d"
+  "/root/repo/src/core/module.cc" "src/core/CMakeFiles/fxcpp_core.dir/module.cc.o" "gcc" "src/core/CMakeFiles/fxcpp_core.dir/module.cc.o.d"
+  "/root/repo/src/core/op_registry.cc" "src/core/CMakeFiles/fxcpp_core.dir/op_registry.cc.o" "gcc" "src/core/CMakeFiles/fxcpp_core.dir/op_registry.cc.o.d"
+  "/root/repo/src/core/split.cc" "src/core/CMakeFiles/fxcpp_core.dir/split.cc.o" "gcc" "src/core/CMakeFiles/fxcpp_core.dir/split.cc.o.d"
+  "/root/repo/src/core/subgraph_rewriter.cc" "src/core/CMakeFiles/fxcpp_core.dir/subgraph_rewriter.cc.o" "gcc" "src/core/CMakeFiles/fxcpp_core.dir/subgraph_rewriter.cc.o.d"
+  "/root/repo/src/core/tracer.cc" "src/core/CMakeFiles/fxcpp_core.dir/tracer.cc.o" "gcc" "src/core/CMakeFiles/fxcpp_core.dir/tracer.cc.o.d"
+  "/root/repo/src/core/transformer.cc" "src/core/CMakeFiles/fxcpp_core.dir/transformer.cc.o" "gcc" "src/core/CMakeFiles/fxcpp_core.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fxcpp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fxcpp_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxcpp_core.dir/codegen.cc.o"
+  "CMakeFiles/fxcpp_core.dir/codegen.cc.o.d"
+  "CMakeFiles/fxcpp_core.dir/custom_op.cc.o"
+  "CMakeFiles/fxcpp_core.dir/custom_op.cc.o.d"
+  "CMakeFiles/fxcpp_core.dir/functional.cc.o"
+  "CMakeFiles/fxcpp_core.dir/functional.cc.o.d"
+  "CMakeFiles/fxcpp_core.dir/graph_io.cc.o"
+  "CMakeFiles/fxcpp_core.dir/graph_io.cc.o.d"
+  "CMakeFiles/fxcpp_core.dir/graph_module.cc.o"
+  "CMakeFiles/fxcpp_core.dir/graph_module.cc.o.d"
+  "CMakeFiles/fxcpp_core.dir/interpreter.cc.o"
+  "CMakeFiles/fxcpp_core.dir/interpreter.cc.o.d"
+  "CMakeFiles/fxcpp_core.dir/ir.cc.o"
+  "CMakeFiles/fxcpp_core.dir/ir.cc.o.d"
+  "CMakeFiles/fxcpp_core.dir/module.cc.o"
+  "CMakeFiles/fxcpp_core.dir/module.cc.o.d"
+  "CMakeFiles/fxcpp_core.dir/op_registry.cc.o"
+  "CMakeFiles/fxcpp_core.dir/op_registry.cc.o.d"
+  "CMakeFiles/fxcpp_core.dir/split.cc.o"
+  "CMakeFiles/fxcpp_core.dir/split.cc.o.d"
+  "CMakeFiles/fxcpp_core.dir/subgraph_rewriter.cc.o"
+  "CMakeFiles/fxcpp_core.dir/subgraph_rewriter.cc.o.d"
+  "CMakeFiles/fxcpp_core.dir/tracer.cc.o"
+  "CMakeFiles/fxcpp_core.dir/tracer.cc.o.d"
+  "CMakeFiles/fxcpp_core.dir/transformer.cc.o"
+  "CMakeFiles/fxcpp_core.dir/transformer.cc.o.d"
+  "libfxcpp_core.a"
+  "libfxcpp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxcpp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

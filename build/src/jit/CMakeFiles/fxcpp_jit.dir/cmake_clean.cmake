@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxcpp_jit.dir/ir.cc.o"
+  "CMakeFiles/fxcpp_jit.dir/ir.cc.o.d"
+  "CMakeFiles/fxcpp_jit.dir/script.cc.o"
+  "CMakeFiles/fxcpp_jit.dir/script.cc.o.d"
+  "CMakeFiles/fxcpp_jit.dir/trace.cc.o"
+  "CMakeFiles/fxcpp_jit.dir/trace.cc.o.d"
+  "libfxcpp_jit.a"
+  "libfxcpp_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxcpp_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

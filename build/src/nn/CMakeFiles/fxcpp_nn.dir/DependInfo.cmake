@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/fxcpp_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/fxcpp_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/models/deep_recommender.cc" "src/nn/CMakeFiles/fxcpp_nn.dir/models/deep_recommender.cc.o" "gcc" "src/nn/CMakeFiles/fxcpp_nn.dir/models/deep_recommender.cc.o.d"
+  "/root/repo/src/nn/models/dlrm.cc" "src/nn/CMakeFiles/fxcpp_nn.dir/models/dlrm.cc.o" "gcc" "src/nn/CMakeFiles/fxcpp_nn.dir/models/dlrm.cc.o.d"
+  "/root/repo/src/nn/models/learning_to_paint.cc" "src/nn/CMakeFiles/fxcpp_nn.dir/models/learning_to_paint.cc.o" "gcc" "src/nn/CMakeFiles/fxcpp_nn.dir/models/learning_to_paint.cc.o.d"
+  "/root/repo/src/nn/models/mlp.cc" "src/nn/CMakeFiles/fxcpp_nn.dir/models/mlp.cc.o" "gcc" "src/nn/CMakeFiles/fxcpp_nn.dir/models/mlp.cc.o.d"
+  "/root/repo/src/nn/models/resnet.cc" "src/nn/CMakeFiles/fxcpp_nn.dir/models/resnet.cc.o" "gcc" "src/nn/CMakeFiles/fxcpp_nn.dir/models/resnet.cc.o.d"
+  "/root/repo/src/nn/models/transformer.cc" "src/nn/CMakeFiles/fxcpp_nn.dir/models/transformer.cc.o" "gcc" "src/nn/CMakeFiles/fxcpp_nn.dir/models/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fxcpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fxcpp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fxcpp_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

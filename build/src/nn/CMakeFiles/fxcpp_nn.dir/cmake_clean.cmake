@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxcpp_nn.dir/layers.cc.o"
+  "CMakeFiles/fxcpp_nn.dir/layers.cc.o.d"
+  "CMakeFiles/fxcpp_nn.dir/models/deep_recommender.cc.o"
+  "CMakeFiles/fxcpp_nn.dir/models/deep_recommender.cc.o.d"
+  "CMakeFiles/fxcpp_nn.dir/models/dlrm.cc.o"
+  "CMakeFiles/fxcpp_nn.dir/models/dlrm.cc.o.d"
+  "CMakeFiles/fxcpp_nn.dir/models/learning_to_paint.cc.o"
+  "CMakeFiles/fxcpp_nn.dir/models/learning_to_paint.cc.o.d"
+  "CMakeFiles/fxcpp_nn.dir/models/mlp.cc.o"
+  "CMakeFiles/fxcpp_nn.dir/models/mlp.cc.o.d"
+  "CMakeFiles/fxcpp_nn.dir/models/resnet.cc.o"
+  "CMakeFiles/fxcpp_nn.dir/models/resnet.cc.o.d"
+  "CMakeFiles/fxcpp_nn.dir/models/transformer.cc.o"
+  "CMakeFiles/fxcpp_nn.dir/models/transformer.cc.o.d"
+  "libfxcpp_nn.a"
+  "libfxcpp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxcpp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

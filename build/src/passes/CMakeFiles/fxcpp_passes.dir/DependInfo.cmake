@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/autodiff.cc" "src/passes/CMakeFiles/fxcpp_passes.dir/autodiff.cc.o" "gcc" "src/passes/CMakeFiles/fxcpp_passes.dir/autodiff.cc.o.d"
+  "/root/repo/src/passes/cleanup.cc" "src/passes/CMakeFiles/fxcpp_passes.dir/cleanup.cc.o" "gcc" "src/passes/CMakeFiles/fxcpp_passes.dir/cleanup.cc.o.d"
+  "/root/repo/src/passes/cleanup_extra.cc" "src/passes/CMakeFiles/fxcpp_passes.dir/cleanup_extra.cc.o" "gcc" "src/passes/CMakeFiles/fxcpp_passes.dir/cleanup_extra.cc.o.d"
+  "/root/repo/src/passes/decompose.cc" "src/passes/CMakeFiles/fxcpp_passes.dir/decompose.cc.o" "gcc" "src/passes/CMakeFiles/fxcpp_passes.dir/decompose.cc.o.d"
+  "/root/repo/src/passes/flops.cc" "src/passes/CMakeFiles/fxcpp_passes.dir/flops.cc.o" "gcc" "src/passes/CMakeFiles/fxcpp_passes.dir/flops.cc.o.d"
+  "/root/repo/src/passes/fuse_conv_bn.cc" "src/passes/CMakeFiles/fxcpp_passes.dir/fuse_conv_bn.cc.o" "gcc" "src/passes/CMakeFiles/fxcpp_passes.dir/fuse_conv_bn.cc.o.d"
+  "/root/repo/src/passes/graph_drawer.cc" "src/passes/CMakeFiles/fxcpp_passes.dir/graph_drawer.cc.o" "gcc" "src/passes/CMakeFiles/fxcpp_passes.dir/graph_drawer.cc.o.d"
+  "/root/repo/src/passes/scheduler.cc" "src/passes/CMakeFiles/fxcpp_passes.dir/scheduler.cc.o" "gcc" "src/passes/CMakeFiles/fxcpp_passes.dir/scheduler.cc.o.d"
+  "/root/repo/src/passes/shape_prop.cc" "src/passes/CMakeFiles/fxcpp_passes.dir/shape_prop.cc.o" "gcc" "src/passes/CMakeFiles/fxcpp_passes.dir/shape_prop.cc.o.d"
+  "/root/repo/src/passes/symbolic_shapes.cc" "src/passes/CMakeFiles/fxcpp_passes.dir/symbolic_shapes.cc.o" "gcc" "src/passes/CMakeFiles/fxcpp_passes.dir/symbolic_shapes.cc.o.d"
+  "/root/repo/src/passes/type_check.cc" "src/passes/CMakeFiles/fxcpp_passes.dir/type_check.cc.o" "gcc" "src/passes/CMakeFiles/fxcpp_passes.dir/type_check.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fxcpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fxcpp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fxcpp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fxcpp_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

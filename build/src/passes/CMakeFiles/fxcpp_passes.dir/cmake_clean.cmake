@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxcpp_passes.dir/autodiff.cc.o"
+  "CMakeFiles/fxcpp_passes.dir/autodiff.cc.o.d"
+  "CMakeFiles/fxcpp_passes.dir/cleanup.cc.o"
+  "CMakeFiles/fxcpp_passes.dir/cleanup.cc.o.d"
+  "CMakeFiles/fxcpp_passes.dir/cleanup_extra.cc.o"
+  "CMakeFiles/fxcpp_passes.dir/cleanup_extra.cc.o.d"
+  "CMakeFiles/fxcpp_passes.dir/decompose.cc.o"
+  "CMakeFiles/fxcpp_passes.dir/decompose.cc.o.d"
+  "CMakeFiles/fxcpp_passes.dir/flops.cc.o"
+  "CMakeFiles/fxcpp_passes.dir/flops.cc.o.d"
+  "CMakeFiles/fxcpp_passes.dir/fuse_conv_bn.cc.o"
+  "CMakeFiles/fxcpp_passes.dir/fuse_conv_bn.cc.o.d"
+  "CMakeFiles/fxcpp_passes.dir/graph_drawer.cc.o"
+  "CMakeFiles/fxcpp_passes.dir/graph_drawer.cc.o.d"
+  "CMakeFiles/fxcpp_passes.dir/scheduler.cc.o"
+  "CMakeFiles/fxcpp_passes.dir/scheduler.cc.o.d"
+  "CMakeFiles/fxcpp_passes.dir/shape_prop.cc.o"
+  "CMakeFiles/fxcpp_passes.dir/shape_prop.cc.o.d"
+  "CMakeFiles/fxcpp_passes.dir/symbolic_shapes.cc.o"
+  "CMakeFiles/fxcpp_passes.dir/symbolic_shapes.cc.o.d"
+  "CMakeFiles/fxcpp_passes.dir/type_check.cc.o"
+  "CMakeFiles/fxcpp_passes.dir/type_check.cc.o.d"
+  "libfxcpp_passes.a"
+  "libfxcpp_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxcpp_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxcpp_quant.dir/modules.cc.o"
+  "CMakeFiles/fxcpp_quant.dir/modules.cc.o.d"
+  "CMakeFiles/fxcpp_quant.dir/observer.cc.o"
+  "CMakeFiles/fxcpp_quant.dir/observer.cc.o.d"
+  "CMakeFiles/fxcpp_quant.dir/quantize.cc.o"
+  "CMakeFiles/fxcpp_quant.dir/quantize.cc.o.d"
+  "libfxcpp_quant.a"
+  "libfxcpp_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxcpp_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

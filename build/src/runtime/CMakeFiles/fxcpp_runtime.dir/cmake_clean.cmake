@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxcpp_runtime.dir/rng.cc.o"
+  "CMakeFiles/fxcpp_runtime.dir/rng.cc.o.d"
+  "CMakeFiles/fxcpp_runtime.dir/thread_pool.cc.o"
+  "CMakeFiles/fxcpp_runtime.dir/thread_pool.cc.o.d"
+  "libfxcpp_runtime.a"
+  "libfxcpp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxcpp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxcpp_tensor.dir/ops_conv.cc.o"
+  "CMakeFiles/fxcpp_tensor.dir/ops_conv.cc.o.d"
+  "CMakeFiles/fxcpp_tensor.dir/ops_elementwise.cc.o"
+  "CMakeFiles/fxcpp_tensor.dir/ops_elementwise.cc.o.d"
+  "CMakeFiles/fxcpp_tensor.dir/ops_linear.cc.o"
+  "CMakeFiles/fxcpp_tensor.dir/ops_linear.cc.o.d"
+  "CMakeFiles/fxcpp_tensor.dir/ops_norm_reduce.cc.o"
+  "CMakeFiles/fxcpp_tensor.dir/ops_norm_reduce.cc.o.d"
+  "CMakeFiles/fxcpp_tensor.dir/quantized.cc.o"
+  "CMakeFiles/fxcpp_tensor.dir/quantized.cc.o.d"
+  "CMakeFiles/fxcpp_tensor.dir/tensor.cc.o"
+  "CMakeFiles/fxcpp_tensor.dir/tensor.cc.o.d"
+  "libfxcpp_tensor.a"
+  "libfxcpp_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxcpp_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

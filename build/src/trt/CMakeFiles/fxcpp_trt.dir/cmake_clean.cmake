@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxcpp_trt.dir/engine.cc.o"
+  "CMakeFiles/fxcpp_trt.dir/engine.cc.o.d"
+  "CMakeFiles/fxcpp_trt.dir/lower.cc.o"
+  "CMakeFiles/fxcpp_trt.dir/lower.cc.o.d"
+  "libfxcpp_trt.a"
+  "libfxcpp_trt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxcpp_trt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

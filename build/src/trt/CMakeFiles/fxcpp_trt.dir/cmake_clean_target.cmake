@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfxcpp_trt.a"
+)

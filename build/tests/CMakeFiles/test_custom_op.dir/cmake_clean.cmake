@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_custom_op.dir/test_custom_op.cc.o"
+  "CMakeFiles/test_custom_op.dir/test_custom_op.cc.o.d"
+  "test_custom_op"
+  "test_custom_op.pdb"
+  "test_custom_op[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_custom_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quant_per_channel.dir/test_quant_per_channel.cc.o"
+  "CMakeFiles/test_quant_per_channel.dir/test_quant_per_channel.cc.o.d"
+  "test_quant_per_channel"
+  "test_quant_per_channel.pdb"
+  "test_quant_per_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quant_per_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

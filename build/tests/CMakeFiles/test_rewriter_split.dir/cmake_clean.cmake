@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rewriter_split.dir/test_rewriter_split.cc.o"
+  "CMakeFiles/test_rewriter_split.dir/test_rewriter_split.cc.o.d"
+  "test_rewriter_split"
+  "test_rewriter_split.pdb"
+  "test_rewriter_split[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rewriter_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_training_mode.dir/test_training_mode.cc.o"
+  "CMakeFiles/test_training_mode.dir/test_training_mode.cc.o.d"
+  "test_training_mode"
+  "test_training_mode.pdb"
+  "test_training_mode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_training_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trt.dir/test_trt.cc.o"
+  "CMakeFiles/test_trt.dir/test_trt.cc.o.d"
+  "test_trt"
+  "test_trt.pdb"
+  "test_trt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

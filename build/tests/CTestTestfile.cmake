@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_tracer[1]_include.cmake")
+include("/root/repo/build/tests/test_quantize[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen_interp[1]_include.cmake")
+include("/root/repo/build/tests/test_rewriter_split[1]_include.cmake")
+include("/root/repo/build/tests/test_passes[1]_include.cmake")
+include("/root/repo/build/tests/test_jit[1]_include.cmake")
+include("/root/repo/build/tests/test_trt[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_transformer[1]_include.cmake")
+include("/root/repo/build/tests/test_quant_per_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_type_check[1]_include.cmake")
+include("/root/repo/build/tests/test_observers[1]_include.cmake")
+include("/root/repo/build/tests/test_training_mode[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_io[1]_include.cmake")
+include("/root/repo/build/tests/test_custom_op[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_autodiff[1]_include.cmake")
