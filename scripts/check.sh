@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice: a normal Release build+ctest, then the same
+# suite under AddressSanitizer+UBSan (FXCPP_SANITIZE=ON) in a separate build
+# tree. Fails on the first red step.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="${JOBS:-$(nproc)}"
+
+echo "== [1/2] normal build + ctest (build/) =="
+cmake -B "$repo/build" -S "$repo"
+cmake --build "$repo/build" -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+echo "== [2/2] sanitized build + ctest (build-asan/) =="
+cmake -B "$repo/build-asan" -S "$repo" -DFXCPP_SANITIZE=ON
+cmake --build "$repo/build-asan" -j "$jobs"
+ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
+
+echo "== check.sh: both suites green =="

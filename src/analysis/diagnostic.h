@@ -1,0 +1,68 @@
+// Structured lint diagnostics — the analysis subsystem's currency.
+//
+// The paper keeps transformed programs well-formed through graph.lint() and
+// Python name resolution (Sections 4.2-4.4); both fail fast on the first
+// problem. Rules here instead *collect* every finding as a Diagnostic so a
+// transform author sees all defects of a broken graph at once (the Relay-
+// style well-formedness-check layering over a DL IR).
+//
+// Header-only on purpose: core's Graph::lint() and the analysis Verifier
+// share the same rule implementations (see structural_rules.h) without a
+// link-time dependency from fxcpp_core onto fxcpp_analysis.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fxcpp::fx {
+class Node;
+}
+
+namespace fxcpp::analysis {
+
+enum class Severity { Error, Warning, Info };
+
+inline const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Error: return "error";
+    case Severity::Warning: return "warning";
+    case Severity::Info: return "info";
+  }
+  return "?";
+}
+
+// One finding: which rule fired, how bad it is, where, and what to do.
+struct Diagnostic {
+  std::string rule;       // e.g. "structure.use-before-def"
+  Severity severity = Severity::Error;
+  const fx::Node* node = nullptr;  // offending node (null = graph-level)
+  std::string node_name;           // captured so reports outlive the node
+  std::string message;
+  std::string note;  // optional fix-it hint
+
+  std::string to_string() const {
+    std::ostringstream os;
+    os << severity_name(severity) << " [" << rule << "]";
+    if (!node_name.empty()) os << " at '" << node_name << "'";
+    os << ": " << message;
+    if (!note.empty()) os << " (note: " << note << ")";
+    return os.str();
+  }
+};
+
+// Append helper used by every rule body.
+inline void emit(std::vector<Diagnostic>& out, std::string rule, Severity sev,
+                 const fx::Node* node, std::string node_name,
+                 std::string message, std::string note = "") {
+  Diagnostic d;
+  d.rule = std::move(rule);
+  d.severity = sev;
+  d.node = node;
+  d.node_name = std::move(node_name);
+  d.message = std::move(message);
+  d.note = std::move(note);
+  out.push_back(std::move(d));
+}
+
+}  // namespace fxcpp::analysis

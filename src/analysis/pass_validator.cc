@@ -1,0 +1,113 @@
+#include "analysis/pass_validator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/interpreter.h"
+#include "runtime/rng.h"
+#include "tensor/tensor.h"
+
+namespace fxcpp::analysis {
+
+namespace {
+
+Tensor random_input(const Shape& shape, rt::Rng& rng) {
+  Tensor t = Tensor::zeros(shape);
+  float* p = t.data<float>();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.normal());
+  }
+  return t;
+}
+
+}  // namespace
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream os;
+  os << "PassValidator: pre " << pre.count(Severity::Error) << "E/"
+     << pre.count(Severity::Warning) << "W, post "
+     << post.count(Severity::Error) << "E/" << post.count(Severity::Warning)
+     << "W, " << trials << " trial(s), max divergence " << max_divergence
+     << " (tolerance " << tolerance << ")";
+  os << ", compiled-vs-interpreter " << max_interp_divergence;
+  if (!error.empty()) os << ", ERROR: " << error;
+  os << (ok() ? " -> OK" : " -> FAILED");
+  return os.str();
+}
+
+ValidationReport PassValidator::validate(
+    fx::GraphModule& gm, const std::function<void(fx::GraphModule&)>& transform,
+    const std::vector<Shape>& input_shapes) {
+  return validate_rebuild(
+      gm,
+      [&](fx::GraphModule& m) -> std::shared_ptr<fx::GraphModule> {
+        transform(m);
+        return nullptr;  // in-place: post module is `gm` itself
+      },
+      input_shapes);
+}
+
+ValidationReport PassValidator::validate_rebuild(
+    fx::GraphModule& gm,
+    const std::function<std::shared_ptr<fx::GraphModule>(fx::GraphModule&)>&
+        transform,
+    const std::vector<Shape>& input_shapes) {
+  ValidationReport report;
+  report.tolerance = opts_.tolerance;
+
+  Verifier verifier;
+  report.pre = verifier.verify(gm);
+
+  // Capture pre-transform behavior *before* running the transform: in-place
+  // passes mutate the shared module hierarchy (fuse_conv_bn swaps weights),
+  // so the original program is unrunnable afterwards.
+  rt::Rng rng(opts_.seed);
+  std::vector<std::vector<Tensor>> inputs;
+  std::vector<Tensor> pre_outputs;
+  try {
+    for (int t = 0; t < opts_.trials; ++t) {
+      std::vector<Tensor> in;
+      in.reserve(input_shapes.size());
+      for (const Shape& s : input_shapes) in.push_back(random_input(s, rng));
+      pre_outputs.push_back(gm.run(in));
+      inputs.push_back(std::move(in));
+    }
+  } catch (const std::exception& e) {
+    report.error = std::string("pre-transform execution failed: ") + e.what();
+    return report;
+  }
+
+  std::shared_ptr<fx::GraphModule> produced;
+  try {
+    produced = transform(gm);
+  } catch (const std::exception& e) {
+    report.error = std::string("transform threw: ") + e.what();
+    return report;
+  }
+  fx::GraphModule& post = produced ? *produced : gm;
+
+  report.post = verifier.verify(post);
+
+  try {
+    for (std::size_t t = 0; t < inputs.size(); ++t) {
+      const Tensor post_out = post.run(inputs[t]);
+      report.max_divergence = std::max(
+          report.max_divergence, max_abs_diff(pre_outputs[t], post_out));
+      if (opts_.check_interpreter) {
+        // The tape pre-resolves targets; the Interpreter resolves per node.
+        // Agreement means the lowered program matches the IR's meaning.
+        fx::Interpreter interp(post);
+        std::vector<fx::RtValue> rt(inputs[t].begin(), inputs[t].end());
+        const Tensor interp_out = fx::rt_tensor(interp.run(std::move(rt)));
+        report.max_interp_divergence = std::max(
+            report.max_interp_divergence, max_abs_diff(post_out, interp_out));
+      }
+      ++report.trials;
+    }
+  } catch (const std::exception& e) {
+    report.error = std::string("post-transform execution failed: ") + e.what();
+  }
+  return report;
+}
+
+}  // namespace fxcpp::analysis

@@ -1,0 +1,75 @@
+// PassValidator — differential testing harness for graph transforms.
+//
+// TorchProbe-style validation: verify the IR before the transform, run it,
+// verify the IR after, and differentially execute the pre/post programs on
+// randomized inputs through the existing execution engines, reporting the
+// maximum absolute divergence. A transform that preserves semantics (fusion,
+// decomposition, splitting, rewriting) must diverge by ~float error; lossy
+// transforms (int8 quantization) pass with an explicit tolerance.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.h"
+#include "tensor/shape.h"
+
+namespace fxcpp::analysis {
+
+struct ValidationOptions {
+  int trials = 3;            // randomized input sets per validation
+  double tolerance = 1e-4;   // max allowed |pre - post| divergence
+  bool check_interpreter = true;  // also cross-check post tape vs Interpreter
+  std::uint64_t seed = 0x5EEDF00Dull;  // deterministic input generation
+};
+
+struct ValidationReport {
+  Report pre;   // verifier findings before the transform
+  Report post;  // verifier findings after
+  int trials = 0;
+  // Largest |before - after| over all trials (compiled tape execution).
+  double max_divergence = 0.0;
+  // Largest |compiled - Interpreter| on the post-transform module.
+  double max_interp_divergence = 0.0;
+  double tolerance = 0.0;
+  std::string error;  // non-empty if an execution threw
+
+  bool ok() const {
+    return error.empty() && pre.ok() && post.ok() &&
+           max_divergence <= tolerance && max_interp_divergence <= tolerance;
+  }
+  std::string to_string() const;
+};
+
+class PassValidator {
+ public:
+  explicit PassValidator(ValidationOptions opts = {}) : opts_(opts) {}
+
+  // Validate an in-place transform (fuse_conv_bn, quantize convert, ...).
+  // `input_shapes`: one shape per graph placeholder; inputs are drawn from
+  // a seeded normal distribution.
+  ValidationReport validate(
+      fx::GraphModule& gm,
+      const std::function<void(fx::GraphModule&)>& transform,
+      const std::vector<Shape>& input_shapes);
+
+  // Validate a rebuilding transform that returns a replacement module
+  // (decompose, split_module's parent, Transformer subclasses). Named
+  // distinctly because a shared_ptr-returning lambda also converts to
+  // std::function<void(GraphModule&)>, which would make an overloaded
+  // `validate` ambiguous.
+  ValidationReport validate_rebuild(
+      fx::GraphModule& gm,
+      const std::function<std::shared_ptr<fx::GraphModule>(fx::GraphModule&)>&
+          transform,
+      const std::vector<Shape>& input_shapes);
+
+  const ValidationOptions& options() const { return opts_; }
+
+ private:
+  ValidationOptions opts_;
+};
+
+}  // namespace fxcpp::analysis

@@ -1,0 +1,166 @@
+// Structural well-formedness rules over the 6-opcode IR.
+//
+// These are the invariants Graph::lint() historically enforced (unique
+// names, placeholders first, single trailing output, defs before uses,
+// consistent use-def chains) plus hygiene findings (unused placeholders,
+// dead pure nodes). Each rule appends Diagnostics instead of throwing, so a
+// single pass reports every defect.
+//
+// Header-only and core-types-only: both Graph::lint() (fxcpp_core) and the
+// analysis Verifier (fxcpp_analysis) call these exact functions, so the
+// throwing and collecting APIs can never disagree about structure.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "core/graph.h"
+
+namespace fxcpp::analysis::rules {
+
+// structure.duplicate-name — node names must be unique within the graph.
+inline void duplicate_names(const fx::Graph& g, std::vector<Diagnostic>& out) {
+  std::set<std::string> seen;
+  for (const fx::Node* n : g.nodes()) {
+    if (!seen.insert(n->name()).second) {
+      emit(out, "structure.duplicate-name", Severity::Error, n, n->name(),
+           "duplicate node name '" + n->name() + "'",
+           "rename via Graph::unique_name before inserting");
+    }
+  }
+}
+
+// structure.placeholders-first — all placeholders precede compute nodes.
+inline void placeholders_first(const fx::Graph& g,
+                               std::vector<Diagnostic>& out) {
+  bool saw_compute = false;
+  for (const fx::Node* n : g.nodes()) {
+    if (n->op() == fx::Opcode::Placeholder) {
+      if (saw_compute) {
+        emit(out, "structure.placeholders-first", Severity::Error, n,
+             n->name(),
+             "placeholder '" + n->name() + "' after non-placeholder nodes",
+             "move_before the first compute node");
+      }
+    } else {
+      saw_compute = true;
+    }
+  }
+}
+
+// structure.output-last — at most one output node, it must be last, and the
+// graph's cached output pointer must agree with the node list.
+inline void output_last(const fx::Graph& g, std::vector<Diagnostic>& out) {
+  const fx::Node* out_node = nullptr;
+  for (const fx::Node* n : g.nodes()) {
+    if (out_node) {
+      emit(out, "structure.output-last", Severity::Error, n, n->name(),
+           "node '" + n->name() + "' appears after the output node",
+           "insert new nodes before the output");
+    }
+    if (n->op() == fx::Opcode::Output) out_node = n;
+  }
+  if (g.output_node() && out_node != g.output_node()) {
+    emit(out, "structure.output-last", Severity::Error, g.output_node(),
+         g.output_node()->name(),
+         "cached output node disagrees with the node list");
+  }
+}
+
+// structure.missing-output — a graph without an output computes nothing.
+inline void missing_output(const fx::Graph& g, std::vector<Diagnostic>& out) {
+  for (const fx::Node* n : g.nodes()) {
+    if (n->op() == fx::Opcode::Output) return;
+  }
+  emit(out, "structure.missing-output", Severity::Warning, nullptr, "",
+       "graph has no output node",
+       "call Graph::output() with the returned value");
+}
+
+// structure.use-before-def — every Node argument must reference a node
+// defined earlier in the insertion order (the IR is a basic block).
+inline void use_before_def(const fx::Graph& g, std::vector<Diagnostic>& out) {
+  std::set<const fx::Node*> seen;
+  for (const fx::Node* n : g.nodes()) {
+    for (const fx::Node* in : n->input_nodes()) {
+      if (!seen.count(in)) {
+        emit(out, "structure.use-before-def", Severity::Error, n, n->name(),
+             "node '" + n->name() + "' uses '" + in->name() +
+                 "' before its definition",
+             "move_before the use or re-topologize");
+      }
+    }
+    seen.insert(n);
+  }
+}
+
+// structure.stale-use-def — users() and input_nodes() must be mutually
+// consistent in both directions (transforms that bypass set_args break this).
+inline void use_def_consistency(const fx::Graph& g,
+                                std::vector<Diagnostic>& out) {
+  for (const fx::Node* n : g.nodes()) {
+    for (fx::Node* in : n->input_nodes()) {
+      if (!in->users().count(const_cast<fx::Node*>(n))) {
+        emit(out, "structure.stale-use-def", Severity::Error, n, n->name(),
+             "'" + in->name() + "' is an input of '" + n->name() +
+                 "' but does not list it as a user");
+      }
+    }
+    for (const fx::Node* u : n->users()) {
+      bool found = false;
+      for (const fx::Node* in : u->input_nodes()) {
+        if (in == n) found = true;
+      }
+      if (!found) {
+        emit(out, "structure.stale-use-def", Severity::Error, n, n->name(),
+             "stale user entry: '" + u->name() + "' is recorded as a user of '" +
+                 n->name() + "' but no longer references it");
+      }
+    }
+  }
+}
+
+// structure.unused-placeholder — an input nobody reads (often a leftover
+// from a rewrite that rerouted the graph away from it).
+inline void unused_placeholders(const fx::Graph& g,
+                                std::vector<Diagnostic>& out) {
+  for (const fx::Node* n : g.placeholders()) {
+    if (n->users().empty()) {
+      emit(out, "structure.unused-placeholder", Severity::Warning, n,
+           n->name(), "placeholder '" + n->name() + "' has no users",
+           "drop the input or erase the placeholder");
+    }
+  }
+}
+
+// structure.dead-code — pure compute node with no users; harmless (the IR
+// has no side effects) but wasted work until eliminate_dead_code() runs.
+inline void dead_code(const fx::Graph& g, std::vector<Diagnostic>& out) {
+  for (const fx::Node* n : g.nodes()) {
+    if (n->op() == fx::Opcode::Placeholder || n->op() == fx::Opcode::Output) {
+      continue;
+    }
+    if (n->users().empty()) {
+      emit(out, "structure.dead-code", Severity::Info, n, n->name(),
+           "node '" + n->name() + "' has no users",
+           "Graph::eliminate_dead_code() removes it");
+    }
+  }
+}
+
+// Run every structural rule. Graph::lint() throws on the Error-severity
+// subset of exactly this list; the Verifier reports all of it.
+inline void check_structure(const fx::Graph& g, std::vector<Diagnostic>& out) {
+  duplicate_names(g, out);
+  placeholders_first(g, out);
+  output_last(g, out);
+  missing_output(g, out);
+  use_before_def(g, out);
+  use_def_consistency(g, out);
+  unused_placeholders(g, out);
+  dead_code(g, out);
+}
+
+}  // namespace fxcpp::analysis::rules

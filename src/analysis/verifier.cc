@@ -1,0 +1,394 @@
+#include "analysis/verifier.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+#include "analysis/structural_rules.h"
+#include "core/functional.h"
+#include "core/op_registry.h"
+#include "passes/shape_prop.h"
+#include "passes/type_check.h"
+
+namespace fxcpp::analysis {
+
+using fx::Graph;
+using fx::GraphModule;
+using fx::Node;
+using fx::Opcode;
+using fx::OpInfo;
+using fx::OpRegistry;
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+int Report::count(Severity s) const {
+  int n = 0;
+  for (const auto& d : diagnostics) n += d.severity == s ? 1 : 0;
+  return n;
+}
+
+int Report::count_rule(const std::string& rule_id) const {
+  int n = 0;
+  for (const auto& d : diagnostics) n += d.rule == rule_id ? 1 : 0;
+  return n;
+}
+
+std::vector<std::string> Report::fired_rules() const {
+  std::vector<std::string> ids;
+  for (const auto& d : diagnostics) {
+    if (std::find(ids.begin(), ids.end(), d.rule) == ids.end()) {
+      ids.push_back(d.rule);
+    }
+  }
+  return ids;
+}
+
+std::string Report::to_string() const {
+  std::ostringstream os;
+  for (const auto& d : diagnostics) os << d.to_string() << "\n";
+  os << count(Severity::Error) << " error(s), " << count(Severity::Warning)
+     << " warning(s), " << count(Severity::Info) << " info";
+  return os.str();
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Report::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"summary\": {\"errors\": " << count(Severity::Error)
+     << ", \"warnings\": " << count(Severity::Warning)
+     << ", \"infos\": " << count(Severity::Info) << "},\n  \"diagnostics\": [";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    os << (i ? ",\n    {" : "\n    {") << "\"rule\": \"" << json_escape(d.rule)
+       << "\", \"severity\": \"" << severity_name(d.severity)
+       << "\", \"node\": \"" << json_escape(d.node_name) << "\", \"message\": \""
+       << json_escape(d.message) << "\", \"note\": \"" << json_escape(d.note)
+       << "\"}";
+  }
+  os << (diagnostics.empty() ? "]\n}" : "\n  ]\n}");
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Resolution rules — the checks Python name resolution performs implicitly
+// when generated fx code is exec'd (Section 4.4); here they run statically
+// against OpRegistry and the owning nn::Module hierarchy.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void check_function_targets(const RuleContext& ctx,
+                            std::vector<Diagnostic>& out) {
+  fx::fn::ensure_registered();
+  for (const Node* n : ctx.graph.nodes()) {
+    if (n->op() != Opcode::CallFunction) continue;
+    if (!OpRegistry::functions().find(n->target())) {
+      emit(out, "resolve.function-target", Severity::Error, n, n->name(),
+           "call_function target '" + n->target() +
+               "' is not registered in OpRegistry::functions()",
+           "register it (custom_op) or fix the target string");
+    }
+  }
+}
+
+void check_method_targets(const RuleContext& ctx,
+                          std::vector<Diagnostic>& out) {
+  fx::fn::ensure_registered();
+  for (const Node* n : ctx.graph.nodes()) {
+    if (n->op() != Opcode::CallMethod) continue;
+    if (!OpRegistry::methods().find(n->target())) {
+      emit(out, "resolve.method-target", Severity::Error, n, n->name(),
+           "call_method target '" + n->target() +
+               "' is not registered in OpRegistry::methods()");
+    }
+  }
+}
+
+void check_kwargs(const RuleContext& ctx, std::vector<Diagnostic>& out) {
+  fx::fn::ensure_registered();
+  for (const Node* n : ctx.graph.nodes()) {
+    if (n->op() != Opcode::CallFunction && n->op() != Opcode::CallMethod) {
+      continue;
+    }
+    const auto& reg = n->op() == Opcode::CallFunction
+                          ? OpRegistry::functions()
+                          : OpRegistry::methods();
+    const OpInfo* info = reg.find(n->target());
+    if (!info) continue;  // resolve.*-target already reports this
+    for (const auto& [key, value] : n->kwargs()) {
+      (void)value;
+      if (std::find(info->param_names.begin(), info->param_names.end(), key) ==
+          info->param_names.end()) {
+        std::string valid;
+        for (const auto& p : info->param_names) {
+          valid += valid.empty() ? p : ", " + p;
+        }
+        emit(out, "resolve.kwargs", Severity::Error, n, n->name(),
+             "operator '" + n->target() + "' has no parameter named '" + key +
+                 "'",
+             "valid parameters: " + valid);
+      }
+    }
+    if (!info->param_names.empty() &&
+        n->args().size() > info->param_names.size()) {
+      emit(out, "resolve.kwargs", Severity::Warning, n, n->name(),
+           "operator '" + n->target() + "' takes " +
+               std::to_string(info->param_names.size()) +
+               " parameters but is called with " +
+               std::to_string(n->args().size()) + " positional args");
+    }
+  }
+}
+
+void check_module_paths(const RuleContext& ctx, std::vector<Diagnostic>& out) {
+  if (!ctx.gm) return;
+  for (const Node* n : ctx.graph.nodes()) {
+    if (n->op() != Opcode::CallModule) continue;
+    try {
+      ctx.gm->resolve_module(n->target());
+    } catch (const std::exception& e) {
+      emit(out, "resolve.module-path", Severity::Error, n, n->name(),
+           "call_module target '" + n->target() +
+               "' does not resolve in the module hierarchy: " + e.what(),
+           "set_submodule the path or retarget the node");
+    }
+  }
+}
+
+void check_attr_paths(const RuleContext& ctx, std::vector<Diagnostic>& out) {
+  if (!ctx.gm) return;
+  for (const Node* n : ctx.graph.nodes()) {
+    if (n->op() != Opcode::GetAttr) continue;
+    try {
+      ctx.gm->resolve_attr(n->target());
+    } catch (const std::exception& e) {
+      emit(out, "resolve.attr-path", Severity::Error, n, n->name(),
+           "get_attr target '" + n->target() +
+               "' does not resolve to a parameter/buffer: " + e.what());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Metadata rules — pass-attached shape/dtype annotations must stay
+// consistent with what the graph actually computes.
+// ---------------------------------------------------------------------------
+
+void check_meta_pairs(const RuleContext& ctx, std::vector<Diagnostic>& out) {
+  for (const Node* n : ctx.graph.nodes()) {
+    if (n->op() == Opcode::Output) continue;
+    const bool has_shape = n->has_meta("shape");
+    const bool has_dtype = n->has_meta("dtype");
+    if (has_shape != has_dtype) {
+      emit(out, "meta.pair", Severity::Warning, n, n->name(),
+           std::string("node has meta[\"") +
+               (has_shape ? "shape" : "dtype") + "\"] but no meta[\"" +
+               (has_shape ? "dtype" : "shape") + "\"]",
+           "ShapeProp sets both; partial meta suggests a buggy transform");
+    }
+  }
+}
+
+// Forward dataflow recheck: clone the graph, re-run passes::ShapeProp on the
+// clone (zero inputs synthesized from the placeholder annotations), and
+// compare each annotated node's recorded shape/dtype against what the data
+// actually does. Catches stale meta left behind by rewrites.
+void check_stale_meta(const RuleContext& ctx, std::vector<Diagnostic>& out) {
+  if (!ctx.gm) return;
+  std::vector<Tensor> inputs;
+  for (const Node* ph : ctx.graph.placeholders()) {
+    if (!ph->has_meta("shape") || !ph->has_meta("dtype")) return;
+    inputs.push_back(Tensor::zeros(ph->shape(), ph->dtype()));
+  }
+  bool any_annotated = false;
+  for (const Node* n : ctx.graph.nodes()) {
+    if (n->op() != Opcode::Placeholder && n->has_meta("shape")) {
+      any_annotated = true;
+    }
+  }
+  if (!any_annotated) return;
+
+  std::unordered_map<const Node*, Node*> node_map;
+  std::unique_ptr<Graph> clone = ctx.graph.clone(&node_map);
+  // ShapeProp annotates the module it runs over; give it a scratch
+  // GraphModule over the same hierarchy so the verified graph stays const.
+  GraphModule scratch(ctx.gm->root(), std::move(clone), "VerifierRecheck");
+  try {
+    passes::shape_prop(scratch, inputs);
+  } catch (const std::exception& e) {
+    emit(out, "meta.stale", Severity::Info, nullptr, "",
+         std::string("shape recheck skipped (graph failed to execute): ") +
+             e.what());
+    return;
+  }
+  for (const Node* n : ctx.graph.nodes()) {
+    if (n->op() == Opcode::Placeholder || n->op() == Opcode::Output) continue;
+    if (!n->has_meta("shape") || !n->has_meta("dtype")) continue;
+    const Node* copy = node_map.at(n);
+    if (!copy->has_meta("shape")) continue;  // produced a non-tensor
+    const Shape& want = std::get<Shape>(copy->meta("shape"));
+    const DType want_dt = std::get<DType>(copy->meta("dtype"));
+    if (n->shape() != want) {
+      emit(out, "meta.stale", Severity::Warning, n, n->name(),
+           "meta[\"shape\"] says " + shape_str(n->shape()) +
+               " but dataflow recheck infers " + shape_str(want),
+           "a transform rewrote this node without clearing its meta");
+    } else if (n->dtype() != want_dt) {
+      emit(out, "meta.stale", Severity::Warning, n, n->name(),
+           std::string("meta[\"dtype\"] says ") + dtype_name(n->dtype()) +
+               " but dataflow recheck infers " + dtype_name(want_dt),
+           "a transform rewrote this node without clearing its meta");
+    }
+  }
+}
+
+// Gradual type check (passes::type_check) driven by the placeholder
+// annotations: known-vs-known shape conflicts are real bugs.
+void check_gradual_types(const RuleContext& ctx, std::vector<Diagnostic>& out) {
+  if (!ctx.gm) return;
+  std::vector<std::optional<passes::SymShape>> in_types;
+  bool any_known = false;
+  for (const Node* ph : ctx.graph.placeholders()) {
+    if (ph->has_meta("shape")) {
+      in_types.emplace_back(passes::sym_of(ph->shape()));
+      any_known = true;
+    } else {
+      in_types.emplace_back(std::nullopt);
+    }
+  }
+  if (!any_known) return;
+
+  std::unordered_map<const Node*, Node*> node_map;
+  std::unique_ptr<Graph> clone = ctx.graph.clone(&node_map);
+  std::unordered_map<const Node*, const Node*> back;
+  for (const auto& [src, copy] : node_map) back[copy] = src;
+  GraphModule scratch(ctx.gm->root(), std::move(clone), "VerifierTypeCheck");
+  try {
+    const passes::TypeCheckResult res = passes::type_check(scratch, in_types);
+    for (const auto& err : res.errors) {
+      const Node* orig =
+          err.node && back.count(err.node) ? back.at(err.node) : nullptr;
+      emit(out, "meta.type-conflict", Severity::Error, orig,
+           orig ? orig->name() : "", err.message);
+    }
+  } catch (const std::exception&) {
+    // Unresolvable targets/attrs: the resolve.* rules already report those.
+  }
+}
+
+Rule structural_rule(const char* id, Severity sev, const char* desc,
+                     void (*fn)(const Graph&, std::vector<Diagnostic>&)) {
+  return Rule{id, sev, desc,
+              [fn](const RuleContext& ctx, std::vector<Diagnostic>& out) {
+                fn(ctx.graph, out);
+              }};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Verifier
+// ---------------------------------------------------------------------------
+
+std::vector<Rule> Verifier::default_rules() {
+  std::vector<Rule> r;
+  r.push_back(structural_rule("structure.duplicate-name", Severity::Error,
+                              "node names are unique", rules::duplicate_names));
+  r.push_back(structural_rule("structure.placeholders-first", Severity::Error,
+                              "placeholders precede compute nodes",
+                              rules::placeholders_first));
+  r.push_back(structural_rule("structure.output-last", Severity::Error,
+                              "single output node, last in the list",
+                              rules::output_last));
+  r.push_back(structural_rule("structure.missing-output", Severity::Warning,
+                              "graph has an output node",
+                              rules::missing_output));
+  r.push_back(structural_rule("structure.use-before-def", Severity::Error,
+                              "arguments reference earlier definitions",
+                              rules::use_before_def));
+  r.push_back(structural_rule("structure.stale-use-def", Severity::Error,
+                              "use-def chains consistent in both directions",
+                              rules::use_def_consistency));
+  r.push_back(structural_rule("structure.unused-placeholder", Severity::Warning,
+                              "every placeholder has users",
+                              rules::unused_placeholders));
+  r.push_back(structural_rule("structure.dead-code", Severity::Info,
+                              "no pure nodes without users", rules::dead_code));
+  r.push_back(Rule{"resolve.function-target", Severity::Error,
+                   "call_function targets exist in OpRegistry::functions()",
+                   check_function_targets});
+  r.push_back(Rule{"resolve.method-target", Severity::Error,
+                   "call_method targets exist in OpRegistry::methods()",
+                   check_method_targets});
+  r.push_back(Rule{"resolve.kwargs", Severity::Error,
+                   "kwarg names and arity match the operator schema",
+                   check_kwargs});
+  r.push_back(Rule{"resolve.module-path", Severity::Error,
+                   "call_module paths resolve in the module hierarchy",
+                   check_module_paths});
+  r.push_back(Rule{"resolve.attr-path", Severity::Error,
+                   "get_attr paths resolve to parameters/buffers",
+                   check_attr_paths});
+  r.push_back(Rule{"meta.pair", Severity::Warning,
+                   "shape/dtype meta always set together", check_meta_pairs});
+  r.push_back(Rule{"meta.stale", Severity::Warning,
+                   "shape/dtype meta consistent with a dataflow recheck",
+                   check_stale_meta});
+  r.push_back(Rule{"meta.type-conflict", Severity::Error,
+                   "gradual type check over annotated placeholders",
+                   check_gradual_types});
+  return r;
+}
+
+Verifier::Verifier() : rules_(default_rules()) {}
+
+Verifier::Verifier(bool with_defaults) {
+  if (with_defaults) rules_ = default_rules();
+}
+
+void Verifier::add_rule(Rule r) { rules_.push_back(std::move(r)); }
+
+void Verifier::disable(const std::string& rule_id) {
+  rules_.erase(std::remove_if(rules_.begin(), rules_.end(),
+                              [&](const Rule& r) { return r.id == rule_id; }),
+               rules_.end());
+}
+
+Report Verifier::run(const RuleContext& ctx) const {
+  Report report;
+  for (const Rule& r : rules_) r.check(ctx, report.diagnostics);
+  return report;
+}
+
+Report Verifier::verify(const Graph& g) const {
+  return run(RuleContext{g, nullptr});
+}
+
+Report Verifier::verify(const GraphModule& gm) const {
+  return run(RuleContext{gm.graph(), &gm});
+}
+
+Report verify(const GraphModule& gm) { return Verifier().verify(gm); }
+Report verify(const Graph& g) { return Verifier().verify(g); }
+
+}  // namespace fxcpp::analysis

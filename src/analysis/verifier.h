@@ -1,0 +1,79 @@
+// Verifier — rule-based IR verification with multi-diagnostic collection.
+//
+// Runs an extensible registry of rules over a Graph (structure) or a
+// GraphModule (structure + name resolution + metadata) and returns every
+// finding as a structured Diagnostic. This is the Relay-style
+// well-formedness layer over the fx IR: Graph::lint() throws on the
+// error-severity structural subset, the Verifier reports everything.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "core/graph_module.h"
+
+namespace fxcpp::analysis {
+
+// What a rule sees. `gm` is null when verifying a bare Graph; rules that
+// need module/attr resolution or execution skip themselves in that case.
+struct RuleContext {
+  const fx::Graph& graph;
+  const fx::GraphModule* gm = nullptr;
+};
+
+struct Rule {
+  std::string id;           // "structure.use-before-def", "resolve.kwargs", ...
+  Severity severity;        // worst severity the rule can emit
+  std::string description;  // one line for the rule table / CLI
+  std::function<void(const RuleContext&, std::vector<Diagnostic>&)> check;
+};
+
+// Everything one verify() call found.
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+
+  bool ok() const { return count(Severity::Error) == 0; }
+  int count(Severity s) const;
+  int count_rule(const std::string& rule_id) const;
+  bool has(const std::string& rule_id) const { return count_rule(rule_id) > 0; }
+  // Distinct rule ids that fired.
+  std::vector<std::string> fired_rules() const;
+
+  // Human-readable listing, one diagnostic per line plus a summary.
+  std::string to_string() const;
+  // Machine-readable: {"summary": {...}, "diagnostics": [...]}.
+  std::string to_json() const;
+};
+
+class Verifier {
+ public:
+  // Installs the default rule set (see default_rules()).
+  Verifier();
+  // with_defaults=false starts empty (build a custom rule set).
+  explicit Verifier(bool with_defaults);
+
+  void add_rule(Rule r);
+  // Drop a rule by id (e.g. "structure.dead-code" when verifying mid-pass).
+  void disable(const std::string& rule_id);
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  // Structure-only verification (rules needing a GraphModule skip).
+  Report verify(const fx::Graph& g) const;
+  // Full verification: structure + resolution + metadata.
+  Report verify(const fx::GraphModule& gm) const;
+
+  // The builtin registry: ~15 rules over structure, resolution, metadata.
+  static std::vector<Rule> default_rules();
+
+ private:
+  Report run(const RuleContext& ctx) const;
+  std::vector<Rule> rules_;
+};
+
+// Convenience: full default-rule verification of a GraphModule.
+Report verify(const fx::GraphModule& gm);
+Report verify(const fx::Graph& g);
+
+}  // namespace fxcpp::analysis

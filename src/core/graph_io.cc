@@ -291,7 +291,10 @@ std::unique_ptr<Graph> parse_graph(const std::string& text) {
           if (colon != std::string::npos) {
             std::string key = item.substr(0, colon);
             while (!key.empty() && key.front() == ' ') key.erase(key.begin());
-            Parser vp(item.substr(colon + 1), line_no, names);
+            // Parser keeps a reference to the string: it must outlive the
+            // parse_arg() call, not just the constructor expression.
+            const std::string value = item.substr(colon + 1);
+            Parser vp(value, line_no, names);
             kwargs.emplace_back(key, vp.parse_arg());
           }
           start = j + 1;

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/structural_rules.h"
 #include "core/graph.h"
 
 namespace fxcpp::fx {
@@ -376,52 +377,23 @@ Node* Graph::find(const std::string& name) const {
   return nullptr;
 }
 
+// Rebased onto the analysis subsystem's structural rules (header-only, so
+// core takes no link dependency): run every rule, collect every finding, and
+// throw listing ALL error-severity diagnostics. The Verifier runs the exact
+// same rule implementations, so lint() and verify() cannot disagree.
 void Graph::lint() const {
-  std::set<const Node*> seen;
-  std::set<std::string> names;
-  bool saw_non_placeholder = false;
-  const Node* out_node = nullptr;
-  for (const auto& np : nodes_) {
-    const Node* n = np.get();
-    if (!names.insert(n->name()).second) {
-      throw std::logic_error("lint: duplicate node name '" + n->name() + "'");
-    }
-    if (out_node) {
-      throw std::logic_error("lint: node '" + n->name() + "' after output");
-    }
-    if (n->op() == Opcode::Placeholder) {
-      if (saw_non_placeholder) {
-        throw std::logic_error("lint: placeholder '" + n->name() +
-                               "' after non-placeholder nodes");
-      }
-    } else {
-      saw_non_placeholder = true;
-    }
-    if (n->op() == Opcode::Output) out_node = n;
-    for (const Node* in : n->input_nodes()) {
-      if (!seen.count(in)) {
-        throw std::logic_error("lint: node '" + n->name() + "' uses '" +
-                               in->name() + "' before its definition");
-      }
-      if (!in->users().count(const_cast<Node*>(n))) {
-        throw std::logic_error("lint: stale use-def: '" + in->name() +
-                               "' missing user '" + n->name() + "'");
-      }
-    }
-    for (const Node* u : n->users()) {
-      bool found = false;
-      for (const Node* in : u->input_nodes()) {
-        if (in == n) found = true;
-      }
-      if (!found) {
-        throw std::logic_error("lint: stale user entry '" + u->name() +
-                               "' on '" + n->name() + "'");
-      }
-    }
-    seen.insert(n);
+  std::vector<analysis::Diagnostic> diags;
+  analysis::rules::check_structure(*this, diags);
+  int errors = 0;
+  std::string detail;
+  for (const auto& d : diags) {
+    if (d.severity != analysis::Severity::Error) continue;
+    ++errors;
+    detail += "\n  " + d.to_string();
   }
-  if (output_ && out_node != output_) {
-    throw std::logic_error("lint: cached output node mismatch");
+  if (errors > 0) {
+    throw std::logic_error("lint: " + std::to_string(errors) +
+                           " error(s):" + detail);
   }
 }
 

@@ -39,6 +39,10 @@ class Node {
  public:
   Opcode op() const { return op_; }
   const std::string& name() const { return name_; }
+  // Raw rename, mirroring torch.fx's assignable `node.name`. Does not go
+  // through Graph::unique_name — a colliding name is flagged by lint /
+  // structure.duplicate-name rather than silently rewritten.
+  void set_name(std::string name) { name_ = std::move(name); }
   const std::string& target() const { return target_; }
 
   const std::vector<Argument>& args() const { return args_; }
@@ -72,6 +76,13 @@ class Node {
   bool has_shape() const { return has_meta("shape"); }
   const Shape& shape() const { return std::get<Shape>(meta("shape")); }
   DType dtype() const { return std::get<DType>(meta("dtype")); }
+  // Transforms call this on nodes they rewrite so stale shape/dtype meta
+  // never outlives the values it described (flagged by analysis rule
+  // "meta.stale" otherwise).
+  void invalidate_shape_meta() {
+    meta_.erase("shape");
+    meta_.erase("dtype");
+  }
 
   // One line in the Figure-1 style:
   //   relu = call_function target=relu args=(x,)

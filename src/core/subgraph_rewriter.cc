@@ -133,6 +133,10 @@ int replace_pattern(GraphModule& gm, const Graph& pattern,
       throw std::invalid_argument(
           "replace_pattern: replacement must return a node");
     }
+    // The anchor's users now consume a different computation; any shape/dtype
+    // annotations recorded for the old values are stale.
+    for (Node* user : m.anchor->users()) user->invalidate_shape_meta();
+    out.node()->invalidate_shape_meta();
     m.anchor->replace_all_uses_with(out.node());
   }
   g.eliminate_dead_code();

@@ -35,8 +35,15 @@ Value Transformer::emit_same(const Node& n) {
   for (const auto& a : n.args()) args.push_back(remap(a));
   Kwargs kwargs;
   for (const auto& [k, v] : n.kwargs()) kwargs.emplace_back(k, remap(v));
-  return Value(tracer_.create_proxy(n.op(), n.target(), std::move(args),
-                                    std::move(kwargs), n.name()));
+  Value v = Value(tracer_.create_proxy(n.op(), n.target(), std::move(args),
+                                       std::move(kwargs), n.name()));
+  // A faithful re-emission computes the same value, so its annotations stay
+  // valid; rewritten regions (subclass overrides that emit different ops)
+  // get fresh nodes with no meta, never stale meta.
+  if (v.is_proxy()) {
+    for (const auto& [key, mv] : n.all_meta()) v.proxy().node->set_meta(key, mv);
+  }
+  return v;
 }
 
 Value Transformer::placeholder(const Node& n) { return emit_same(n); }

@@ -69,6 +69,10 @@ int fuse_conv_bn(fx::GraphModule& gm) {
     fused_conv->param("bias") = params.bias;
     gm.root()->set_submodule(conv_node->target(), fused_conv);
 
+    // The conv now computes the folded conv+BN values; its recorded meta
+    // (and that of the rewired BN users) described the pre-fusion program.
+    conv_node->invalidate_shape_meta();
+    for (fx::Node* user : bn_node->users()) user->invalidate_shape_meta();
     bn_node->replace_all_uses_with(conv_node);
     g.erase_node(bn_node);
     ++fused_count;

@@ -220,10 +220,12 @@ int convert(fx::GraphModule& gm, const QConfig& cfg) {
           }
           if (kind == ModKind::PassThrough) {
             n->set_args({fx::Argument(qa)});
+            n->invalidate_shape_meta();  // now flows int8, not f32
             as_q[n] = n;
             break;
           }
           n->set_args({fx::Argument(qa)});
+          n->invalidate_shape_meta();  // module swapped for its int8 lowering
           as_q[n] = n;
           ++converted;
         } else {
@@ -272,6 +274,7 @@ int convert(fx::GraphModule& gm, const QConfig& cfg) {
         if ((t == "flatten" || t == "reshape") && n->args()[0].is_node()) {
           fx::Node* a = n->args()[0].node();
           if (as_q.count(a) && as_q[a] == a) {
+            n->invalidate_shape_meta();  // now flows int8, not f32
             as_q[n] = n;  // args already reference the int8 producer
             break;
           }

@@ -1,0 +1,198 @@
+// PassValidator differential checks over the five transform families the
+// issue names: fuse_conv_bn, decompose, quantize, split, subgraph_rewriter.
+// Each semantics-preserving pass must verify clean before and after and
+// diverge from the original program by at most float noise; int8 quantization
+// passes with an explicit lossy tolerance. The final tests prove the harness
+// actually catches bad passes (semantic drift, IR corruption).
+#include <gtest/gtest.h>
+
+#include "analysis/pass_validator.h"
+#include "core/functional.h"
+#include "core/split.h"
+#include "core/subgraph_rewriter.h"
+#include "core/tracer.h"
+#include "nn/models/mlp.h"
+#include "nn/models/resnet.h"
+#include "passes/decompose.h"
+#include "passes/fuse_conv_bn.h"
+#include "quant/quantize.h"
+
+namespace fxcpp {
+namespace {
+
+using analysis::PassValidator;
+using analysis::ValidationOptions;
+using analysis::ValidationReport;
+using fx::Node;
+using fx::Value;
+
+std::unique_ptr<fx::Graph> graph_of(const std::function<Value(Value)>& f) {
+  auto gm = fx::symbolic_trace(f);
+  return gm->graph().clone();
+}
+
+TEST(PassValidator, FuseConvBnOnResNet) {
+  auto gm = fx::symbolic_trace(nn::models::resnet18(8, 10));
+  ValidationOptions opts;
+  opts.trials = 2;
+  opts.tolerance = 5e-2;  // BN folding reassociates float math
+  PassValidator validator(opts);
+  const ValidationReport rep = validator.validate(
+      *gm,
+      [](fx::GraphModule& m) { EXPECT_EQ(passes::fuse_conv_bn(m), 20); },
+      {Shape{1, 3, 32, 32}});
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  EXPECT_EQ(rep.trials, 2);
+}
+
+TEST(PassValidator, DecomposeBatchNormOnResNet) {
+  auto gm = fx::symbolic_trace(nn::models::resnet18(8, 10));
+  ValidationOptions opts;
+  opts.trials = 2;
+  opts.tolerance = 1e-2;
+  PassValidator validator(opts);
+  const ValidationReport rep = validator.validate_rebuild(
+      *gm,
+      [](fx::GraphModule& m) { return passes::decompose_batch_norm(m); },
+      {Shape{1, 3, 32, 32}});
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+TEST(PassValidator, QuantizeMlpWithLossyTolerance) {
+  auto gm = fx::symbolic_trace(nn::models::mlp({16, 32, 8}, "relu"));
+  std::vector<Tensor> batches;
+  for (int i = 0; i < 8; ++i) batches.push_back(Tensor::randn({8, 16}));
+  ValidationOptions opts;
+  opts.tolerance = 2.5;  // int8 is lossy by design; bound it, don't forbid it
+  PassValidator validator(opts);
+  const ValidationReport rep = validator.validate(
+      *gm,
+      [&](fx::GraphModule& m) {
+        quant::prepare(m);
+        quant::calibrate(m, batches);
+        EXPECT_GT(quant::convert(m), 0);
+      },
+      {Shape{4, 16}});
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  // Lossy but not exact: the differential run saw real int8 error.
+  EXPECT_GT(rep.max_divergence, 0.0);
+}
+
+TEST(PassValidator, SplitMlpParentMatchesOriginal) {
+  auto gm = fx::symbolic_trace(nn::models::mlp({8, 16, 16, 4}, "relu"));
+  const auto nodes = gm->graph().nodes();
+  std::unordered_map<const Node*, int> part;
+  int idx = 0;
+  for (const Node* n : nodes) {
+    part[n] = idx++ < static_cast<int>(nodes.size()) / 2 ? 0 : 1;
+  }
+  ValidationOptions opts;
+  opts.tolerance = 1e-5;
+  PassValidator validator(opts);
+  const ValidationReport rep = validator.validate_rebuild(
+      *gm,
+      [&](fx::GraphModule& m) {
+        auto split =
+            fx::split_module(m, [&part](const Node& n) { return part.at(&n); });
+        EXPECT_EQ(split.submodules.size(), 2u);
+        return split.parent;
+      },
+      {Shape{2, 8}});
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+TEST(PassValidator, SplitResNetByHalf) {
+  auto gm = fx::symbolic_trace(nn::models::resnet18(8, 10));
+  const auto nodes = gm->graph().nodes();
+  std::unordered_map<const Node*, int> part;
+  int idx = 0;
+  for (const Node* n : nodes) {
+    part[n] = idx++ < static_cast<int>(nodes.size()) / 2 ? 0 : 1;
+  }
+  ValidationOptions opts;
+  opts.trials = 1;
+  opts.tolerance = 1e-5;
+  PassValidator validator(opts);
+  const ValidationReport rep = validator.validate_rebuild(
+      *gm,
+      [&](fx::GraphModule& m) {
+        return fx::split_module(m, [&part](const Node& n) {
+                 return part.at(&n);
+               }).parent;
+      },
+      {Shape{1, 3, 32, 32}});
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+TEST(PassValidator, IdempotentRewriteIsSemanticsPreserving) {
+  // relu(x) -> relu(relu(x)): structurally a rewrite, numerically identity.
+  auto f = [](Value x) -> Value { return fx::fn::relu(x).neg(); };
+  auto gm = fx::symbolic_trace(std::function<Value(Value)>(f));
+  auto pattern = graph_of([](Value x) { return fx::fn::relu(x); });
+  auto replacement =
+      graph_of([](Value x) { return fx::fn::relu(fx::fn::relu(x)); });
+  ValidationOptions opts;
+  opts.tolerance = 0.0;  // bit-exact
+  PassValidator validator(opts);
+  const ValidationReport rep = validator.validate(
+      *gm,
+      [&](fx::GraphModule& m) {
+        EXPECT_EQ(fx::replace_pattern(m, *pattern, *replacement), 1);
+      },
+      {Shape{4, 4}});
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+// --- the harness must catch bad passes -------------------------------------
+
+TEST(PassValidator, FlagsSemanticDrift) {
+  // relu -> gelu changes the function; divergence must exceed tolerance.
+  auto f = [](Value x) -> Value { return fx::fn::relu(x).neg(); };
+  auto gm = fx::symbolic_trace(std::function<Value(Value)>(f));
+  auto pattern = graph_of([](Value x) { return fx::fn::relu(x); });
+  auto replacement = graph_of([](Value x) { return fx::fn::gelu(x); });
+  ValidationOptions opts;
+  opts.tolerance = 1e-6;
+  PassValidator validator(opts);
+  const ValidationReport rep = validator.validate(
+      *gm,
+      [&](fx::GraphModule& m) {
+        fx::replace_pattern(m, *pattern, *replacement);
+      },
+      {Shape{8, 8}});
+  EXPECT_FALSE(rep.ok());
+  EXPECT_GT(rep.max_divergence, opts.tolerance);
+  EXPECT_TRUE(rep.error.empty()) << rep.error;
+}
+
+TEST(PassValidator, FlagsIrCorruption) {
+  // A "pass" that retargets a node at a nonexistent op: the post-verify
+  // report must carry the resolution error even though execution also fails.
+  auto f = [](Value x) -> Value { return fx::fn::relu(x).neg(); };
+  auto gm = fx::symbolic_trace(std::function<Value(Value)>(f));
+  PassValidator validator;
+  const ValidationReport rep = validator.validate(
+      *gm,
+      [](fx::GraphModule& m) {
+        for (Node* n : m.graph().nodes()) {
+          if (n->target() == "relu") n->set_target("not_an_op");
+        }
+      },
+      {Shape{4}});
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(rep.post.has("resolve.function-target")) << rep.post.to_string();
+}
+
+TEST(PassValidator, ReportsTransformExceptions) {
+  auto gm = fx::symbolic_trace(nn::models::mlp({4, 4}, "relu"));
+  PassValidator validator;
+  const ValidationReport rep = validator.validate(
+      *gm,
+      [](fx::GraphModule&) { throw std::runtime_error("pass exploded"); },
+      {Shape{2, 4}});
+  EXPECT_FALSE(rep.ok());
+  EXPECT_NE(rep.error.find("pass exploded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fxcpp
