@@ -1,0 +1,50 @@
+// Inter-op parallel execution of a wide graph (Section 6.2.3's production
+// pattern): trace a model with independent branches, print the
+// dependency-counted schedule the ParallelExecutor derives from the tape,
+// run it with forward_parallel(), and show the observed overlap counters.
+#include <cstdio>
+
+#include "core/parallel_executor.h"
+#include "core/tracer.h"
+#include "core/functional.h"
+
+using namespace fxcpp;
+using fx::Value;
+namespace fn = fx::fn;
+
+int main() {
+  // Two independent branches off one input, joined at the end — the smallest
+  // graph where node-by-node execution leaves parallelism on the table.
+  auto two_branch = [](Value x) {
+    Value left = fn::relu(fn::matmul(x, x));
+    Value right = fn::tanh(fn::matmul(x, x));
+    return fn::add(left, right);
+  };
+  auto gm = fx::symbolic_trace(std::function<Value(Value)>(two_branch));
+  gm->recompile();
+  std::printf("%s\n", gm->graph().to_string().c_str());
+
+  const fx::Schedule sched = fx::build_schedule(gm->compiled_graph());
+  std::printf("schedule: %zu instructions, %zu ready at start\n",
+              sched.dep_count.size(), sched.initial_ready.size());
+  const auto& instrs = gm->compiled_graph().instrs();
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    std::printf("  [%zu] %-12s deps=%d unblocks=%zu\n", i,
+                instrs[i].node ? instrs[i].node->name().c_str() : "?",
+                sched.dep_count[i], sched.succs[i].size());
+  }
+
+  const Tensor x = Tensor::randn({64, 64});
+  const Tensor serial = gm->run(x);
+  const Tensor parallel = gm->run_parallel(x, /*num_threads=*/2);
+  std::printf("\nserial == parallel : %s\n",
+              allclose(serial, parallel, 0.0, 0.0) ? "HOLDS" : "VIOLATED");
+
+  // Observability: rerun through an explicit executor with stats on.
+  fx::ParallelExecutor ex(*gm, fx::ExecutorOptions{2, true});
+  ex.run({fx::RtValue(x)});
+  const fx::ExecutorStats& st = ex.stats();
+  std::printf("executed %zu nodes, peak concurrency %d, peak ready queue %d\n",
+              st.nodes_executed, st.max_concurrency, st.max_ready_queue);
+  return 0;
+}

@@ -1,20 +1,28 @@
 #!/usr/bin/env bash
-# Tier-1 verification, twice: a normal Release build+ctest, then the same
-# suite under AddressSanitizer+UBSan (FXCPP_SANITIZE=ON) in a separate build
+# Tier-1 verification, three ways: a normal Release build+ctest, the same
+# suite under AddressSanitizer+UBSan (FXCPP_SANITIZE=ON), and the
+# concurrency suite (parallel executor, task groups, thread pool) under
+# ThreadSanitizer (FXCPP_SANITIZE=thread). Each sanitizer gets its own build
 # tree. Fails on the first red step.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${JOBS:-$(nproc)}"
 
-echo "== [1/2] normal build + ctest (build/) =="
+echo "== [1/3] normal build + ctest (build/) =="
 cmake -B "$repo/build" -S "$repo"
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
-echo "== [2/2] sanitized build + ctest (build-asan/) =="
+echo "== [2/3] sanitized build + ctest (build-asan/) =="
 cmake -B "$repo/build-asan" -S "$repo" -DFXCPP_SANITIZE=ON
 cmake --build "$repo/build-asan" -j "$jobs"
 ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
 
-echo "== check.sh: both suites green =="
+echo "== [3/3] TSan build + concurrency suite (build-tsan/) =="
+cmake -B "$repo/build-tsan" -S "$repo" -DFXCPP_SANITIZE=thread
+cmake --build "$repo/build-tsan" -j "$jobs" --target test_parallel_exec --target test_runtime
+"$repo/build-tsan/tests/test_parallel_exec"
+"$repo/build-tsan/tests/test_runtime"
+
+echo "== check.sh: all suites green =="

@@ -7,6 +7,7 @@
 #include "analysis/structural_rules.h"
 #include "core/functional.h"
 #include "core/op_registry.h"
+#include "core/parallel_executor.h"
 #include "passes/shape_prop.h"
 #include "passes/type_check.h"
 
@@ -296,6 +297,48 @@ void check_gradual_types(const RuleContext& ctx, std::vector<Diagnostic>& out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Schedule rule — the inter-op executor's dependency-counted schedule
+// (core/parallel_executor.h) must cover every tape instruction exactly once:
+// a Kahn simulation from the initial ready set must visit all instructions,
+// none twice. A violation means the use-def chains and the compiled tape
+// disagree (cycle, dangling register, or double-write).
+// ---------------------------------------------------------------------------
+
+void check_schedule_coverage(const RuleContext& ctx,
+                             std::vector<Diagnostic>& out) {
+  if (!ctx.gm || !ctx.gm->compiled()) return;
+  const fx::CompiledGraph& cg = ctx.gm->compiled_graph();
+  const fx::Schedule sched = fx::build_schedule(cg);
+  const auto& instrs = cg.instrs();
+
+  std::vector<int> deps = sched.dep_count;
+  std::vector<int> visits(instrs.size(), 0);
+  std::vector<int> queue = sched.initial_ready;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int i = queue[head];
+    if (++visits[static_cast<std::size_t>(i)] > 1) {
+      const Node* n = instrs[static_cast<std::size_t>(i)].node;
+      emit(out, "schedule.coverage", Severity::Error, n, n ? n->name() : "",
+           "instruction scheduled more than once",
+           "duplicate ready-queue entry: a register has two producers");
+      continue;
+    }
+    for (int succ : sched.succs[static_cast<std::size_t>(i)]) {
+      if (--deps[static_cast<std::size_t>(succ)] == 0) queue.push_back(succ);
+    }
+  }
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    if (visits[i] == 0) {
+      const Node* n = instrs[i].node;
+      emit(out, "schedule.coverage", Severity::Error, n, n ? n->name() : "",
+           "instruction never becomes ready under the dependency-counted "
+           "schedule",
+           "dependency cycle or dangling register read in the tape");
+    }
+  }
+}
+
 Rule structural_rule(const char* id, Severity sev, const char* desc,
                      void (*fn)(const Graph&, std::vector<Diagnostic>&)) {
   return Rule{id, sev, desc,
@@ -357,6 +400,10 @@ std::vector<Rule> Verifier::default_rules() {
   r.push_back(Rule{"meta.type-conflict", Severity::Error,
                    "gradual type check over annotated placeholders",
                    check_gradual_types});
+  r.push_back(Rule{"schedule.coverage", Severity::Error,
+                   "parallel schedule covers every tape instruction exactly "
+                   "once (compiled GraphModules)",
+                   check_schedule_coverage});
   return r;
 }
 

@@ -7,6 +7,7 @@
 #include "core/codegen.h"
 #include "core/functional.h"
 #include "core/graph_io.h"
+#include "core/parallel_executor.h"
 
 namespace fxcpp::fx {
 
@@ -82,6 +83,33 @@ RtValue eval_arg_expr(const Instr::ArgExpr& e, std::vector<RtValue>& regs) {
 
 }  // namespace
 
+RtValue CompiledGraph::exec_instr(const Instr& ins, std::vector<RtValue>& regs) {
+  switch (ins.op) {
+    case Opcode::CallFunction:
+    case Opcode::CallMethod: {
+      std::vector<RtValue> args;
+      args.reserve(ins.args.size());
+      for (const auto& a : ins.args) args.push_back(eval_arg_expr(a, regs));
+      return ins.fn->run(args);
+    }
+    case Opcode::CallModule: {
+      std::vector<Value> args;
+      args.reserve(ins.args.size());
+      for (const auto& a : ins.args) {
+        args.push_back(rt_to_value(eval_arg_expr(a, regs)));
+      }
+      return value_to_rt((*ins.module)(std::move(args)));
+    }
+    case Opcode::GetAttr:
+      return ins.attr;
+    case Opcode::Output:
+      return eval_arg_expr(ins.args.at(0), regs);
+    case Opcode::Placeholder:
+      break;
+  }
+  return RtValue();
+}
+
 std::vector<RtValue> CompiledGraph::run(std::vector<RtValue> inputs) const {
   if (inputs.size() != input_regs_.size()) {
     throw std::invalid_argument(
@@ -94,35 +122,10 @@ std::vector<RtValue> CompiledGraph::run(std::vector<RtValue> inputs) const {
   }
   std::vector<RtValue> result;
   for (const Instr& ins : instrs_) {
-    RtValue out;
-    switch (ins.op) {
-      case Opcode::CallFunction:
-      case Opcode::CallMethod: {
-        std::vector<RtValue> args;
-        args.reserve(ins.args.size());
-        for (const auto& a : ins.args) args.push_back(eval_arg_expr(a, regs));
-        out = ins.fn->run(args);
-        break;
-      }
-      case Opcode::CallModule: {
-        std::vector<Value> args;
-        args.reserve(ins.args.size());
-        for (const auto& a : ins.args) {
-          args.push_back(rt_to_value(eval_arg_expr(a, regs)));
-        }
-        out = value_to_rt((*ins.module)(std::move(args)));
-        break;
-      }
-      case Opcode::GetAttr:
-        out = ins.attr;
-        break;
-      case Opcode::Output:
-        result.push_back(eval_arg_expr(ins.args.at(0), regs));
-        break;
-      case Opcode::Placeholder:
-        break;
-    }
-    if (ins.out_reg >= 0) {
+    RtValue out = exec_instr(ins, regs);
+    if (ins.op == Opcode::Output) {
+      result.push_back(std::move(out));
+    } else if (ins.out_reg >= 0) {
       regs[static_cast<std::size_t>(ins.out_reg)] = std::move(out);
     }
     // Release dead registers (the `v = None` of generated Python): tensors
@@ -317,11 +320,31 @@ Value GraphModule::forward(const std::vector<Value>& inputs) {
   return rt_to_value(std::move(out.front()));
 }
 
+Value GraphModule::forward_parallel(const std::vector<Value>& inputs,
+                                    int num_threads) {
+  if (!compiled_) recompile();
+  ParallelExecutor ex(*this, ExecutorOptions{num_threads, false});
+  std::vector<RtValue> rt;
+  rt.reserve(inputs.size());
+  for (const auto& v : inputs) rt.push_back(value_to_rt(v));
+  std::vector<RtValue> out = ex.run(std::move(rt));
+  if (out.empty()) return Value();
+  return rt_to_value(std::move(out.front()));
+}
+
 Tensor GraphModule::run(const std::vector<Tensor>& inputs) {
   std::vector<Value> vs;
   vs.reserve(inputs.size());
   for (const auto& t : inputs) vs.emplace_back(t);
   return forward(vs).tensor();
+}
+
+Tensor GraphModule::run_parallel(const std::vector<Tensor>& inputs,
+                                 int num_threads) {
+  std::vector<Value> vs;
+  vs.reserve(inputs.size());
+  for (const auto& t : inputs) vs.emplace_back(t);
+  return forward_parallel(vs, num_threads).tensor();
 }
 
 void GraphModule::to_folder(const std::string& dir) const {

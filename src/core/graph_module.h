@@ -50,8 +50,15 @@ class CompiledGraph {
  public:
   std::vector<RtValue> run(std::vector<RtValue> inputs) const;
 
+  // Execute one instruction against a register file and return its result
+  // (the caller stores it into ins.out_reg / the output list). Shared by
+  // the serial run() loop and the inter-op ParallelExecutor; does not apply
+  // Instr::frees — register lifetime is the caller's schedule's concern.
+  static RtValue exec_instr(const Instr& ins, std::vector<RtValue>& regs);
+
   int num_registers() const { return num_regs_; }
   const std::vector<Instr>& instrs() const { return instrs_; }
+  const std::vector<int>& input_regs() const { return input_regs_; }
 
  private:
   friend class GraphModule;
@@ -84,9 +91,23 @@ class GraphModule : public nn::Module {
   // Run the tape. Auto-recompiles on first call.
   Value forward(const std::vector<Value>& inputs) override;
 
+  // Run the tape with inter-op parallelism: independent nodes (ResNet
+  // branches, parallel submodules) overlap on a worker pool sized by
+  // `num_threads` (0 = rt::get_num_interop_threads()). Output is
+  // bit-identical to forward() for any thread count; see
+  // core/parallel_executor.h. Auto-recompiles on first call. Repeated
+  // callers should hold a ParallelExecutor instead (this convenience
+  // rebuilds the schedule per call).
+  Value forward_parallel(const std::vector<Value>& inputs,
+                         int num_threads = 0);
+
   // Tensor-in / tensor-out convenience for tests and benches.
   Tensor run(const std::vector<Tensor>& inputs);
   Tensor run(const Tensor& input) { return run(std::vector<Tensor>{input}); }
+  Tensor run_parallel(const std::vector<Tensor>& inputs, int num_threads = 0);
+  Tensor run_parallel(const Tensor& input, int num_threads = 0) {
+    return run_parallel(std::vector<Tensor>{input}, num_threads);
+  }
 
   // Delegated state lookup: searches this module's own children first, then
   // the root hierarchy (so targets recorded during tracing resolve).

@@ -1,0 +1,204 @@
+#include "core/parallel_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include "runtime/timer.h"
+
+namespace fxcpp::fx {
+
+namespace {
+
+void collect_reg_reads(const Instr::ArgExpr& e, std::vector<int>& out) {
+  using Kind = Instr::ArgExpr::Kind;
+  switch (e.kind) {
+    case Kind::Reg:
+      out.push_back(e.reg);
+      break;
+    case Kind::List:
+      for (const auto& item : e.items) collect_reg_reads(item, out);
+      break;
+    case Kind::Imm:
+      break;
+  }
+}
+
+}  // namespace
+
+Schedule build_schedule(const CompiledGraph& cg) {
+  const auto& instrs = cg.instrs();
+  const std::size_t n = instrs.size();
+  Schedule s;
+  s.dep_count.assign(n, 0);
+  s.succs.assign(n, {});
+  s.reads.assign(n, {});
+  s.reg_reads.assign(static_cast<std::size_t>(cg.num_registers()), 0);
+
+  // Single writer per register; producer[r] = instruction index or -1 for
+  // placeholder registers (filled before execution starts).
+  std::vector<int> producer(static_cast<std::size_t>(cg.num_registers()), -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (instrs[i].out_reg >= 0) {
+      producer[static_cast<std::size_t>(instrs[i].out_reg)] =
+          static_cast<int>(i);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<int> regs;
+    for (const auto& a : instrs[i].args) collect_reg_reads(a, regs);
+    std::sort(regs.begin(), regs.end());
+    regs.erase(std::unique(regs.begin(), regs.end()), regs.end());
+    for (int r : regs) {
+      ++s.reg_reads[static_cast<std::size_t>(r)];
+      const int p = producer[static_cast<std::size_t>(r)];
+      if (p >= 0) {
+        // Dedupe edges from the same producer (an instr may read two
+        // registers written by one producer only via distinct regs, but a
+        // multi-arg read of the same reg was already deduped above).
+        auto& edges = s.succs[static_cast<std::size_t>(p)];
+        if (std::find(edges.begin(), edges.end(), static_cast<int>(i)) ==
+            edges.end()) {
+          edges.push_back(static_cast<int>(i));
+          ++s.dep_count[i];
+        }
+      }
+    }
+    s.reads[i] = std::move(regs);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (s.dep_count[i] == 0) s.initial_ready.push_back(static_cast<int>(i));
+  }
+  return s;
+}
+
+ParallelExecutor::ParallelExecutor(GraphModule& gm, ExecutorOptions opts)
+    : gm_(gm), opts_(opts) {
+  if (!gm_.compiled()) gm_.recompile();
+  schedule_ = build_schedule(gm_.compiled_graph());
+  int threads = opts_.num_threads;
+  if (threads <= 0) threads = rt::get_num_interop_threads();
+  pool_ = std::make_unique<rt::ThreadPool>(threads);
+}
+
+std::vector<RtValue> ParallelExecutor::run(std::vector<RtValue> inputs) {
+  const CompiledGraph& cg = gm_.compiled_graph();
+  const auto& instrs = cg.instrs();
+  if (inputs.size() != cg.input_regs().size()) {
+    throw std::invalid_argument(
+        "ParallelExecutor: expected " + std::to_string(cg.input_regs().size()) +
+        " inputs, got " + std::to_string(inputs.size()));
+  }
+
+  rt::Timer total;
+  stats_ = ExecutorStats{};
+
+  std::vector<RtValue> regs(static_cast<std::size_t>(cg.num_registers()));
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    regs[static_cast<std::size_t>(cg.input_regs()[i])] = std::move(inputs[i]);
+  }
+  std::vector<RtValue> result(1);  // single Output instr writes slot 0
+  bool has_output = false;
+  for (const auto& ins : instrs) has_output |= ins.op == Opcode::Output;
+
+  // Per-run mutable copies of the dependency/refcount state. acq_rel on the
+  // decrements gives the completion edge: the producer's register write
+  // happens-before any successor it unblocks.
+  const std::size_t n = instrs.size();
+  std::vector<std::atomic<int>> deps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    deps[i].store(schedule_.dep_count[i], std::memory_order_relaxed);
+  }
+  std::vector<std::atomic<int>> reg_left(schedule_.reg_reads.size());
+  for (std::size_t r = 0; r < schedule_.reg_reads.size(); ++r) {
+    reg_left[r].store(schedule_.reg_reads[r], std::memory_order_relaxed);
+  }
+
+  std::atomic<bool> aborted{false};
+  std::atomic<int> running{0}, queued{0};
+  std::atomic<int> max_running{0}, max_queued{0};
+  std::atomic<std::uint64_t> executed{0};
+  std::mutex stats_mu;
+
+  auto bump_max = [](std::atomic<int>& mx, int v) {
+    int cur = mx.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !mx.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  };
+
+  rt::TaskGroup group(*pool_);
+
+  // Spawn-from-worker recursion: executing an instruction decrements its
+  // successors' counts and schedules any that hit zero.
+  std::function<void(int)> spawn = [&](int idx) {
+    if (opts_.collect_stats) bump_max(max_queued, queued.fetch_add(1) + 1);
+    group.run([&, idx] {
+      if (aborted.load(std::memory_order_relaxed)) return;
+      const Instr& ins = instrs[static_cast<std::size_t>(idx)];
+      int now = 0;
+      rt::Timer t;
+      if (opts_.collect_stats) {
+        queued.fetch_sub(1);
+        now = running.fetch_add(1) + 1;
+        bump_max(max_running, now);
+      }
+      RtValue out;
+      try {
+        out = CompiledGraph::exec_instr(ins, regs);
+      } catch (...) {
+        aborted.store(true, std::memory_order_relaxed);
+        if (opts_.collect_stats) running.fetch_sub(1);
+        throw;  // captured by the TaskGroup, rethrown from wait()
+      }
+      if (ins.op == Opcode::Output) {
+        result[0] = std::move(out);
+      } else if (ins.out_reg >= 0) {
+        regs[static_cast<std::size_t>(ins.out_reg)] = std::move(out);
+      }
+      if (opts_.collect_stats) {
+        running.fetch_sub(1);
+        std::lock_guard<std::mutex> lock(stats_mu);
+        stats_.nodes.push_back({ins.node, t.seconds()});
+      }
+      executed.fetch_add(1, std::memory_order_relaxed);
+      // Reference-counted frees: the last reader of a register clears it
+      // (the parallel analog of Instr::frees).
+      for (int r : schedule_.reads[static_cast<std::size_t>(idx)]) {
+        if (reg_left[static_cast<std::size_t>(r)].fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+          regs[static_cast<std::size_t>(r)] = RtValue();
+        }
+      }
+      for (int succ : schedule_.succs[static_cast<std::size_t>(idx)]) {
+        if (deps[static_cast<std::size_t>(succ)].fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+          spawn(succ);
+        }
+      }
+    });
+  };
+
+  for (int idx : schedule_.initial_ready) spawn(idx);
+  group.wait();  // rethrows the first node exception
+
+  stats_.nodes_executed =
+      static_cast<std::size_t>(executed.load(std::memory_order_relaxed));
+  stats_.max_concurrency = max_running.load();
+  stats_.max_ready_queue = max_queued.load();
+  stats_.total_seconds = total.seconds();
+
+  if (stats_.nodes_executed != n) {
+    throw std::logic_error(
+        "ParallelExecutor: schedule executed " +
+        std::to_string(stats_.nodes_executed) + " of " + std::to_string(n) +
+        " instructions (cyclic or disconnected schedule)");
+  }
+  if (!has_output) return {};
+  std::vector<RtValue> out;
+  out.push_back(std::move(result[0]));
+  return out;
+}
+
+}  // namespace fxcpp::fx

@@ -4,7 +4,9 @@
 #include <mutex>
 #include <queue>
 #include <stdexcept>
-#include <thread>
+#include <unordered_map>
+
+#include "runtime/thread_pool.h"
 
 namespace fxcpp::passes {
 
@@ -49,8 +51,11 @@ std::vector<Tensor> run_pipelined(fx::SplitResult& split,
   bool done = false;
   std::vector<Tensor> out(stream.size());
 
-  // Stage-1 worker: the "asynchronous device" consuming stage-0 results.
-  std::thread worker([&] {
+  // Stage-1 consumer — the "asynchronous device" draining stage-0 results —
+  // runs as one inter-op pool task; the TaskGroup supplies the completion
+  // signal (and propagates a stage-1 exception out of this function).
+  rt::TaskGroup group(rt::ThreadPool::inter_op());
+  group.run([&] {
     for (;;) {
       std::pair<std::size_t, Tensor> item;
       {
@@ -64,20 +69,46 @@ std::vector<Tensor> run_pipelined(fx::SplitResult& split,
     }
   });
 
-  for (std::size_t i = 0; i < stream.size(); ++i) {
-    Tensor mid = stage0.run(stream[i]);
+  try {
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      Tensor mid = stage0.run(stream[i]);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        handoff.emplace(i, std::move(mid));
+      }
+      cv.notify_one();
+    }
+  } catch (...) {
+    // Unblock the consumer before the TaskGroup destructor waits on it.
     {
       std::lock_guard<std::mutex> lock(mu);
-      handoff.emplace(i, std::move(mid));
+      done = true;
     }
     cv.notify_one();
+    throw;
   }
   {
     std::lock_guard<std::mutex> lock(mu);
     done = true;
   }
   cv.notify_one();
-  worker.join();
+  group.wait();
+  return out;
+}
+
+std::vector<Tensor> run_parallel(fx::GraphModule& gm,
+                                 const std::vector<Tensor>& stream,
+                                 int num_threads) {
+  fx::ParallelExecutor ex(gm, fx::ExecutorOptions{num_threads, false});
+  std::vector<Tensor> out;
+  out.reserve(stream.size());
+  for (const Tensor& x : stream) {
+    std::vector<fx::RtValue> res = ex.run({fx::RtValue(x)});
+    if (res.empty() || !fx::rt_is_tensor(res.front())) {
+      throw std::logic_error("run_parallel: graph produced a non-tensor output");
+    }
+    out.push_back(std::move(std::get<Tensor>(res.front())));
+  }
   return out;
 }
 

@@ -2,11 +2,16 @@
 // into stages with split_module and overlap stage execution across a stream
 // of inputs — the "overlapping synchronous CPU operations with asynchronous
 // device operations" pattern the paper reports being used in production.
+//
+// Both the 2-stage pipeline and the wide-branch stream runner ride the same
+// machinery: rt::TaskGroup over the inter-op pool (run_pipelined) and the
+// dependency-counted fx::ParallelExecutor (run_parallel).
 #pragma once
 
 #include <functional>
 #include <vector>
 
+#include "core/parallel_executor.h"
 #include "core/split.h"
 
 namespace fxcpp::passes {
@@ -19,9 +24,18 @@ fx::SplitResult split_at(fx::GraphModule& gm, const std::string& boundary_node);
 std::vector<Tensor> run_serial(fx::SplitResult& split,
                                const std::vector<Tensor>& stream);
 
-// Run the same stream with stage 1 executing on a worker thread, overlapping
-// stage 0 of item i+1 with stage 1 of item i (software pipelining).
+// Run the same stream with stage 1 executing as an inter-op pool task,
+// overlapping stage 0 of item i+1 with stage 1 of item i (software
+// pipelining).
 std::vector<Tensor> run_pipelined(fx::SplitResult& split,
                                   const std::vector<Tensor>& stream);
+
+// Run a stream through `gm` item-by-item with each item's DAG executed by
+// the inter-op ParallelExecutor, overlapping independent branches inside
+// one item (wide graphs). Outputs bit-equal the serial tape's.
+// `num_threads` 0 = rt::get_num_interop_threads().
+std::vector<Tensor> run_parallel(fx::GraphModule& gm,
+                                 const std::vector<Tensor>& stream,
+                                 int num_threads = 0);
 
 }  // namespace fxcpp::passes

@@ -7,6 +7,7 @@ namespace fxcpp::rt {
 
 namespace {
 std::atomic<int> g_num_threads{0};  // 0 = uninitialized, use hw concurrency
+std::atomic<int> g_num_interop_threads{0};
 
 int default_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -15,27 +16,43 @@ int default_threads() {
 }  // namespace
 
 ThreadPool::ThreadPool(int num_workers) {
+  if (num_workers < 0) num_workers = 0;
   workers_.reserve(static_cast<std::size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (done_) return;
     done_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+bool ThreadPool::stopped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
 }
 
 void ThreadPool::submit(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push(std::move(fn));
+    // A stopped (or worker-less) pool can never pop the queue again; running
+    // inline keeps submit() well-defined instead of dropping the task.
+    if (!done_ && !workers_.empty()) {
+      tasks_.push(std::move(fn));
+      cv_.notify_one();
+      return;
+    }
   }
-  cv_.notify_one();
+  fn();
 }
 
 void ThreadPool::worker_loop() {
@@ -52,21 +69,92 @@ void ThreadPool::worker_loop() {
   }
 }
 
-ThreadPool& ThreadPool::global() {
+namespace {
+
+ThreadPool& pool_for(std::atomic<int>& knob) {
   // One pool per configured size; rebuilding on resize keeps the common case
-  // (size never changes after startup) lock-free at call sites.
+  // (size never changes after startup) lock-free at call sites. The old
+  // pool's destructor drains its queue before joining, so tasks already
+  // submitted (e.g. by an in-flight TaskGroup) still complete.
   static std::mutex mu;
-  static std::unique_ptr<ThreadPool> pool;
-  static int pool_size = -1;
+  static std::unique_ptr<ThreadPool> pools[2];
+  static int pool_sizes[2] = {-1, -1};
+  const int slot = &knob == &g_num_interop_threads ? 1 : 0;
   std::lock_guard<std::mutex> lock(mu);
-  const int want = get_num_threads();
-  if (!pool || pool_size != want) {
-    pool.reset();
-    pool = std::make_unique<ThreadPool>(want);
-    pool_size = want;
+  int want = knob.load();
+  if (want == 0) {
+    want = default_threads();
+    knob.store(want);
   }
-  return *pool;
+  if (!pools[slot] || pool_sizes[slot] != want) {
+    pools[slot].reset();
+    pools[slot] = std::make_unique<ThreadPool>(want);
+    pool_sizes[slot] = want;
+  }
+  return *pools[slot];
 }
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() { return pool_for(g_num_threads); }
+
+ThreadPool& ThreadPool::inter_op() { return pool_for(g_num_interop_threads); }
+
+// ---------------------------------------------------------------------------
+// TaskGroup
+// ---------------------------------------------------------------------------
+
+TaskGroup::TaskGroup(ThreadPool& pool)
+    : pool_(pool), state_(std::make_shared<State>()) {}
+
+TaskGroup::~TaskGroup() {
+  // Best-effort drain so detached tasks never touch a dead State through a
+  // dangling group; exceptions stay captured (wait() would have thrown).
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->pending == 0; });
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    ++state_->pending;
+  }
+  // The wrapper owns a shared_ptr to the State, so a task finishing after
+  // the group's user is done waiting (destructor path) stays safe.
+  pool_.submit([st = state_, f = std::move(fn)]() mutable {
+    try {
+      f();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(st->mu);
+      if (!st->error) st->error = std::current_exception();
+    }
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(st->mu);
+      last = --st->pending == 0;
+    }
+    if (last) st->cv.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->pending == 0; });
+    err = state_->error;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+bool TaskGroup::failed() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return static_cast<bool>(state_->error);
+}
+
+// ---------------------------------------------------------------------------
+// Knobs and parallel_for
+// ---------------------------------------------------------------------------
 
 void set_num_threads(int n) { g_num_threads.store(n < 1 ? 1 : n); }
 
@@ -75,6 +163,19 @@ int get_num_threads() {
   if (n == 0) {
     n = default_threads();
     g_num_threads.store(n);
+  }
+  return n;
+}
+
+void set_num_interop_threads(int n) {
+  g_num_interop_threads.store(n < 1 ? 1 : n);
+}
+
+int get_num_interop_threads() {
+  int n = g_num_interop_threads.load();
+  if (n == 0) {
+    n = default_threads();
+    g_num_interop_threads.store(n);
   }
   return n;
 }

@@ -1,14 +1,20 @@
-// Intra-op parallelism runtime.
+// Parallelism runtime: intra-op and inter-op thread pools.
 //
-// Mirrors the role of ATen's intra-op thread pool in PyTorch: tensor kernels
-// call parallel_for() and the global thread-count knob plays the role of
-// OMP_NUM_THREADS in the paper's Conv-BN fusion experiment (Appendix C,
-// "Threaded" vs "Unthreaded" rows).
+// Mirrors the split PyTorch makes between ATen's *intra-op* pool (tensor
+// kernels call parallel_for(); the global thread-count knob plays the role
+// of OMP_NUM_THREADS in the paper's Conv-BN fusion experiment, Appendix C)
+// and the *inter-op* pool used to overlap independent graph nodes
+// (Section 6.2.3's "overlapping independent work" production pattern).
+// Keeping them separate is what makes nesting deadlock-free: an inter-op
+// task may block inside parallel_for() waiting on intra-op chunks, but
+// intra-op chunks never wait on inter-op work.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -18,8 +24,9 @@ namespace fxcpp::rt {
 
 // A fixed-size worker pool executing submitted closures.
 //
-// The pool is lazily constructed on first use via ThreadPool::global() and
-// resized when set_num_threads() changes the configured parallelism.
+// The pools are lazily constructed on first use via ThreadPool::global() /
+// ThreadPool::inter_op() and resized when set_num_threads() /
+// set_num_interop_threads() change the configured parallelism.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_workers);
@@ -31,20 +38,72 @@ class ThreadPool {
   // Number of worker threads (not counting the caller).
   int size() const { return static_cast<int>(workers_.size()); }
 
-  // Schedule `fn` on a worker. Never blocks on task completion.
+  // Schedule `fn` on a worker. Never blocks on task completion. If the pool
+  // has been stopped (or was built with zero workers) `fn` runs inline on
+  // the calling thread instead — submitted work is never silently dropped.
   void submit(std::function<void()> fn);
 
-  // Process-wide pool sized to the current intra-op thread setting.
+  // Drain every queued task, then join the workers. Idempotent; the
+  // destructor calls it. Tasks queued before stop() still run on workers;
+  // submissions that race with or follow stop() run inline on the caller.
+  void stop();
+  bool stopped() const;
+
+  // Process-wide intra-op pool sized to the current set_num_threads() knob.
   static ThreadPool& global();
+  // Process-wide inter-op pool (graph-level parallelism) sized to the
+  // current set_num_interop_threads() knob.
+  static ThreadPool& inter_op();
 
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   bool done_ = false;
+};
+
+// A waitable batch of tasks on a ThreadPool. submit() alone is
+// fire-and-forget; TaskGroup adds the completion signal the inter-op graph
+// executor needs: run() schedules a task, wait() blocks until every task
+// scheduled so far (including ones scheduled *by* running tasks — the
+// executor spawns successors from inside workers) has finished, rethrowing
+// the first exception any task raised.
+//
+// Tasks may call run() on their own group; wait() returns only when the
+// pending count reaches zero. The group must stay alive until wait()
+// returns (the destructor waits, swallowing errors). If the pool is
+// stopped or destroyed mid-flight, already-queued tasks still run (the
+// pool drains before joining) and later run() calls execute inline, so
+// wait() never deadlocks.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool);
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  // Schedule `fn` as part of this group.
+  void run(std::function<void()> fn);
+
+  // Block until all tasks complete; rethrow the first captured exception.
+  void wait();
+
+  // True once any task has thrown (long fan-outs can bail early).
+  bool failed() const;
+
+ private:
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t pending = 0;
+    std::exception_ptr error;
+  };
+  ThreadPool& pool_;
+  std::shared_ptr<State> state_;
 };
 
 // Set the number of threads used by parallel tensor kernels. `n >= 1`.
@@ -54,6 +113,12 @@ void set_num_threads(int n);
 
 // Current intra-op thread setting (defaults to hardware_concurrency).
 int get_num_threads();
+
+// Inter-op (graph-level) parallelism knob, `n >= 1`. Defaults to
+// hardware_concurrency; independent of the intra-op setting, like
+// torch.set_num_interop_threads.
+void set_num_interop_threads(int n);
+int get_num_interop_threads();
 
 // Run fn(begin, end) over [begin, end) split into roughly equal chunks of at
 // least `grain` iterations, using the intra-op pool. Blocks until all chunks

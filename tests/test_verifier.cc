@@ -343,6 +343,25 @@ TEST(Verifier, CustomRulesExtendTheRegistry) {
   EXPECT_FALSE(defaults.verify(g2).has("structure.dead-code"));
 }
 
+// --- schedule rule ---------------------------------------------------------
+
+TEST(Verifier, ScheduleCoversCompiledTape) {
+  auto gm = fx::symbolic_trace(nn::models::mlp({4, 8, 2}));
+  gm->recompile();
+  const Report rep = analysis::verify(*gm);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  EXPECT_FALSE(rep.has("schedule.coverage"));
+}
+
+TEST(Verifier, ScheduleRuleSkipsUncompiledModules) {
+  // A GraphModule constructed directly (no recompile yet) has no tape; the
+  // rule must skip, not throw.
+  fx::GraphModule gm(nullptr, clean_graph(), "Raw");
+  ASSERT_FALSE(gm.compiled());
+  const Report rep = analysis::verify(gm);
+  EXPECT_FALSE(rep.has("schedule.coverage"));
+}
+
 // --- lint() agreement ------------------------------------------------------
 
 TEST(Verifier, LintThrowsListingAllStructuralErrors) {
