@@ -1,28 +1,50 @@
 #!/usr/bin/env bash
 # Tier-1 verification, three ways: a normal Release build+ctest, the same
 # suite under AddressSanitizer+UBSan (FXCPP_SANITIZE=ON), and the
-# concurrency suite (parallel executor, task groups, thread pool) under
-# ThreadSanitizer (FXCPP_SANITIZE=thread). Each sanitizer gets its own build
-# tree. Fails on the first red step.
+# concurrency suite (parallel executor, task groups, thread pool, profiler
+# hooks) under ThreadSanitizer (FXCPP_SANITIZE=thread). Each sanitizer gets
+# its own build tree. The normal and ASan steps also smoke the fxprof CLI on
+# a traced ResNet-18 (trace + summary must be written and the profiled
+# output must bit-match the unprofiled run — fxprof exits nonzero if not).
+# Fails on the first red step.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${JOBS:-$(nproc)}"
 
+fxprof_smoke() {
+  local build="$1"
+  local out
+  out="$(mktemp -d)"
+  "$build/examples/fxprof" resnet18 --engine all --runs 1 \
+    --trace "$out/trace.json" --summary "$out/summary.json"
+  test -s "$out/trace.json"
+  test -s "$out/summary.json"
+  grep -q '"traceEvents"' "$out/trace.json"
+  grep -q '"node_seconds"' "$out/summary.json"
+  rm -rf "$out"
+}
+
 echo "== [1/3] normal build + ctest (build/) =="
 cmake -B "$repo/build" -S "$repo"
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+echo "-- fxprof smoke (build/) --"
+fxprof_smoke "$repo/build"
 
 echo "== [2/3] sanitized build + ctest (build-asan/) =="
 cmake -B "$repo/build-asan" -S "$repo" -DFXCPP_SANITIZE=ON
 cmake --build "$repo/build-asan" -j "$jobs"
 ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
+echo "-- fxprof smoke (build-asan/) --"
+fxprof_smoke "$repo/build-asan"
 
 echo "== [3/3] TSan build + concurrency suite (build-tsan/) =="
 cmake -B "$repo/build-tsan" -S "$repo" -DFXCPP_SANITIZE=thread
-cmake --build "$repo/build-tsan" -j "$jobs" --target test_parallel_exec --target test_runtime
+cmake --build "$repo/build-tsan" -j "$jobs" --target test_parallel_exec \
+  --target test_runtime --target test_profile
 "$repo/build-tsan/tests/test_parallel_exec"
 "$repo/build-tsan/tests/test_runtime"
+"$repo/build-tsan/tests/test_profile"
 
 echo "== check.sh: all suites green =="

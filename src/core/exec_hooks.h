@@ -1,0 +1,47 @@
+// ExecHooks — the per-node begin/end instrumentation seam shared by all
+// three execution engines (Interpreter::run, the compiled tape's
+// CompiledGraph::run, and the inter-op ParallelExecutor).
+//
+// The paper's flagship Interpreter use case (Section 6.3) is a drop-in
+// profiler that attributes wall time to individual graph nodes; in this
+// reproduction the same seam also instruments the two loaded execution
+// paths, so one observer covers every engine. profile::Profiler is the
+// canonical implementation; future schedulers / lowering passes attach
+// their own observers here instead of patching each engine.
+//
+// Contract:
+//   * on_run_begin / on_run_end bracket one full graph execution.
+//   * on_node_begin / on_node_end bracket one node (Interpreter) or one
+//     tape instruction (serial tape, ParallelExecutor — placeholders are
+//     register fills there, not instructions, so they produce no events).
+//   * `out` in on_node_end is the node's result, observed before it is
+//     moved into the environment/register file. Hooks must not mutate it.
+//   * ParallelExecutor invokes node hooks concurrently from its worker
+//     threads; implementations must be thread-safe. Hooks only observe —
+//     engines produce bit-identical outputs with or without them.
+//   * A node that throws produces no on_node_end, but on_run_end still
+//     fires before the exception propagates out of the engine, so run-level
+//     bookkeeping always closes.
+#pragma once
+
+#include <cstddef>
+
+#include "core/node.h"
+#include "core/rt_value.h"
+
+namespace fxcpp::fx {
+
+class ExecHooks {
+ public:
+  virtual ~ExecHooks() = default;
+
+  virtual void on_run_begin(std::size_t num_nodes) { (void)num_nodes; }
+  virtual void on_node_begin(const Node& n) { (void)n; }
+  virtual void on_node_end(const Node& n, const RtValue& out) {
+    (void)n;
+    (void)out;
+  }
+  virtual void on_run_end() {}
+};
+
+}  // namespace fxcpp::fx

@@ -9,6 +9,25 @@ namespace fxcpp::fx {
 
 namespace {
 
+// Strings are single-quoted with C-style escapes so quotes, backslashes and
+// line breaks survive the line-oriented format. The parser (parse_string)
+// and the balanced scanners in parse_graph() invert exactly this encoding.
+void write_string(std::ostringstream& os, const std::string& s) {
+  os << '\'';
+  for (const char c : s) {
+    switch (c) {
+      case '\\': os << "\\\\"; break;
+      case '\'': os << "\\'"; break;
+      case '"': os << "\\\""; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '\'';
+}
+
 void write_arg(std::ostringstream& os, const Argument& a) {
   if (a.is_none()) {
     os << "None";
@@ -30,11 +49,7 @@ void write_arg(std::ostringstream& os, const Argument& a) {
     }
     os << s;
   } else if (a.is_string()) {
-    if (a.as_string().find('\'') != std::string::npos) {
-      throw std::invalid_argument(
-          "serialize_graph: quotes in string arguments are not supported");
-    }
-    os << '\'' << a.as_string() << '\'';
+    write_string(os, a.as_string());
   } else {  // list
     os << '[';
     for (std::size_t i = 0; i < a.list().size(); ++i) {
@@ -114,10 +129,24 @@ class Parser {
 
   Argument parse_string() {
     ++pos_;  // opening quote
-    const std::size_t end = s_.find('\'', pos_);
-    if (end == std::string::npos) fail("unterminated string");
-    std::string v = s_.substr(pos_, end - pos_);
-    pos_ = end + 1;
+    std::string v;
+    while (pos_ < s_.size() && s_[pos_] != '\'') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("dangling escape in string");
+        const char e = s_[pos_++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case '\\': case '\'': case '"': c = e; break;
+          default: fail(std::string("unknown string escape '\\") + e + "'");
+        }
+      }
+      v += c;
+    }
+    if (pos_ >= s_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
     return Argument(std::move(v));
   }
 
@@ -247,8 +276,15 @@ std::unique_ptr<Graph> parse_graph(const std::string& text) {
     std::size_t i = body_start;
     for (; i < line.size() && depth > 0; ++i) {
       const char c = line[i];
-      if (c == '\'') in_str = !in_str;
-      if (in_str) continue;
+      if (in_str) {
+        if (c == '\\') ++i;  // skip the escaped character
+        else if (c == '\'') in_str = false;
+        continue;
+      }
+      if (c == '\'') {
+        in_str = true;
+        continue;
+      }
       if (c == '(' || c == '[') ++depth;
       if (c == ')' || c == ']') --depth;
     }
@@ -282,10 +318,18 @@ std::unique_ptr<Graph> parse_graph(const std::string& text) {
       bool ks_str = false;
       for (std::size_t j = 0; j <= kbody.size(); ++j) {
         const char c = j < kbody.size() ? kbody[j] : ',';
-        if (c == '\'') ks_str = !ks_str;
-        if (!ks_str && (c == '[' || c == '(')) ++kd;
-        if (!ks_str && (c == ']' || c == ')')) --kd;
-        if (c == ',' && kd == 0 && !ks_str) {
+        if (ks_str) {
+          if (c == '\\') ++j;  // skip the escaped character
+          else if (c == '\'') ks_str = false;
+          continue;
+        }
+        if (c == '\'') {
+          ks_str = true;
+          continue;
+        }
+        if (c == '[' || c == '(') ++kd;
+        if (c == ']' || c == ')') --kd;
+        if (c == ',' && kd == 0) {
           const std::string item = kbody.substr(start, j - start);
           const std::size_t colon = item.find(':');
           if (colon != std::string::npos) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/codegen.h"
+#include "core/exec_hooks.h"
 #include "core/functional.h"
 #include "core/graph_io.h"
 #include "core/parallel_executor.h"
@@ -54,8 +55,10 @@ RtValue eval_arg_expr(const Instr::ArgExpr& e, std::vector<RtValue>& regs) {
     case Kind::Imm:
       return e.imm;
     case Kind::List: {
+      // all_int seeded true: an empty list is an empty int list, consistent
+      // with Interpreter::eval_arg and recompile()'s immediate pre-decode.
       bool all_tensor = !e.items.empty();
-      bool all_int = !e.items.empty();
+      bool all_int = true;
       std::vector<RtValue> vals;
       vals.reserve(e.items.size());
       for (const auto& item : e.items) {
@@ -110,7 +113,8 @@ RtValue CompiledGraph::exec_instr(const Instr& ins, std::vector<RtValue>& regs) 
   return RtValue();
 }
 
-std::vector<RtValue> CompiledGraph::run(std::vector<RtValue> inputs) const {
+std::vector<RtValue> CompiledGraph::run(std::vector<RtValue> inputs,
+                                        ExecHooks* hooks) const {
   if (inputs.size() != input_regs_.size()) {
     throw std::invalid_argument(
         "CompiledGraph: expected " + std::to_string(input_regs_.size()) +
@@ -120,18 +124,28 @@ std::vector<RtValue> CompiledGraph::run(std::vector<RtValue> inputs) const {
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     regs[static_cast<std::size_t>(input_regs_[i])] = std::move(inputs[i]);
   }
+  if (hooks) hooks->on_run_begin(instrs_.size());
   std::vector<RtValue> result;
-  for (const Instr& ins : instrs_) {
-    RtValue out = exec_instr(ins, regs);
-    if (ins.op == Opcode::Output) {
-      result.push_back(std::move(out));
-    } else if (ins.out_reg >= 0) {
-      regs[static_cast<std::size_t>(ins.out_reg)] = std::move(out);
+  try {
+    for (const Instr& ins : instrs_) {
+      if (hooks && ins.node) hooks->on_node_begin(*ins.node);
+      RtValue out = exec_instr(ins, regs);
+      if (hooks && ins.node) hooks->on_node_end(*ins.node, out);
+      if (ins.op == Opcode::Output) {
+        result.push_back(std::move(out));
+      } else if (ins.out_reg >= 0) {
+        regs[static_cast<std::size_t>(ins.out_reg)] = std::move(out);
+      }
+      // Release dead registers (the `v = None` of generated Python): tensors
+      // free their storage at last use exactly as fx's generated code does.
+      for (int r : ins.frees) regs[static_cast<std::size_t>(r)] = RtValue();
     }
-    // Release dead registers (the `v = None` of generated Python): tensors
-    // free their storage at last use exactly as fx's generated code does.
-    for (int r : ins.frees) regs[static_cast<std::size_t>(r)] = RtValue();
+  } catch (...) {
+    // Hook contract: on_run_end fires even for aborted runs.
+    if (hooks) hooks->on_run_end();
+    throw;
   }
+  if (hooks) hooks->on_run_end();
   return result;
 }
 

@@ -20,6 +20,8 @@
 
 namespace fxcpp::fx {
 
+class ExecHooks;
+
 // One step of the lowered execution tape.
 struct Instr {
   // Pre-decoded argument: a register reference, an immediate RtValue, or a
@@ -48,7 +50,12 @@ struct Instr {
 
 class CompiledGraph {
  public:
-  std::vector<RtValue> run(std::vector<RtValue> inputs) const;
+  // Execute the tape. `hooks` (optional, core/exec_hooks.h) receives
+  // begin/end callbacks around every instruction — the profiler's seam.
+  // Placeholders are register fills, not instructions, so they produce no
+  // hook events here (unlike Interpreter::run).
+  std::vector<RtValue> run(std::vector<RtValue> inputs,
+                           ExecHooks* hooks = nullptr) const;
 
   // Execute one instruction against a register file and return its result
   // (the caller stores it into ins.out_reg / the output list). Shared by

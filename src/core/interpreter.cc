@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/codegen.h"
+#include "core/exec_hooks.h"
 #include "core/functional.h"
 
 namespace fxcpp::fx {
@@ -11,15 +13,41 @@ RtValue Interpreter::run(std::vector<RtValue> inputs) {
   env_.clear();
   inputs_ = std::move(inputs);
   next_input_ = 0;
+  const std::vector<Node*> order = gm_.graph().nodes();
+  // Last-use indices from the use-def chains: an entry is erased from env_
+  // as soon as its final reader has executed (-1 = no readers), so a deep
+  // chain holds O(live set) tensors instead of every intermediate.
+  const auto last = last_use_index(order);
+  if (hooks_) hooks_->on_run_begin(order.size());
   RtValue result;
-  for (const Node* n : gm_.graph().nodes()) {
-    RtValue v = run_node(*n);
-    if (n->op() == Opcode::Output) {
-      result = std::move(v);
-    } else {
-      env_[n] = std::move(v);
+  try {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const Node* n = order[i];
+      if (hooks_) hooks_->on_node_begin(*n);
+      RtValue v = run_node(*n);
+      if (hooks_) hooks_->on_node_end(*n, v);
+      if (n->op() == Opcode::Output) {
+        result = std::move(v);
+      } else {
+        auto it = last.find(n);
+        if (it == last.end() || it->second >= 0) env_[n] = std::move(v);
+        // else: no users — drop the value immediately.
+      }
+      for (const Node* in : n->input_nodes()) {
+        auto it = last.find(in);
+        if (it != last.end() && it->second == static_cast<int>(i)) {
+          env_.erase(in);
+        }
+      }
     }
+  } catch (...) {
+    // Hook contract: on_run_end fires even for aborted runs.
+    if (hooks_) hooks_->on_run_end();
+    env_.clear();
+    throw;
   }
+  if (hooks_) hooks_->on_run_end();
+  env_.clear();
   return result;
 }
 
@@ -33,7 +61,10 @@ RtValue Interpreter::eval_arg(const Argument& a) const {
     return it->second;
   }
   if (a.is_list()) {
-    bool all_int = !a.list().empty();
+    // Seeded with true so an empty list rounds-trips as an empty int list,
+    // matching the tape/codegen paths (recompile() pre-decodes it the same
+    // way) instead of degrading into an empty tensor list.
+    bool all_int = true;
     for (const auto& item : a.list()) all_int = all_int && item.is_int();
     if (all_int) return a.int_list();
     std::vector<Tensor> ts;

@@ -13,14 +13,24 @@
 
 namespace fxcpp::fx {
 
+class ExecHooks;
+
 class Interpreter {
  public:
   explicit Interpreter(GraphModule& gm) : gm_(gm) {}
   virtual ~Interpreter() = default;
 
   // Execute the whole graph; returns the value of the output node.
+  // Intermediates are released from the environment at each node's last use
+  // (computed from the use-def chains), so peak memory matches the serial
+  // tape's liveness-based register freeing instead of growing with graph
+  // depth.
   RtValue run(std::vector<RtValue> inputs);
   RtValue run(const Tensor& input) { return run(std::vector<RtValue>{input}); }
+
+  // Attach per-node begin/end instrumentation (core/exec_hooks.h). The
+  // observer must outlive run(); pass nullptr to detach.
+  void set_hooks(ExecHooks* hooks) { hooks_ = hooks; }
 
   // Execute a single node given the current environment. Subclasses
   // typically call the base implementation and then inspect/replace the
@@ -38,6 +48,7 @@ class Interpreter {
   std::unordered_map<const Node*, RtValue> env_;
   std::vector<RtValue> inputs_;
   std::size_t next_input_ = 0;
+  ExecHooks* hooks_ = nullptr;
 };
 
 }  // namespace fxcpp::fx

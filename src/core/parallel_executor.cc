@@ -4,6 +4,7 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "core/exec_hooks.h"
 #include "runtime/timer.h"
 
 namespace fxcpp::fx {
@@ -146,12 +147,14 @@ std::vector<RtValue> ParallelExecutor::run(std::vector<RtValue> inputs) {
       }
       RtValue out;
       try {
+        if (opts_.hooks && ins.node) opts_.hooks->on_node_begin(*ins.node);
         out = CompiledGraph::exec_instr(ins, regs);
       } catch (...) {
         aborted.store(true, std::memory_order_relaxed);
         if (opts_.collect_stats) running.fetch_sub(1);
         throw;  // captured by the TaskGroup, rethrown from wait()
       }
+      if (opts_.hooks && ins.node) opts_.hooks->on_node_end(*ins.node, out);
       if (ins.op == Opcode::Output) {
         result[0] = std::move(out);
       } else if (ins.out_reg >= 0) {
@@ -180,8 +183,17 @@ std::vector<RtValue> ParallelExecutor::run(std::vector<RtValue> inputs) {
     });
   };
 
-  for (int idx : schedule_.initial_ready) spawn(idx);
-  group.wait();  // rethrows the first node exception
+  if (opts_.hooks) opts_.hooks->on_run_begin(n);
+  try {
+    for (int idx : schedule_.initial_ready) spawn(idx);
+    group.wait();  // rethrows the first node exception
+  } catch (...) {
+    // on_run_end fires even for aborted runs (hook contract): observers
+    // close their run-level bookkeeping before the exception propagates.
+    if (opts_.hooks) opts_.hooks->on_run_end();
+    throw;
+  }
+  if (opts_.hooks) opts_.hooks->on_run_end();
 
   stats_.nodes_executed =
       static_cast<std::size_t>(executed.load(std::memory_order_relaxed));

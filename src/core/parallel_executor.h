@@ -69,6 +69,10 @@ struct ExecutorOptions {
   // Record ExecutorStats during run() (adds two atomic ops per node plus a
   // mutex push per node; leave off in production).
   bool collect_stats = false;
+  // Per-instruction begin/end observer (core/exec_hooks.h). Invoked
+  // concurrently from worker threads — the implementation must be
+  // thread-safe. Must outlive run(); nullptr disables instrumentation.
+  ExecHooks* hooks = nullptr;
 };
 
 class ParallelExecutor {

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "nn/layers.h"
+#include "passes/shape_prop.h"
 
 namespace fxcpp::passes {
 
@@ -93,6 +94,12 @@ std::string CostReport::to_table() const {
   }
   os << "total: " << total_flops / 1e9 << " GFLOPs, " << total_bytes / 1e6
      << " MB traffic, " << param_bytes / 1e6 << " MB parameters\n";
+  if (!unmeasured.empty()) {
+    os << "unmeasured: " << unmeasured.size()
+       << " node(s) missing shape meta (run ShapeProp):";
+    for (const auto* n : unmeasured) os << ' ' << n->name();
+    os << "\n";
+  }
   return os.str();
 }
 
@@ -103,6 +110,12 @@ CostReport estimate_cost(const fx::GraphModule& gm) {
     cost.node = n;
     Shape out;
     const bool has_out = node_shape(n, out);
+    if (!has_out && n->op() != fx::Opcode::Output) {
+      // Value-producing node with absent/invalidated shape meta: the zeros
+      // below are "unmeasured", not "free" — surface it.
+      cost.measured = false;
+      report.unmeasured.push_back(n);
+    }
 
     if (has_out && n->op() != fx::Opcode::Placeholder) {
       cost.bytes_written = numel_of(out) * 4.0;
@@ -142,6 +155,19 @@ CostReport estimate_cost(const fx::GraphModule& gm) {
     report.per_node.push_back(cost);
   }
   return report;
+}
+
+CostReport estimate_cost(fx::GraphModule& gm,
+                         const std::vector<Tensor>& example_inputs) {
+  bool missing = false;
+  for (const fx::Node* n : gm.graph().nodes()) {
+    if (n->op() != fx::Opcode::Output && !n->has_shape()) {
+      missing = true;
+      break;
+    }
+  }
+  if (missing) shape_prop(gm, example_inputs);
+  return estimate_cost(static_cast<const fx::GraphModule&>(gm));
 }
 
 }  // namespace fxcpp::passes

@@ -20,6 +20,9 @@ struct NodeCost {
   double bytes_read = 0.0;     // activations + parameters
   double bytes_written = 0.0;  // output activations
   double param_bytes = 0.0;
+  // False when this node produces a value but carries no shape meta (absent
+  // or invalidated by a transform): its zeros mean "unmeasured", not "free".
+  bool measured = true;
 };
 
 struct CostReport {
@@ -27,6 +30,10 @@ struct CostReport {
   double total_flops = 0.0;
   double total_bytes = 0.0;    // read + written
   double param_bytes = 0.0;
+  // Value-producing nodes skipped for missing shape meta. Non-empty means
+  // the totals undercount; run ShapeProp (or use the example-input overload
+  // of estimate_cost) to measure them.
+  std::vector<const fx::Node*> unmeasured;
 
   // Predicted runtime on a roofline device model: max(compute, memory) time.
   double estimate_seconds(double flops_per_sec, double bytes_per_sec) const;
@@ -34,9 +41,15 @@ struct CostReport {
   std::string to_table() const;
 };
 
-// Estimate per-node costs. Nodes without shape metadata are skipped
-// (contributing zero), matching the "estimation over what was captured"
-// character of the paper's simulation framework.
+// Estimate per-node costs. Nodes without shape metadata contribute zero and
+// are surfaced in `unmeasured` (and by to_table()) — transforms invalidate
+// stale meta, so a silent 0 would misreport freshly rewritten graphs.
 CostReport estimate_cost(const fx::GraphModule& gm);
+
+// Like the above, but re-runs ShapeProp on `example_inputs` first whenever
+// any value-producing node lacks shape meta, so freshly built or transformed
+// graphs get measured automatically.
+CostReport estimate_cost(fx::GraphModule& gm,
+                         const std::vector<Tensor>& example_inputs);
 
 }  // namespace fxcpp::passes

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <memory>
+#include <utility>
 
 namespace fxcpp::rt {
 
@@ -109,7 +110,8 @@ TaskGroup::TaskGroup(ThreadPool& pool)
 
 TaskGroup::~TaskGroup() {
   // Best-effort drain so detached tasks never touch a dead State through a
-  // dangling group; exceptions stay captured (wait() would have thrown).
+  // dangling group; an unobserved exception dies with the State (wait()
+  // would have rethrown it).
   std::unique_lock<std::mutex> lock(state_->mu);
   state_->cv.wait(lock, [&] { return state_->pending == 0; });
 }
@@ -127,7 +129,13 @@ void TaskGroup::run(std::function<void()> fn) {
     } catch (...) {
       std::lock_guard<std::mutex> lock(st->mu);
       if (!st->error) st->error = std::current_exception();
+      st->failed = true;
     }
+    // Drop the task closure before signalling completion: once the waiter
+    // wakes it may free anything the task captured, and libstdc++'s
+    // refcounted internals (exception_ptr, COW error strings) synchronize
+    // through atomics TSan cannot see in the prebuilt library.
+    f = nullptr;
     bool last = false;
     {
       std::lock_guard<std::mutex> lock(st->mu);
@@ -142,14 +150,16 @@ void TaskGroup::wait() {
   {
     std::unique_lock<std::mutex> lock(state_->mu);
     state_->cv.wait(lock, [&] { return state_->pending == 0; });
-    err = state_->error;
+    // Take the error out of the shared State so its final release happens
+    // on this thread, never on a worker racing past the notify.
+    err = std::exchange(state_->error, nullptr);
   }
   if (err) std::rethrow_exception(err);
 }
 
 bool TaskGroup::failed() const {
   std::lock_guard<std::mutex> lock(state_->mu);
-  return static_cast<bool>(state_->error);
+  return state_->failed;
 }
 
 // ---------------------------------------------------------------------------

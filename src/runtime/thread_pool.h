@@ -89,7 +89,8 @@ class TaskGroup {
   // Schedule `fn` as part of this group.
   void run(std::function<void()> fn);
 
-  // Block until all tasks complete; rethrow the first captured exception.
+  // Block until all tasks complete; rethrow the first captured exception
+  // (consuming it — a later wait() on the quiesced group returns clean).
   void wait();
 
   // True once any task has thrown (long fan-outs can bail early).
@@ -101,6 +102,7 @@ class TaskGroup {
     std::condition_variable cv;
     std::size_t pending = 0;
     std::exception_ptr error;
+    bool failed = false;  // sticky: survives wait() consuming `error`
   };
   ThreadPool& pool_;
   std::shared_ptr<State> state_;

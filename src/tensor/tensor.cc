@@ -1,5 +1,6 @@
 #include "tensor/tensor.h"
 
+#include <atomic>
 #include <cmath>
 #include <sstream>
 
@@ -7,11 +8,52 @@
 
 namespace fxcpp {
 
+namespace {
+// Allocator counters. Relaxed ordering suffices: readers want a consistent
+// snapshot of totals, not ordering against tensor contents.
+std::atomic<std::int64_t> g_live_bytes{0};
+std::atomic<std::int64_t> g_peak_bytes{0};
+std::atomic<std::int64_t> g_total_bytes{0};
+std::atomic<std::int64_t> g_alloc_count{0};
+}  // namespace
+
 Storage::Storage(std::size_t nbytes) : nbytes_(nbytes) {
   // Round up so vectorized kernels may read a full lane at the tail.
   const std::size_t padded = (nbytes + 63) / 64 * 64;
+  alloc_bytes_ = padded == 0 ? 64 : padded;
   data_.reset(static_cast<std::byte*>(
-      ::operator new[](padded == 0 ? 64 : padded, std::align_val_t{64})));
+      ::operator new[](alloc_bytes_, std::align_val_t{64})));
+  const auto sz = static_cast<std::int64_t>(alloc_bytes_);
+  g_total_bytes.fetch_add(sz, std::memory_order_relaxed);
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t live =
+      g_live_bytes.fetch_add(sz, std::memory_order_relaxed) + sz;
+  std::int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak_bytes.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+Storage::~Storage() {
+  g_live_bytes.fetch_sub(static_cast<std::int64_t>(alloc_bytes_),
+                         std::memory_order_relaxed);
+}
+
+std::int64_t Storage::live_bytes() {
+  return g_live_bytes.load(std::memory_order_relaxed);
+}
+std::int64_t Storage::peak_bytes() {
+  return g_peak_bytes.load(std::memory_order_relaxed);
+}
+std::int64_t Storage::total_allocated_bytes() {
+  return g_total_bytes.load(std::memory_order_relaxed);
+}
+std::int64_t Storage::allocation_count() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+void Storage::reset_peak() {
+  g_peak_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
 }
 
 Tensor::Tensor(Shape shape, DType dtype)

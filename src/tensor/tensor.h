@@ -21,10 +21,26 @@ namespace fxcpp {
 class Storage {
  public:
   explicit Storage(std::size_t nbytes);
+  ~Storage();
+
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
 
   std::byte* data() { return data_.get(); }
   const std::byte* data() const { return data_.get(); }
   std::size_t nbytes() const { return nbytes_; }
+
+  // --- process-wide allocator counters (thread-safe) --------------------
+  // Sizes are the actual (64-byte-padded) allocations. The profiler reads
+  // these around node execution to attribute allocator traffic; tests use
+  // them to pin peak-memory behavior (e.g. Interpreter last-use freeing).
+  static std::int64_t live_bytes();       // currently allocated
+  static std::int64_t peak_bytes();       // high-water mark since reset_peak()
+  static std::int64_t total_allocated_bytes();  // cumulative, never decreases
+  static std::int64_t allocation_count();       // cumulative #allocations
+  // Drop the high-water mark back to the current live set so a subsequent
+  // run measures its own peak.
+  static void reset_peak();
 
  private:
   struct AlignedDelete {
@@ -32,6 +48,7 @@ class Storage {
   };
   std::unique_ptr<std::byte[], AlignedDelete> data_;
   std::size_t nbytes_ = 0;
+  std::size_t alloc_bytes_ = 0;  // padded size actually allocated
 };
 
 // Affine quantization parameters attached to Int8/UInt8 tensors

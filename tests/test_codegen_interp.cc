@@ -161,6 +161,39 @@ TEST(GraphModuleTest, TapeFreesDeadRegisters) {
   EXPECT_GE(total_frees, 10);
 }
 
+TEST(Interpreter, EmptyListArgIsEmptyIntListOnBothEngines) {
+  // An empty [] has no elements to classify. The tape's pre-decoder treats
+  // "all elements are ints" as vacuously true and emits an empty int list;
+  // Interpreter::eval_arg used to seed the same check with !empty(), turning
+  // [] into an empty *tensor* list — ops taking shape/dims lists then threw
+  // on one engine but not the other. Both must agree on empty int list.
+  static bool once = [] {
+    fx::OpRegistry::functions().add(
+        {"fxtest_echo_list", {"v", "x"},
+         [](const std::vector<fx::RtValue>& a) { return a.at(0); }});
+    return true;
+  }();
+  (void)once;
+
+  Graph g;
+  Node* x = g.placeholder("x");
+  Node* echo = g.call_function("fxtest_echo_list",
+                               {Argument(Argument::List{}), Argument(x)});
+  g.output(Argument(echo));
+  auto cloned = g.clone();
+  GraphModule gm(nullptr, std::move(cloned), "EmptyList");
+  gm.recompile();
+
+  const std::vector<fx::RtValue> in{fx::RtValue(Tensor::randn({2}))};
+  const fx::RtValue via_interp = fx::Interpreter(gm).run(in);
+  const fx::RtValue via_tape = gm.compiled_graph().run(in).front();
+  ASSERT_TRUE(std::holds_alternative<std::vector<std::int64_t>>(via_interp))
+      << "interpreter classified [] as something other than an int list";
+  ASSERT_TRUE(std::holds_alternative<std::vector<std::int64_t>>(via_tape));
+  EXPECT_TRUE(std::get<std::vector<std::int64_t>>(via_interp).empty());
+  EXPECT_TRUE(std::get<std::vector<std::int64_t>>(via_tape).empty());
+}
+
 TEST(GraphModuleTest, TupleOutputsViaGetitem) {
   Graph g;
   Node* x = g.placeholder("x");

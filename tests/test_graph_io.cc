@@ -80,6 +80,58 @@ TEST(GraphIo, TensorListArguments) {
   EXPECT_TRUE(allclose(reloaded.run(x), gm->run(x)));
 }
 
+// Adversarial string contents: every character class that once broke the
+// line-oriented writer (it used to throw on quotes) or could desynchronize
+// the balanced scanners must survive a byte-exact round trip.
+TEST(GraphIo, AdversarialStringsRoundTrip) {
+  const std::vector<std::string> hostile = {
+      "",                            // empty
+      "it's",                        // the delimiter itself
+      "say \"hi\"",                  // double quotes
+      "back\\slash",                 // escape character
+      "line1\nline2",                // newline would split the record
+      "tab\there\rcr",               // other control whitespace
+      "pad=[1, 2], stride=(3)",      // brackets that mimic list syntax
+      "args=(', kwargs={",           // mimics the record grammar itself
+      "\"]} , weird'[(",             // mixed close-brackets inside quotes
+      "trailing backslashes \\\\",   // even run of escapes at the end
+      "\\'",                         // escape followed by delimiter
+  };
+  for (const std::string& s : hostile) {
+    fx::Graph g;
+    fx::Node* x = g.placeholder("x");
+    fx::Node* c = g.call_function(
+        "dropout", {fx::Argument(x), fx::Argument(s),
+                    fx::Argument(std::vector<fx::Argument>{
+                        fx::Argument(s), fx::Argument(std::int64_t{7})})},
+        {{"note", fx::Argument(s)}, {"other", fx::Argument(std::int64_t{1})}});
+    g.output(fx::Argument(c));
+    const std::string text = fx::serialize_graph(g);
+    std::unique_ptr<fx::Graph> parsed;
+    ASSERT_NO_THROW(parsed = fx::parse_graph(text)) << "payload: " << s;
+    const auto nodes = parsed->nodes();
+    EXPECT_EQ(nodes[1]->args()[1].as_string(), s);
+    EXPECT_EQ(nodes[1]->args()[2].list()[0].as_string(), s);
+    EXPECT_EQ(nodes[1]->kwarg("note").as_string(), s);
+    EXPECT_EQ(nodes[1]->kwarg("other").as_int(), 1);
+    EXPECT_EQ(fx::serialize_graph(*parsed), text) << "payload: " << s;
+  }
+}
+
+TEST(GraphIo, StringParserRejectsMalformedEscapes) {
+  // Dangling escape at end-of-string and unknown escape codes are errors,
+  // not silent data corruption.
+  EXPECT_THROW(
+      fx::parse_graph("x = placeholder target=x args=()\n"
+                      "y = call_function target=dropout args=(x, 'bad\\q')\n"
+                      "out = output target=output args=(y)"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      fx::parse_graph("x = placeholder target=x args=()\n"
+                      "y = call_function target=dropout args=(x, 'open"),
+      std::invalid_argument);
+}
+
 TEST(GraphIo, ParserErrors) {
   EXPECT_THROW(fx::parse_graph("x = bogus_opcode target=t args=()"),
                std::invalid_argument);

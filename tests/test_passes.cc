@@ -56,6 +56,39 @@ TEST(Flops, LinearAndConvFormulas) {
   EXPECT_FALSE(report.to_table().empty());
 }
 
+TEST(Flops, MissingShapeMetaIsSurfacedNotSilentZero) {
+  // Freshly traced, no ShapeProp: estimate_cost used to report total 0 with
+  // no indication anything was skipped. Now every value-producing node lands
+  // in `unmeasured`, its NodeCost says measured=false, and the table says so.
+  auto model = nn::models::mlp({16, 32, 8});
+  auto gm = fx::symbolic_trace(model);
+  const auto report =
+      passes::estimate_cost(static_cast<const fx::GraphModule&>(*gm));
+  EXPECT_FALSE(report.unmeasured.empty());
+  bool any_unmeasured_cost = false;
+  for (const auto& c : report.per_node) {
+    if (!c.measured) {
+      any_unmeasured_cost = true;
+      EXPECT_EQ(c.flops, 0.0);
+    }
+  }
+  EXPECT_TRUE(any_unmeasured_cost);
+  EXPECT_NE(report.to_table().find("unmeasured"), std::string::npos)
+      << report.to_table();
+
+  // The example-input overload auto-runs ShapeProp and measures everything.
+  const auto measured = passes::estimate_cost(*gm, {Tensor::randn({2, 16})});
+  EXPECT_TRUE(measured.unmeasured.empty());
+  EXPECT_GT(measured.total_flops, 0.0);
+  for (const auto& c : measured.per_node) EXPECT_TRUE(c.measured);
+
+  // With meta present, the diagnostic disappears from the report.
+  const auto clean = passes::estimate_cost(
+      static_cast<const fx::GraphModule&>(*gm));
+  EXPECT_TRUE(clean.unmeasured.empty());
+  EXPECT_EQ(clean.to_table().find("missing shape meta"), std::string::npos);
+}
+
 TEST(Flops, RooflineEstimate) {
   auto model = nn::models::resnet18(8, 10);
   auto gm = fx::symbolic_trace(model);
