@@ -2,7 +2,10 @@
 # Tier-1 verification, three ways: a normal Release build+ctest, the same
 # suite under AddressSanitizer+UBSan (FXCPP_SANITIZE=ON), and the
 # concurrency suite (parallel executor, task groups, thread pool, profiler
-# hooks) under ThreadSanitizer (FXCPP_SANITIZE=thread). Each sanitizer gets
+# hooks, hardened runtime) under ThreadSanitizer (FXCPP_SANITIZE=thread).
+# The ASan step covers the fault-injection differential fuzz (every fault
+# kind at every node must leak nothing and double-free nothing); the TSan
+# step covers cancellation/deadline races in the parallel engine. Each sanitizer gets
 # its own build tree. The normal and ASan steps also smoke the fxprof CLI on
 # a traced ResNet-18 (trace + summary must be written and the profiled
 # output must bit-match the unprofiled run — fxprof exits nonzero if not).
@@ -42,9 +45,13 @@ fxprof_smoke "$repo/build-asan"
 echo "== [3/3] TSan build + concurrency suite (build-tsan/) =="
 cmake -B "$repo/build-tsan" -S "$repo" -DFXCPP_SANITIZE=thread
 cmake --build "$repo/build-tsan" -j "$jobs" --target test_parallel_exec \
-  --target test_runtime --target test_profile
+  --target test_runtime --target test_profile --target test_resilience
 "$repo/build-tsan/tests/test_parallel_exec"
 "$repo/build-tsan/tests/test_runtime"
 "$repo/build-tsan/tests/test_profile"
+# Hardened runtime under TSan: the differential fault fuzz hammers the hook
+# seam from worker threads, and the cancellation/deadline tests exercise the
+# executor's watch loop against in-flight tasks.
+"$repo/build-tsan/tests/test_resilience"
 
 echo "== check.sh: all suites green =="

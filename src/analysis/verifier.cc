@@ -339,6 +339,72 @@ void check_schedule_coverage(const RuleContext& ctx,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Guard-coverage rule — a GraphModule whose placeholders carry shape meta
+// should have a GuardSpec per annotated placeholder, and the specs should
+// agree with the meta. Transforms invalidate stale shape meta (PR 1) but
+// cannot see guards generated earlier, so after a transform + ShapeProp the
+// guards silently describe the *old* program; this rule is the detector.
+// ---------------------------------------------------------------------------
+
+void check_guard_coverage(const RuleContext& ctx,
+                          std::vector<Diagnostic>& out) {
+  if (!ctx.gm) return;
+  const auto& guards = ctx.gm->guards();
+  std::vector<const Node*> annotated;
+  std::vector<Node*> phs;
+  for (Node* p : ctx.graph.nodes()) {
+    if (p->op() != Opcode::Placeholder) continue;
+    phs.push_back(p);
+    if (p->has_shape() && p->has_meta("dtype")) annotated.push_back(p);
+  }
+  if (annotated.empty() && guards.empty()) return;
+  if (guards.empty()) {
+    emit(out, "guards.coverage", Severity::Warning, nullptr, "",
+         std::to_string(annotated.size()) +
+             " placeholder(s) carry shape meta but the module has no "
+             "generated GuardSpecs",
+         "call resilience::generate_guards(gm) after ShapeProp to install "
+         "input guards");
+    return;
+  }
+  for (const Node* p : annotated) {
+    const fx::GuardSpec* spec = nullptr;
+    for (const auto& g : guards) {
+      if (g.placeholder == p->name()) {
+        spec = &g;
+        break;
+      }
+    }
+    if (!spec) {
+      emit(out, "guards.coverage", Severity::Warning, p, p->name(),
+           "placeholder has shape meta but no GuardSpec",
+           "guards were generated before this placeholder was annotated; "
+           "regenerate with resilience::generate_guards");
+      continue;
+    }
+    if (spec->shape != p->shape() || spec->dtype != p->dtype()) {
+      emit(out, "guards.coverage", Severity::Warning, p, p->name(),
+           "GuardSpec is stale: expects shape " + shape_str(spec->shape) +
+               " dtype " + dtype_name(spec->dtype) + " but meta says shape " +
+               shape_str(p->shape()) + " dtype " + dtype_name(p->dtype()),
+           "a transform or ShapeProp changed this placeholder after guards "
+           "were generated; regenerate with resilience::generate_guards");
+    }
+  }
+  for (const auto& g : guards) {
+    bool exists = false;
+    for (const Node* p : phs) exists = exists || p->name() == g.placeholder;
+    if (!exists) {
+      emit(out, "guards.coverage", Severity::Warning, nullptr, g.placeholder,
+           "GuardSpec references placeholder '" + g.placeholder +
+               "' which no longer exists in the graph",
+           "a transform removed or renamed the placeholder; regenerate "
+           "guards");
+    }
+  }
+}
+
 Rule structural_rule(const char* id, Severity sev, const char* desc,
                      void (*fn)(const Graph&, std::vector<Diagnostic>&)) {
   return Rule{id, sev, desc,
@@ -404,6 +470,10 @@ std::vector<Rule> Verifier::default_rules() {
                    "parallel schedule covers every tape instruction exactly "
                    "once (compiled GraphModules)",
                    check_schedule_coverage});
+  r.push_back(Rule{"guards.coverage", Severity::Warning,
+                   "annotated placeholders have fresh GuardSpecs "
+                   "(stale-guard detection after transforms)",
+                   check_guard_coverage});
   return r;
 }
 

@@ -8,6 +8,7 @@
 #include "core/exec_hooks.h"
 #include "core/functional.h"
 #include "core/graph_io.h"
+#include "core/interpreter.h"
 #include "core/parallel_executor.h"
 
 namespace fxcpp::fx {
@@ -113,12 +114,40 @@ RtValue CompiledGraph::exec_instr(const Instr& ins, std::vector<RtValue>& regs) 
   return RtValue();
 }
 
+namespace {
+
+// Names of registers still holding values, in tape (= graph) order — the
+// partial environment snapshot an ExecError carries out of a failed run.
+std::vector<std::string> live_register_names(
+    const std::vector<const Node*>& input_nodes,
+    const std::vector<int>& input_regs, const std::vector<Instr>& instrs,
+    const std::vector<RtValue>& regs) {
+  std::vector<std::string> live;
+  for (std::size_t i = 0; i < input_nodes.size() && i < input_regs.size();
+       ++i) {
+    if (input_nodes[i] &&
+        !std::holds_alternative<std::monostate>(
+            regs[static_cast<std::size_t>(input_regs[i])])) {
+      live.push_back(input_nodes[i]->name());
+    }
+  }
+  for (const Instr& ins : instrs) {
+    if (ins.out_reg >= 0 && ins.node &&
+        !std::holds_alternative<std::monostate>(
+            regs[static_cast<std::size_t>(ins.out_reg)])) {
+      live.push_back(ins.node->name());
+    }
+  }
+  return live;
+}
+
+}  // namespace
+
 std::vector<RtValue> CompiledGraph::run(std::vector<RtValue> inputs,
                                         ExecHooks* hooks) const {
   if (inputs.size() != input_regs_.size()) {
-    throw std::invalid_argument(
-        "CompiledGraph: expected " + std::to_string(input_regs_.size()) +
-        " inputs, got " + std::to_string(inputs.size()));
+    throw arity_error(input_regs_.size(), inputs.size())
+        .with_engine(Engine::Tape);
   }
   std::vector<RtValue> regs(static_cast<std::size_t>(num_regs_));
   for (std::size_t i = 0; i < inputs.size(); ++i) {
@@ -128,9 +157,17 @@ std::vector<RtValue> CompiledGraph::run(std::vector<RtValue> inputs,
   std::vector<RtValue> result;
   try {
     for (const Instr& ins : instrs_) {
-      if (hooks && ins.node) hooks->on_node_begin(*ins.node);
-      RtValue out = exec_instr(ins, regs);
-      if (hooks && ins.node) hooks->on_node_end(*ins.node, out);
+      RtValue out;
+      try {
+        if (hooks && ins.node) hooks->on_node_begin(*ins.node);
+        out = exec_instr(ins, regs);
+        if (hooks && ins.node) hooks->on_node_output(*ins.node, out);
+        if (hooks && ins.node) hooks->on_node_end(*ins.node, out);
+      } catch (...) {
+        rethrow_annotated(
+            ins.node, Engine::Tape,
+            live_register_names(input_nodes_, input_regs_, instrs_, regs));
+      }
       if (ins.op == Opcode::Output) {
         result.push_back(std::move(out));
       } else if (ins.out_reg >= 0) {
@@ -239,6 +276,7 @@ void GraphModule::recompile() {
     if (n->op() == Opcode::Placeholder) {
       reg_of[n] = next_reg;
       compiled->input_regs_.push_back(next_reg);
+      compiled->input_nodes_.push_back(n);
       ++next_reg;
       continue;
     }
@@ -359,6 +397,129 @@ Tensor GraphModule::run_parallel(const std::vector<Tensor>& inputs,
   vs.reserve(inputs.size());
   for (const auto& t : inputs) vs.emplace_back(t);
   return forward_parallel(vs, num_threads).tensor();
+}
+
+void check_guards_strict(const GraphModule& gm,
+                         const std::vector<RtValue>& inputs) {
+  const std::vector<Node*> phs = gm.graph().placeholders();
+  if (inputs.size() != phs.size()) throw arity_error(phs.size(), inputs.size());
+  for (const GuardSpec& g : gm.guards()) {
+    std::size_t idx = phs.size();
+    for (std::size_t i = 0; i < phs.size(); ++i) {
+      if (phs[i]->name() == g.placeholder) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == phs.size()) {
+      throw ExecError(ErrorCode::GuardViolation,
+                      "guard references placeholder '" + g.placeholder +
+                          "' which no longer exists in the graph (stale "
+                          "guards; regenerate after transforms)");
+    }
+    const RtValue& v = inputs[idx];
+    const std::string want =
+        "shape " + shape_str(g.shape) + " dtype " + dtype_name(g.dtype);
+    if (!rt_is_tensor(v)) {
+      throw ExecError(ErrorCode::GuardViolation,
+                      "input for placeholder '" + g.placeholder +
+                          "' is not a tensor; guard expects " + want)
+          .with_node(*phs[idx]);
+    }
+    const Tensor& t = std::get<Tensor>(v);
+    if (t.sizes() != g.shape || t.dtype() != g.dtype) {
+      throw ExecError(ErrorCode::GuardViolation,
+                      "input for placeholder '" + g.placeholder +
+                          "' violates its guard: expected " + want +
+                          ", got shape " + shape_str(t.sizes()) + " dtype " +
+                          dtype_name(t.dtype()))
+          .with_node(*phs[idx]);
+    }
+  }
+}
+
+std::vector<RtValue> GraphModule::run_resilient(std::vector<RtValue> inputs,
+                                                const ResilientOptions& opts,
+                                                ResilientReport* report) {
+  if (!compiled_) recompile();
+  if (report) *report = ResilientReport{};
+  // Guard/arity violations are the caller's bug, identical on every engine:
+  // fail once, up front, before any rung runs.
+  if (opts.check_guards) check_guards_strict(*this, inputs);
+
+  std::exception_ptr last;
+  std::vector<RtValue> out;
+  auto attempt = [&](Engine eng, auto&& body) -> bool {
+    EngineAttempt a;
+    a.engine = eng;
+    try {
+      out = body();
+      a.ok = true;
+      if (report) {
+        report->attempts.push_back(a);
+        report->succeeded = eng;
+      }
+      return true;
+    } catch (const ExecError& e) {
+      a.code = e.code();
+      a.error = e.what();
+      last = std::current_exception();
+      if (report) report->attempts.push_back(a);
+      if (is_input_error(e.code())) throw;
+      return false;
+    } catch (const std::exception& e) {
+      a.error = e.what();
+      last = std::current_exception();
+      if (report) report->attempts.push_back(a);
+      return false;
+    }
+  };
+
+  // Each rung gets its own copy of the inputs (tensor copies share storage,
+  // so this is pointer-cheap): a failed rung may already have moved its copy
+  // into registers, and recovery must start from pristine inputs to stay
+  // bit-identical with a fault-free run.
+  if (opts.try_parallel) {
+    const bool ok = attempt(Engine::Parallel, [&] {
+      ExecutorOptions eo;
+      eo.num_threads = opts.num_threads;
+      eo.hooks = opts.hooks;
+      eo.deadline_seconds = opts.deadline_seconds;
+      ParallelExecutor ex(*this, eo);
+      return ex.run(inputs);
+    });
+    if (ok) return out;
+  }
+  if (opts.try_tape) {
+    const bool ok = attempt(Engine::Tape,
+                            [&] { return compiled_->run(inputs, opts.hooks); });
+    if (ok) return out;
+  }
+  if (opts.try_interpreter) {
+    const bool ok = attempt(Engine::Interpreter, [&] {
+      Interpreter interp(*this);
+      interp.set_hooks(opts.hooks);
+      std::vector<RtValue> single;
+      single.push_back(interp.run(inputs));
+      return single;
+    });
+    if (ok) return out;
+  }
+  if (last) std::rethrow_exception(last);
+  throw ExecError(ErrorCode::Unknown,
+                  "run_resilient: every engine is disabled in "
+                  "ResilientOptions");
+}
+
+Tensor GraphModule::run_resilient(const Tensor& input,
+                                  const ResilientOptions& opts,
+                                  ResilientReport* report) {
+  std::vector<RtValue> out =
+      run_resilient(std::vector<RtValue>{input}, opts, report);
+  if (out.empty() || !rt_is_tensor(out.front())) {
+    throw ExecError(ErrorCode::Unknown, "graph produced a non-tensor output");
+  }
+  return std::move(std::get<Tensor>(out.front()));
 }
 
 void GraphModule::to_folder(const std::string& dir) const {

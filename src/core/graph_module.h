@@ -17,10 +17,21 @@
 #include "core/graph.h"
 #include "core/module.h"
 #include "core/op_registry.h"
+#include "resilience/exec_error.h"
 
 namespace fxcpp::fx {
 
 class ExecHooks;
+
+// Input contract for one placeholder, generated from traced shape/dtype meta
+// (resilience::generate_guards). Checked at run entry by
+// check_guards_strict() / run_resilient(); a violation is an ExecError with
+// code GuardViolation naming the offending placeholder.
+struct GuardSpec {
+  std::string placeholder;
+  Shape shape;
+  DType dtype = DType::Float32;
+};
 
 // One step of the lowered execution tape.
 struct Instr {
@@ -66,12 +77,48 @@ class CompiledGraph {
   int num_registers() const { return num_regs_; }
   const std::vector<Instr>& instrs() const { return instrs_; }
   const std::vector<int>& input_regs() const { return input_regs_; }
+  // Placeholder nodes parallel to input_regs() (provenance for diagnostics).
+  const std::vector<const Node*>& input_nodes() const { return input_nodes_; }
 
  private:
   friend class GraphModule;
   std::vector<Instr> instrs_;
   std::vector<int> input_regs_;
+  // Placeholder provenance parallel to input_regs_, so failure diagnostics
+  // can name live inputs even though placeholders are not instructions.
+  std::vector<const Node*> input_nodes_;
   int num_regs_ = 0;
+};
+
+// Configuration for GraphModule::run_resilient's fallback ladder. Engines
+// are attempted in the order parallel -> tape -> interpreter; disable rungs
+// to reorder the start of the ladder.
+struct ResilientOptions {
+  bool try_parallel = true;
+  bool try_tape = true;
+  bool try_interpreter = true;
+  int num_threads = 0;  // parallel rung; 0 = rt::get_num_interop_threads()
+  // Check generated GuardSpecs before executing (a violation is never
+  // retried — no engine can fix the caller's inputs).
+  bool check_guards = true;
+  // Wall-clock deadline for the parallel rung (0 = none). Deadline and
+  // cancellation failures fall back to the serial engines like any other
+  // engine-local failure.
+  double deadline_seconds = 0.0;
+  ExecHooks* hooks = nullptr;  // observed by every attempted engine
+};
+
+// One rung of the ladder as it actually ran.
+struct EngineAttempt {
+  Engine engine = Engine::Unknown;
+  bool ok = false;
+  ErrorCode code = ErrorCode::Unknown;
+  std::string error;  // what() of the failure, empty when ok
+};
+
+struct ResilientReport {
+  std::vector<EngineAttempt> attempts;
+  Engine succeeded = Engine::Unknown;  // Unknown = every rung failed
 };
 
 class GraphModule : public nn::Module {
@@ -116,6 +163,31 @@ class GraphModule : public nn::Module {
     return run_parallel(std::vector<Tensor>{input}, num_threads);
   }
 
+  // --- input guards (resilience) ----------------------------------------
+  // GuardSpecs are generated from traced shape/dtype meta by
+  // resilience::generate_guards and validated at entry by run_resilient (or
+  // explicitly via check_guards_strict / resilience::check_inputs). Graph
+  // transforms that invalidate shape meta leave guards stale; the verifier
+  // rule `guards.coverage` flags that.
+  void set_guards(std::vector<GuardSpec> guards) {
+    guards_ = std::move(guards);
+  }
+  const std::vector<GuardSpec>& guards() const { return guards_; }
+  void clear_guards() { guards_.clear(); }
+
+  // Hardened entry point: optionally checks guards, then walks the engine
+  // fallback ladder (parallel -> serial tape -> Interpreter, each rung
+  // gated by `opts`), retrying on the next engine when a rung fails with an
+  // engine-local error. Input-shaped errors (arity, guard violations) are
+  // rethrown immediately — no engine can repair the caller's inputs. When
+  // every rung fails, the last failure is rethrown. `report`, if non-null,
+  // receives one EngineAttempt per rung tried.
+  std::vector<RtValue> run_resilient(std::vector<RtValue> inputs,
+                                     const ResilientOptions& opts = {},
+                                     ResilientReport* report = nullptr);
+  Tensor run_resilient(const Tensor& input, const ResilientOptions& opts = {},
+                       ResilientReport* report = nullptr);
+
   // Delegated state lookup: searches this module's own children first, then
   // the root hierarchy (so targets recorded during tracing resolve).
   nn::Module::Ptr resolve_module(const std::string& qualname) const;
@@ -135,6 +207,16 @@ class GraphModule : public nn::Module {
   std::unique_ptr<Graph> graph_;
   std::unique_ptr<CompiledGraph> compiled_;
   std::string code_;
+  std::vector<GuardSpec> guards_;
 };
+
+// Validate `inputs` against the module's GuardSpecs (strict mode): arity
+// first (shared with the engines' own check), then per-placeholder shape and
+// dtype. Throws ExecError{GuardViolation} naming the violating placeholder,
+// its expected spec, and what arrived. A module with no guards passes
+// trivially. The permissive variant (re-run ShapeProp and regenerate) lives
+// in resilience::check_inputs, which layers on passes.
+void check_guards_strict(const GraphModule& gm,
+                         const std::vector<RtValue>& inputs);
 
 }  // namespace fxcpp::fx

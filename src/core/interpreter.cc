@@ -5,6 +5,7 @@
 #include "core/codegen.h"
 #include "core/exec_hooks.h"
 #include "core/functional.h"
+#include "resilience/exec_error.h"
 
 namespace fxcpp::fx {
 
@@ -14,6 +15,17 @@ RtValue Interpreter::run(std::vector<RtValue> inputs) {
   inputs_ = std::move(inputs);
   next_input_ = 0;
   const std::vector<Node*> order = gm_.graph().nodes();
+  // Arity is validated up front (not lazily at each placeholder) so too-few
+  // and too-many inputs fail identically here and in the tape engines, and
+  // before any node — or hook — has run.
+  std::size_t n_placeholders = 0;
+  for (const Node* n : order) {
+    if (n->op() == Opcode::Placeholder) ++n_placeholders;
+  }
+  if (inputs_.size() != n_placeholders) {
+    throw arity_error(n_placeholders, inputs_.size())
+        .with_engine(Engine::Interpreter);
+  }
   // Last-use indices from the use-def chains: an entry is erased from env_
   // as soon as its final reader has executed (-1 = no readers), so a deep
   // chain holds O(live set) tensors instead of every intermediate.
@@ -23,15 +35,26 @@ RtValue Interpreter::run(std::vector<RtValue> inputs) {
   try {
     for (std::size_t i = 0; i < order.size(); ++i) {
       const Node* n = order[i];
-      if (hooks_) hooks_->on_node_begin(*n);
-      RtValue v = run_node(*n);
-      if (hooks_) hooks_->on_node_end(*n, v);
-      if (n->op() == Opcode::Output) {
-        result = std::move(v);
-      } else {
-        auto it = last.find(n);
-        if (it == last.end() || it->second >= 0) env_[n] = std::move(v);
-        // else: no users — drop the value immediately.
+      try {
+        if (hooks_) hooks_->on_node_begin(*n);
+        RtValue v = run_node(*n);
+        if (hooks_) hooks_->on_node_output(*n, v);
+        if (hooks_) hooks_->on_node_end(*n, v);
+        if (n->op() == Opcode::Output) {
+          result = std::move(v);
+        } else {
+          auto it = last.find(n);
+          if (it == last.end() || it->second >= 0) env_[n] = std::move(v);
+          // else: no users — drop the value immediately.
+        }
+      } catch (...) {
+        // Snapshot the live environment (graph order) before unwinding
+        // clears it; the failing node's provenance rides the same error.
+        std::vector<std::string> live;
+        for (const Node* ln : order) {
+          if (env_.count(ln)) live.push_back(ln->name());
+        }
+        rethrow_annotated(n, Engine::Interpreter, std::move(live));
       }
       for (const Node* in : n->input_nodes()) {
         auto it = last.find(in);

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <stdexcept>
+#include <variant>
 
 #include "core/exec_hooks.h"
+#include "resilience/exec_error.h"
 #include "runtime/timer.h"
 
 namespace fxcpp::fx {
@@ -87,9 +91,13 @@ std::vector<RtValue> ParallelExecutor::run(std::vector<RtValue> inputs) {
   const CompiledGraph& cg = gm_.compiled_graph();
   const auto& instrs = cg.instrs();
   if (inputs.size() != cg.input_regs().size()) {
-    throw std::invalid_argument(
-        "ParallelExecutor: expected " + std::to_string(cg.input_regs().size()) +
-        " inputs, got " + std::to_string(inputs.size()));
+    throw arity_error(cg.input_regs().size(), inputs.size())
+        .with_engine(Engine::Parallel);
+  }
+  if (opts_.cancel && opts_.cancel->load(std::memory_order_relaxed)) {
+    throw ExecError(ErrorCode::Cancelled,
+                    "cancellation requested before execution started")
+        .with_engine(Engine::Parallel);
   }
 
   rt::Timer total;
@@ -116,7 +124,19 @@ std::vector<RtValue> ParallelExecutor::run(std::vector<RtValue> inputs) {
     reg_left[r].store(schedule_.reg_reads[r], std::memory_order_relaxed);
   }
 
+  // `aborted` is ONLY ever set by cancellation / deadline expiry on the
+  // main thread. Node failures deliberately do NOT set it: independent work
+  // keeps draining, and only the failed node's successor chains are pruned
+  // (by not spawning them). That is what makes the rethrown error
+  // deterministic — the earliest-in-tape-order failure always executes
+  // (its ancestors are exactly the instructions the serial tape would have
+  // run before it, and those all succeed), so taking the minimum failing
+  // index reproduces the serial engine's failure for any thread count.
   std::atomic<bool> aborted{false};
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  int err_idx = -1;                // guarded by err_mu
+  std::exception_ptr err;          // guarded by err_mu
   std::atomic<int> running{0}, queued{0};
   std::atomic<int> max_running{0}, max_queued{0};
   std::atomic<std::uint64_t> executed{0};
@@ -149,12 +169,24 @@ std::vector<RtValue> ParallelExecutor::run(std::vector<RtValue> inputs) {
       try {
         if (opts_.hooks && ins.node) opts_.hooks->on_node_begin(*ins.node);
         out = CompiledGraph::exec_instr(ins, regs);
+        if (opts_.hooks && ins.node) {
+          opts_.hooks->on_node_output(*ins.node, out);
+          opts_.hooks->on_node_end(*ins.node, out);
+        }
       } catch (...) {
-        aborted.store(true, std::memory_order_relaxed);
+        // Keep the schedule-order-earliest failure; successors of this
+        // instruction are pruned by returning before the spawn loop.
+        {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (err_idx < 0 || idx < err_idx) {
+            err_idx = idx;
+            err = std::current_exception();
+          }
+        }
+        failed.store(true, std::memory_order_relaxed);
         if (opts_.collect_stats) running.fetch_sub(1);
-        throw;  // captured by the TaskGroup, rethrown from wait()
+        return;
       }
-      if (opts_.hooks && ins.node) opts_.hooks->on_node_end(*ins.node, out);
       if (ins.op == Opcode::Output) {
         result[0] = std::move(out);
       } else if (ins.out_reg >= 0) {
@@ -183,10 +215,29 @@ std::vector<RtValue> ParallelExecutor::run(std::vector<RtValue> inputs) {
     });
   };
 
+  const bool watched = opts_.cancel != nullptr || opts_.deadline_seconds > 0.0;
+  ErrorCode abort_code = ErrorCode::Unknown;  // main thread only
   if (opts_.hooks) opts_.hooks->on_run_begin(n);
   try {
     for (int idx : schedule_.initial_ready) spawn(idx);
-    group.wait();  // rethrows the first node exception
+    if (!watched) {
+      group.wait();
+    } else {
+      // Poll the cancel token / deadline while the schedule drains. Once
+      // `aborted` is set, not-yet-started tasks return immediately and the
+      // group quiesces after at most the in-flight kernels.
+      while (!group.wait_for(std::chrono::milliseconds(1))) {
+        if (aborted.load(std::memory_order_relaxed)) continue;
+        if (opts_.cancel && opts_.cancel->load(std::memory_order_relaxed)) {
+          abort_code = ErrorCode::Cancelled;
+          aborted.store(true, std::memory_order_relaxed);
+        } else if (opts_.deadline_seconds > 0.0 &&
+                   total.seconds() > opts_.deadline_seconds) {
+          abort_code = ErrorCode::DeadlineExceeded;
+          aborted.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
   } catch (...) {
     // on_run_end fires even for aborted runs (hook contract): observers
     // close their run-level bookkeeping before the exception propagates.
@@ -201,11 +252,50 @@ std::vector<RtValue> ParallelExecutor::run(std::vector<RtValue> inputs) {
   stats_.max_ready_queue = max_queued.load();
   stats_.total_seconds = total.seconds();
 
+  if (failed.load(std::memory_order_relaxed)) {
+    // Quiesced: regs is single-threaded again, safe to snapshot for the
+    // error's partial-environment payload.
+    std::vector<std::string> live;
+    for (std::size_t i = 0; i < cg.input_nodes().size(); ++i) {
+      if (cg.input_nodes()[i] &&
+          !std::holds_alternative<std::monostate>(
+              regs[static_cast<std::size_t>(cg.input_regs()[i])])) {
+        live.push_back(cg.input_nodes()[i]->name());
+      }
+    }
+    for (const Instr& li : instrs) {
+      if (li.out_reg >= 0 && li.node &&
+          !std::holds_alternative<std::monostate>(
+              regs[static_cast<std::size_t>(li.out_reg)])) {
+        live.push_back(li.node->name());
+      }
+    }
+    const Node* at = instrs[static_cast<std::size_t>(err_idx)].node;
+    try {
+      std::rethrow_exception(err);
+    } catch (...) {
+      rethrow_annotated(at, Engine::Parallel, std::move(live));
+    }
+  }
+  if (abort_code != ErrorCode::Unknown) {
+    const std::size_t done = stats_.nodes_executed;
+    throw ExecError(abort_code,
+                    (abort_code == ErrorCode::Cancelled
+                         ? std::string("cancelled after ")
+                         : "deadline of " +
+                               std::to_string(opts_.deadline_seconds) +
+                               "s exceeded after ") +
+                        std::to_string(done) + " of " + std::to_string(n) +
+                        " instructions")
+        .with_engine(Engine::Parallel);
+  }
   if (stats_.nodes_executed != n) {
-    throw std::logic_error(
-        "ParallelExecutor: schedule executed " +
-        std::to_string(stats_.nodes_executed) + " of " + std::to_string(n) +
-        " instructions (cyclic or disconnected schedule)");
+    throw ExecError(ErrorCode::ScheduleError,
+                    "schedule executed " +
+                        std::to_string(stats_.nodes_executed) + " of " +
+                        std::to_string(n) +
+                        " instructions (cyclic or disconnected schedule)")
+        .with_engine(Engine::Parallel);
   }
   if (!has_output) return {};
   std::vector<RtValue> out;

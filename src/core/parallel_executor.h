@@ -14,10 +14,14 @@
 // operands regardless of interleaving, each register has exactly one writer,
 // and readers are only scheduled after their producer's completion edge —
 // so outputs are bit-identical to the serial tape and the Interpreter for
-// any thread count. Exceptions thrown by a node abort the remaining
-// schedule and propagate out of run().
+// any thread count. Failure is deterministic too: when nodes throw, run()
+// rethrows the error of the *earliest instruction in tape order* (not the
+// first to arrive on a racing worker), which is exactly the node the serial
+// tape would have failed at — the property the differential fault-injection
+// fuzz asserts across engines and thread counts.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -73,6 +77,17 @@ struct ExecutorOptions {
   // concurrently from worker threads — the implementation must be
   // thread-safe. Must outlive run(); nullptr disables instrumentation.
   ExecHooks* hooks = nullptr;
+  // Cooperative cancellation token: when it becomes true, instructions not
+  // yet started are skipped and run() throws ExecError{Cancelled}. Checked
+  // at instruction granularity — an already-running kernel finishes first.
+  // The caller owns the atomic; nullptr disables cancellation.
+  const std::atomic<bool>* cancel = nullptr;
+  // Wall-clock budget for one run() (seconds; 0 = unlimited). On expiry the
+  // remaining schedule is skipped and run() throws
+  // ExecError{DeadlineExceeded}. Like `cancel`, cooperative at instruction
+  // granularity: a single wedged kernel delays the return by at most its
+  // own runtime, and the executor stays usable afterwards.
+  double deadline_seconds = 0.0;
 };
 
 class ParallelExecutor {
@@ -83,8 +98,10 @@ class ParallelExecutor {
   // nodes may still parallel_for() over the intra-op pool without deadlock.
   explicit ParallelExecutor(GraphModule& gm, ExecutorOptions opts = {});
 
-  // Execute the graph; same contract as CompiledGraph::run. Rethrows the
-  // first node exception after quiescing the in-flight tasks.
+  // Execute the graph; same contract as CompiledGraph::run. On node failure
+  // the failed node's successors are skipped, independent work drains, and
+  // the schedule-order-earliest error is rethrown as an ExecError carrying
+  // node provenance and the live-register snapshot.
   std::vector<RtValue> run(std::vector<RtValue> inputs);
 
   const Schedule& schedule() const { return schedule_; }

@@ -1,0 +1,137 @@
+#include "resilience/anomaly.h"
+
+#include <cmath>
+
+#include "resilience/exec_error.h"
+
+namespace fxcpp::resilience {
+
+std::int64_t count_nonfinite(const Tensor& t) {
+  if (!t.defined() || t.numel() == 0) return 0;
+  if (t.dtype() != DType::Float32 && t.dtype() != DType::Float64) return 0;
+  const Tensor c = t.is_contiguous() ? t : t.contiguous();
+  const std::int64_t n = c.numel();
+  std::int64_t bad = 0;
+  if (c.dtype() == DType::Float32) {
+    const float* p = c.data<float>();
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (!std::isfinite(p[i])) ++bad;
+    }
+  } else {
+    const double* p = c.data<double>();
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (!std::isfinite(p[i])) ++bad;
+    }
+  }
+  return bad;
+}
+
+AnomalyDetector::AnomalyDetector(const fx::GraphModule& gm,
+                                 AnomalyAction action)
+    : action_(action) {
+  const std::vector<fx::Node*> order = gm.graph().nodes();
+  for (std::size_t i = 0; i < order.size(); ++i) order_[order[i]] = i;
+}
+
+void AnomalyDetector::on_node_end(const fx::Node& n, const fx::RtValue& out) {
+  std::int64_t bad = 0, total = 0;
+  if (fx::rt_is_tensor(out)) {
+    const Tensor& t = std::get<Tensor>(out);
+    bad = count_nonfinite(t);
+    total = t.defined() ? t.numel() : 0;
+  } else if (std::holds_alternative<std::vector<Tensor>>(out)) {
+    for (const Tensor& t : std::get<std::vector<Tensor>>(out)) {
+      bad += count_nonfinite(t);
+      total += t.defined() ? t.numel() : 0;
+    }
+  }
+  if (bad == 0) return;
+
+  auto it = order_.find(&n);
+  const std::size_t ord = it == order_.end() ? order_.size() : it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    findings_.emplace(ord, AnomalyFinding{&n, ord, bad, total});
+  }
+  if (action_ == AnomalyAction::Throw) {
+    // Thrown from inside the engines' per-node try scope, so it picks up
+    // node/engine/env annotation like any kernel failure. The detail is a
+    // pure function of the (deterministic) output values, keeping the
+    // differential fuzz's cross-engine message comparison exact.
+    throw ExecError(ErrorCode::NumericAnomaly,
+                    "output contains " + std::to_string(bad) + " of " +
+                        std::to_string(total) + " non-finite element(s)")
+        .with_node(n);
+  }
+}
+
+std::vector<AnomalyFinding> AnomalyDetector::findings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AnomalyFinding> out;
+  out.reserve(findings_.size());
+  for (const auto& [ord, f] : findings_) out.push_back(f);
+  return out;
+}
+
+bool AnomalyDetector::any() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !findings_.empty();
+}
+
+const fx::Node* AnomalyDetector::first_bad() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return findings_.empty() ? nullptr : findings_.begin()->second.node;
+}
+
+const fx::Node* AnomalyDetector::origin() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [ord, f] : findings_) {
+    bool inherited = false;
+    for (const fx::Node* in : f.node->input_nodes()) {
+      auto oit = order_.find(in);
+      if (oit != order_.end() && findings_.count(oit->second)) {
+        inherited = true;
+        break;
+      }
+    }
+    if (!inherited) return f.node;
+  }
+  return nullptr;
+}
+
+std::string AnomalyDetector::report() const {
+  const fx::Node* root = origin();  // takes mu_; call before locking
+  std::lock_guard<std::mutex> lock(mu_);
+  if (findings_.empty()) return "anomaly: no non-finite outputs detected\n";
+  std::string s = "anomaly: " + std::to_string(findings_.size()) +
+                  " node(s) produced non-finite values";
+  if (root) s += "; origin '" + root->name() + "' (" +
+                 fx::opcode_name(root->op()) + " target=" + root->target() +
+                 ")";
+  s += "\n";
+  for (const auto& [ord, f] : findings_) {
+    s += "  [" + std::to_string(ord) + "] '" + f.node->name() + "' " +
+         fx::opcode_name(f.node->op()) + " target=" + f.node->target() + ": " +
+         std::to_string(f.bad_count) + "/" + std::to_string(f.total_count) +
+         " non-finite";
+    std::string bad_inputs;
+    for (const fx::Node* in : f.node->input_nodes()) {
+      auto oit = order_.find(in);
+      if (oit != order_.end() && findings_.count(oit->second)) {
+        bad_inputs += bad_inputs.empty() ? "" : ", ";
+        bad_inputs += "'" + in->name() + "'";
+      }
+    }
+    s += bad_inputs.empty() ? " (introduced here)"
+                            : " (inherited from " + bad_inputs + ")";
+    s += "\n";
+  }
+  return s;
+}
+
+void AnomalyDetector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  findings_.clear();
+}
+
+}  // namespace fxcpp::resilience

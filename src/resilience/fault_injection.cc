@@ -1,0 +1,103 @@
+#include "resilience/fault_injection.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/tensor.h"
+
+namespace fxcpp::resilience {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::Throw: return "throw";
+    case FaultKind::PoisonNaN: return "poison-nan";
+    case FaultKind::PoisonInf: return "poison-inf";
+    case FaultKind::AllocLimit: return "alloc-limit";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(const fx::Node* target, FaultKind kind,
+                             int max_fires)
+    : target_(target), kind_(kind), remaining_(max_fires) {}
+
+void FaultInjector::reset(int max_fires) {
+  remaining_.store(max_fires, std::memory_order_relaxed);
+  fires_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::take_fire() {
+  for (;;) {
+    int r = remaining_.load(std::memory_order_relaxed);
+    if (r < 0) {
+      fires_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (r == 0) return false;
+    if (remaining_.compare_exchange_weak(r, r - 1,
+                                         std::memory_order_relaxed)) {
+      fires_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+}
+
+void FaultInjector::on_node_begin(const fx::Node& n) {
+  if (&n != target_) return;
+  switch (kind_) {
+    case FaultKind::Throw:
+      if (take_fire()) {
+        throw std::runtime_error("injected fault at node '" + n.name() + "'");
+      }
+      break;
+    case FaultKind::AllocLimit:
+      // Arm the thread-local single-shot ceiling at 1 byte so the node's
+      // first allocation on this thread trips it no matter what. Arming
+      // relative to the *global* live set would race in the parallel
+      // engine: a concurrent worker freeing registers can drop live bytes
+      // back under the ceiling before the target allocates. Disarmed in
+      // on_node_end (node allocated nothing) or by the trip itself
+      // (Storage disarms before throwing AllocLimitError).
+      if (take_fire()) Storage::set_alloc_limit(1);
+      break;
+    case FaultKind::PoisonNaN:
+    case FaultKind::PoisonInf:
+      break;  // handled in on_node_output
+  }
+}
+
+void FaultInjector::on_node_output(const fx::Node& n, fx::RtValue& out) {
+  if (&n != target_) return;
+  if (kind_ != FaultKind::PoisonNaN && kind_ != FaultKind::PoisonInf) return;
+  const double bad = kind_ == FaultKind::PoisonNaN
+                         ? std::numeric_limits<double>::quiet_NaN()
+                         : std::numeric_limits<double>::infinity();
+  // Non-float / non-tensor outputs are left untouched: every engine then
+  // agrees the run succeeds, which keeps the differential fuzz comparable.
+  Tensor* t = nullptr;
+  if (fx::rt_is_tensor(out)) {
+    t = &std::get<Tensor>(out);
+  } else if (std::holds_alternative<std::vector<Tensor>>(out)) {
+    auto& ts = std::get<std::vector<Tensor>>(out);
+    if (!ts.empty()) t = &ts.front();
+  }
+  if (!t || !t->defined() || t->dtype() != DType::Float32 || t->numel() == 0) {
+    return;
+  }
+  if (!take_fire()) return;
+  // Poison a CLONE, never the tensor in place: GetAttr outputs are the
+  // module's parameter tensors and views share the caller's input storage —
+  // in-place poisoning would corrupt state beyond this run.
+  Tensor c = t->clone();
+  c.set_flat(0, bad);
+  *t = std::move(c);
+}
+
+void FaultInjector::on_node_end(const fx::Node& n, const fx::RtValue& out) {
+  (void)out;
+  if (&n != target_) return;
+  if (kind_ == FaultKind::AllocLimit) Storage::set_alloc_limit(0);
+}
+
+}  // namespace fxcpp::resilience

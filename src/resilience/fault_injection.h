@@ -1,0 +1,63 @@
+// FaultInjector — deterministic fault injection riding the ExecHooks seam.
+//
+// TorchProbe-style systematic fuzzing (PAPERS.md) needs a way to make any
+// node fail, in any engine, on demand. Because all three engines
+// (Interpreter, compiled tape, ParallelExecutor) drive the same hook seam,
+// one injector covers them all without engine-specific patching, and the
+// differential fuzz can assert that a fault at node N surfaces as the same
+// ExecError code at the same node everywhere.
+//
+// Targets are matched by Node identity (pointer), not by index: the
+// Interpreter iterates nodes while the tape engines iterate instructions
+// (placeholders are register fills there), so indices don't line up across
+// engines but the Node* does. Placeholder/output nodes produce hook events
+// only in the Interpreter — target compute nodes for cross-engine parity.
+//
+// Thread safety: all state is atomic or thread-local; the ParallelExecutor
+// calls hooks concurrently from workers.
+#pragma once
+
+#include <atomic>
+
+#include "core/exec_hooks.h"
+
+namespace fxcpp::resilience {
+
+enum class FaultKind {
+  Throw,       // on_node_begin throws -> ExecError{NodeFailure} at the node
+  PoisonNaN,   // on_node_output replaces the result with a NaN-poisoned copy
+  PoisonInf,   // same, with +inf
+  AllocLimit,  // arm a thread-local allocation ceiling for the node's
+               // duration -> ExecError{AllocLimit} if the node allocates
+};
+
+const char* fault_kind_name(FaultKind k);
+
+class FaultInjector : public fx::ExecHooks {
+ public:
+  // Inject `kind` whenever `target` executes. `max_fires` bounds the number
+  // of injections (-1 = unlimited): max_fires=1 makes the fault engine-local
+  // so run_resilient's next rung recovers; unlimited makes every engine see
+  // it, which is what the differential fuzz compares. The target node must
+  // outlive the injector's use.
+  FaultInjector(const fx::Node* target, FaultKind kind, int max_fires = -1);
+
+  // Times the fault actually fired (throws thrown / outputs poisoned /
+  // ceilings armed) since construction or reset().
+  int fires() const { return fires_.load(std::memory_order_relaxed); }
+  void reset(int max_fires = -1);
+
+  void on_node_begin(const fx::Node& n) override;
+  void on_node_output(const fx::Node& n, fx::RtValue& out) override;
+  void on_node_end(const fx::Node& n, const fx::RtValue& out) override;
+
+ private:
+  bool take_fire();
+
+  const fx::Node* target_;
+  FaultKind kind_;
+  std::atomic<int> remaining_;
+  std::atomic<int> fires_{0};
+};
+
+}  // namespace fxcpp::resilience

@@ -1,0 +1,43 @@
+#include "resilience/guards.h"
+
+#include "passes/shape_prop.h"
+
+namespace fxcpp::resilience {
+
+std::size_t generate_guards(fx::GraphModule& gm) {
+  std::vector<fx::GuardSpec> specs;
+  for (const fx::Node* p : gm.graph().placeholders()) {
+    if (!p->has_shape() || !p->has_meta("dtype")) continue;
+    specs.push_back(fx::GuardSpec{p->name(), p->shape(), p->dtype()});
+  }
+  gm.set_guards(std::move(specs));
+  return gm.guards().size();
+}
+
+bool check_inputs(fx::GraphModule& gm, const std::vector<fx::RtValue>& inputs,
+                  GuardMode mode) {
+  if (mode == GuardMode::Strict) {
+    fx::check_guards_strict(gm, inputs);
+    return false;
+  }
+  try {
+    fx::check_guards_strict(gm, inputs);
+    return false;
+  } catch (const ExecError& e) {
+    if (e.code() != ErrorCode::GuardViolation) throw;
+    // Permissive refresh: the new inputs define the new contract. ShapeProp
+    // needs tensors; a non-tensor input is a violation no re-propagation
+    // can absorb, so the original error stands.
+    std::vector<Tensor> tensors;
+    tensors.reserve(inputs.size());
+    for (const fx::RtValue& v : inputs) {
+      if (!fx::rt_is_tensor(v)) throw;
+      tensors.push_back(std::get<Tensor>(v));
+    }
+    passes::shape_prop(gm, tensors);
+    generate_guards(gm);
+    return true;
+  }
+}
+
+}  // namespace fxcpp::resilience

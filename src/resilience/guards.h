@@ -1,0 +1,42 @@
+// Input guards — entry-point validation for GraphModules, generated from
+// traced shape/dtype meta (the paper's ShapeProp annotations, Section 6.3).
+//
+// Tracing specializes a graph to the example inputs' shapes; serving that
+// graph other shapes is the classic silent-wrongness source. A GuardSpec per
+// placeholder turns the specialization into an explicit, checkable contract:
+// strict mode rejects violating inputs with an ExecError naming the
+// offending placeholder, permissive mode accepts the new shapes by re-running
+// ShapeProp and regenerating the guards (torchdynamo-style guard refresh,
+// minus recompilation — fxcpp kernels are shape-polymorphic).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/graph_module.h"
+
+namespace fxcpp::resilience {
+
+enum class GuardMode {
+  Strict,      // violation -> ExecError{GuardViolation}
+  Permissive,  // violation -> re-run ShapeProp, regenerate guards, accept
+};
+
+// Build a GuardSpec for every placeholder carrying shape+dtype meta and
+// install them on the module (replacing any previous guards). Placeholders
+// without meta get no spec — run passes::shape_prop first for full coverage;
+// the verifier rule `guards.coverage` flags partial or stale coverage.
+// Returns the number of specs installed.
+std::size_t generate_guards(fx::GraphModule& gm);
+
+// Validate `inputs` against the module's guards. Strict mode delegates to
+// fx::check_guards_strict and throws on violation. Permissive mode catches
+// a guard violation, re-propagates shapes from the offending inputs
+// (requires all-tensor inputs), regenerates the guards, and returns true
+// ("guards were refreshed"). Arity mismatches always throw — there is no
+// sensible refresh for a wrong input count. Returns false when the inputs
+// passed as-is.
+bool check_inputs(fx::GraphModule& gm, const std::vector<fx::RtValue>& inputs,
+                  GuardMode mode = GuardMode::Strict);
+
+}  // namespace fxcpp::resilience

@@ -157,6 +157,20 @@ void TaskGroup::wait() {
   if (err) std::rethrow_exception(err);
 }
 
+bool TaskGroup::wait_for(std::chrono::milliseconds timeout) {
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    if (!state_->cv.wait_for(lock, timeout,
+                             [&] { return state_->pending == 0; })) {
+      return false;
+    }
+    err = std::exchange(state_->error, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
+  return true;
+}
+
 bool TaskGroup::failed() const {
   std::lock_guard<std::mutex> lock(state_->mu);
   return state_->failed;

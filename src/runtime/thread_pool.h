@@ -10,6 +10,7 @@
 // intra-op chunks never wait on inter-op work.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -92,6 +93,12 @@ class TaskGroup {
   // Block until all tasks complete; rethrow the first captured exception
   // (consuming it — a later wait() on the quiesced group returns clean).
   void wait();
+
+  // Bounded wait: true when the group quiesced within `timeout` (consuming
+  // and rethrowing a captured exception exactly like wait()), false on
+  // timeout with tasks still pending. The polling loop the ParallelExecutor
+  // builds its cancellation/deadline watch on.
+  bool wait_for(std::chrono::milliseconds timeout);
 
   // True once any task has thrown (long fan-outs can bail early).
   bool failed() const;

@@ -15,12 +15,30 @@ std::atomic<std::int64_t> g_live_bytes{0};
 std::atomic<std::int64_t> g_peak_bytes{0};
 std::atomic<std::int64_t> g_total_bytes{0};
 std::atomic<std::int64_t> g_alloc_count{0};
+// Fault-injection ceiling; see Storage::set_alloc_limit. Thread-local keeps
+// an injected limit scoped to the worker running the targeted node.
+thread_local std::int64_t t_alloc_limit = 0;
 }  // namespace
 
 Storage::Storage(std::size_t nbytes) : nbytes_(nbytes) {
   // Round up so vectorized kernels may read a full lane at the tail.
   const std::size_t padded = (nbytes + 63) / 64 * 64;
   alloc_bytes_ = padded == 0 ? 64 : padded;
+  if (t_alloc_limit > 0 &&
+      g_live_bytes.load(std::memory_order_relaxed) +
+              static_cast<std::int64_t>(alloc_bytes_) >
+          t_alloc_limit) {
+    // Disarm before throwing: unwinding may allocate (string building,
+    // cleanup copies) and must not re-trip the ceiling.
+    const std::int64_t limit = t_alloc_limit;
+    t_alloc_limit = 0;
+    throw AllocLimitError(
+        "allocation of " + std::to_string(alloc_bytes_) +
+        " bytes would exceed the armed ceiling of " + std::to_string(limit) +
+        " live bytes (" +
+        std::to_string(g_live_bytes.load(std::memory_order_relaxed)) +
+        " currently live)");
+  }
   data_.reset(static_cast<std::byte*>(
       ::operator new[](alloc_bytes_, std::align_val_t{64})));
   const auto sz = static_cast<std::int64_t>(alloc_bytes_);
@@ -55,6 +73,10 @@ void Storage::reset_peak() {
   g_peak_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
 }
+void Storage::set_alloc_limit(std::int64_t max_live_bytes) {
+  t_alloc_limit = max_live_bytes > 0 ? max_live_bytes : 0;
+}
+std::int64_t Storage::alloc_limit() { return t_alloc_limit; }
 
 Tensor::Tensor(Shape shape, DType dtype)
     : shape_(std::move(shape)), dtype_(dtype) {

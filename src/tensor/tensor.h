@@ -17,6 +17,19 @@
 
 namespace fxcpp {
 
+// Thrown by Storage when a thread-local allocation ceiling (armed via
+// Storage::set_alloc_limit, used by the resilience fault injector) would be
+// breached. Derives from bad_alloc so generic allocation-failure handling
+// still applies, but carries a message naming the limit and request size.
+class AllocLimitError : public std::bad_alloc {
+ public:
+  explicit AllocLimitError(std::string msg) : msg_(std::move(msg)) {}
+  const char* what() const noexcept override { return msg_.c_str(); }
+
+ private:
+  std::string msg_;
+};
+
 // Shared, RAII-managed flat byte buffer (64-byte aligned for vectorization).
 class Storage {
  public:
@@ -41,6 +54,16 @@ class Storage {
   // Drop the high-water mark back to the current live set so a subsequent
   // run measures its own peak.
   static void reset_peak();
+
+  // --- thread-local allocation ceiling (fault injection) ----------------
+  // When armed (max_live_bytes > 0), the next allocation on *this thread*
+  // that would push live_bytes() past the ceiling disarms the limit and
+  // throws AllocLimitError — single-shot by design, so the failure cannot
+  // cascade into unwinding/cleanup allocations. 0 disarms. Thread-local so
+  // the resilience FaultInjector can target one executing node without
+  // racing sibling ParallelExecutor workers.
+  static void set_alloc_limit(std::int64_t max_live_bytes);
+  static std::int64_t alloc_limit();
 
  private:
   struct AlignedDelete {

@@ -235,7 +235,11 @@ TEST(ParallelExecErrors, NodeExceptionPropagates) {
     ex.run({RtValue(Tensor::randn({kSide, kSide}))});
     FAIL() << "expected fxtest_throw to propagate";
   } catch (const std::runtime_error& e) {
-    EXPECT_STREQ(e.what(), "fxtest_throw fired");
+    // Rebased onto ExecError: the original message survives as the detail,
+    // wrapped with node/engine provenance.
+    EXPECT_NE(std::string(e.what()).find("fxtest_throw fired"),
+              std::string::npos)
+        << e.what();
   }
   // The executor stays usable after a failed run.
   auto g2 = std::make_unique<Graph>();
