@@ -4,8 +4,11 @@
 # concurrency suite (parallel executor, task groups, thread pool, profiler
 # hooks, hardened runtime) under ThreadSanitizer (FXCPP_SANITIZE=thread).
 # The ASan step covers the fault-injection differential fuzz (every fault
-# kind at every node must leak nothing and double-free nothing); the TSan
-# step covers cancellation/deadline races in the parallel engine. Each sanitizer gets
+# kind at every node must leak nothing and double-free nothing) and the
+# memory-planner fuzz (arena reuse / in-place aliasing must never read or
+# write out of a live slot's bounds); the TSan step covers
+# cancellation/deadline races in the parallel engine and the per-thread
+# pack-cache under concurrent planned execution. Each sanitizer gets
 # its own build tree. The normal and ASan steps also smoke the fxprof CLI on
 # a traced ResNet-18 (trace + summary must be written and the profiled
 # output must bit-match the unprofiled run — fxprof exits nonzero if not).
@@ -45,7 +48,8 @@ fxprof_smoke "$repo/build-asan"
 echo "== [3/3] TSan build + concurrency suite (build-tsan/) =="
 cmake -B "$repo/build-tsan" -S "$repo" -DFXCPP_SANITIZE=thread
 cmake --build "$repo/build-tsan" -j "$jobs" --target test_parallel_exec \
-  --target test_runtime --target test_profile --target test_resilience
+  --target test_runtime --target test_profile --target test_resilience \
+  --target test_memory_plan
 "$repo/build-tsan/tests/test_parallel_exec"
 "$repo/build-tsan/tests/test_runtime"
 "$repo/build-tsan/tests/test_profile"
@@ -53,5 +57,9 @@ cmake --build "$repo/build-tsan" -j "$jobs" --target test_parallel_exec \
 # seam from worker threads, and the cancellation/deadline tests exercise the
 # executor's watch loop against in-flight tasks.
 "$repo/build-tsan/tests/test_resilience"
+# Planner + pack cache under TSan: planned parallel runs race workers over
+# one arena (WAR edges must serialize them) and the pack-cache concurrency
+# test packs one shared weight from many threads at once.
+"$repo/build-tsan/tests/test_memory_plan"
 
 echo "== check.sh: all suites green =="

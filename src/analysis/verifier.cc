@@ -6,6 +6,7 @@
 
 #include "analysis/structural_rules.h"
 #include "core/functional.h"
+#include "core/memory_plan.h"
 #include "core/op_registry.h"
 #include "core/parallel_executor.h"
 #include "passes/shape_prop.h"
@@ -340,6 +341,92 @@ void check_schedule_coverage(const RuleContext& ctx,
 }
 
 // ---------------------------------------------------------------------------
+// Plan-aliasing rule — an installed memory plan (passes::compile_planned)
+// must be internally sound: no two simultaneously-live planned intervals may
+// overlap in the arena, every slot must lie inside the arena, and can_alias
+// in-place reuse may only target a planned input that is dead by the
+// aliasing instruction. The planner establishes these invariants; this rule
+// re-derives them from the plan alone so a transform that edits the tape
+// under a stale plan (or a future planner bug) is caught before the plan
+// hands kernels overlapping memory.
+// ---------------------------------------------------------------------------
+
+void check_plan_aliasing(const RuleContext& ctx, std::vector<Diagnostic>& out) {
+  if (!ctx.gm || !ctx.gm->has_plan() || !ctx.gm->compiled()) return;
+  const fx::TapePlan& plan = *ctx.gm->plan();
+  const auto& instrs = ctx.gm->compiled_graph().instrs();
+  const auto& ivs = plan.intervals;
+  if (ivs.size() != instrs.size()) {
+    emit(out, "plan.aliasing", Severity::Error, nullptr, "",
+         "plan has " + std::to_string(ivs.size()) + " intervals but the tape "
+         "has " + std::to_string(instrs.size()) + " instructions",
+         "the module was recompiled under a stale plan; re-run "
+         "passes::compile_planned");
+    return;
+  }
+  // Resolve in-place alias chains to their root slot and validate each link.
+  std::vector<int> root(ivs.size());
+  for (std::size_t i = 0; i < ivs.size(); ++i) root[i] = static_cast<int>(i);
+  for (std::size_t i = 0; i < ivs.size(); ++i) {
+    if (!ivs[i].in_place) continue;
+    const fx::Node* n = instrs[i].node;
+    const int j = ivs[i].alias_of;
+    if (j < 0 || static_cast<std::size_t>(j) >= i || !ivs[i].planned ||
+        !ivs[static_cast<std::size_t>(j)].planned) {
+      emit(out, "plan.aliasing", Severity::Error, n, n ? n->name() : "",
+           "in-place interval " + std::to_string(i) +
+               " has invalid alias target " + std::to_string(j),
+           "alias_of must name an earlier planned interval");
+      continue;
+    }
+    const auto& tgt = ivs[static_cast<std::size_t>(j)];
+    if (ivs[i].offset != tgt.offset) {
+      emit(out, "plan.aliasing", Severity::Error, n, n ? n->name() : "",
+           "in-place interval " + std::to_string(i) +
+               " does not share its target's arena offset",
+           "can_alias reuse must write the exact slot the input occupies");
+    }
+    if (tgt.last_use > ivs[i].def) {
+      emit(out, "plan.aliasing", Severity::Error, n, n ? n->name() : "",
+           "in-place interval " + std::to_string(i) + " overwrites interval " +
+               std::to_string(j) + " which is still read at instruction " +
+               std::to_string(tgt.last_use),
+           "can_alias reuse requires the input to be dead at the aliasing "
+           "instruction");
+    }
+    root[i] = root[static_cast<std::size_t>(j)];
+  }
+  // Pairwise: overlapping arena byte ranges require disjoint lifetimes
+  // (except within one alias chain, whose overlap is the point).
+  for (std::size_t i = 0; i < ivs.size(); ++i) {
+    const auto& a = ivs[i];
+    if (!a.planned) continue;
+    if (a.offset + a.padded > plan.arena_bytes) {
+      const fx::Node* n = instrs[i].node;
+      emit(out, "plan.aliasing", Severity::Error, n, n ? n->name() : "",
+           "interval " + std::to_string(i) + " extends past the arena (" +
+               std::to_string(a.offset + a.padded) + " > " +
+               std::to_string(plan.arena_bytes) + " bytes)");
+    }
+    for (std::size_t j = i + 1; j < ivs.size(); ++j) {
+      const auto& b = ivs[j];
+      if (!b.planned || root[i] == root[j]) continue;
+      const bool bytes_overlap =
+          a.offset < b.offset + b.padded && b.offset < a.offset + a.padded;
+      const bool live_overlap = a.def <= b.last_use && b.def <= a.last_use;
+      if (bytes_overlap && live_overlap) {
+        const fx::Node* n = instrs[j].node;
+        emit(out, "plan.aliasing", Severity::Error, n, n ? n->name() : "",
+             "intervals " + std::to_string(i) + " and " + std::to_string(j) +
+                 " are simultaneously live but share arena bytes",
+             "liveness/first-fit disagreement: the planned run would hand two "
+             "kernels overlapping memory");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Guard-coverage rule — a GraphModule whose placeholders carry shape meta
 // should have a GuardSpec per annotated placeholder, and the specs should
 // agree with the meta. Transforms invalidate stale shape meta (PR 1) but
@@ -474,6 +561,10 @@ std::vector<Rule> Verifier::default_rules() {
                    "annotated placeholders have fresh GuardSpecs "
                    "(stale-guard detection after transforms)",
                    check_guard_coverage});
+  r.push_back(Rule{"plan.aliasing", Severity::Error,
+                   "installed memory plan is sound: no simultaneously-live "
+                   "arena overlap, in-place reuse only of dead inputs",
+                   check_plan_aliasing});
   return r;
 }
 

@@ -543,6 +543,28 @@ void do_register() {
   methods.add({"contiguous", {"self"}, [](const Args& a) -> RtValue {
                  return rt_tensor(a.at(0)).contiguous();
                }});
+
+  // --- memory-planner traits -------------------------------------------
+  // fresh_output: the kernel always materializes a new tensor (safe to
+  // serve from a planned arena slot). can_alias additionally promises an
+  // index-aligned elementwise map on the equal-shape path, so a dead
+  // same-shaped input may share the output's slot. View-producing targets
+  // (reshape/flatten/getitem/contiguous) keep both false: their result may
+  // share storage with an input.
+  for (const char* name : {"add", "sub", "mul", "div", "neg", "relu", "gelu",
+                           "sigmoid", "tanh", "selu", "sqrt", "exp", "abs"}) {
+    fns.annotate(name, /*fresh_output=*/true, /*can_alias=*/true);
+  }
+  for (const char* name :
+       {"sum", "mean", "dequantize", "quantized_relu", "dropout", "matmul",
+        "linear", "transpose", "embedding", "conv2d", "max_pool2d",
+        "avg_pool2d", "adaptive_avg_pool2d", "batch_norm", "layer_norm",
+        "softmax", "cat", "quantize_per_tensor", "quantized_add"}) {
+    fns.annotate(name, /*fresh_output=*/true, /*can_alias=*/false);
+  }
+  methods.annotate("neg", /*fresh_output=*/true, /*can_alias=*/true);
+  methods.annotate("relu", /*fresh_output=*/true, /*can_alias=*/true);
+  methods.annotate("dequantize", /*fresh_output=*/true, /*can_alias=*/false);
 }
 
 }  // namespace

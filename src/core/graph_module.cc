@@ -9,6 +9,7 @@
 #include "core/functional.h"
 #include "core/graph_io.h"
 #include "core/interpreter.h"
+#include "core/memory_plan.h"
 #include "core/parallel_executor.h"
 
 namespace fxcpp::fx {
@@ -143,8 +144,40 @@ std::vector<std::string> live_register_names(
 
 }  // namespace
 
+namespace {
+
+// Run one instruction with its arena slot armed (planned) or plainly.
+// Shared by the serial tape loop below and the ParallelExecutor's workers.
+RtValue exec_instr_planned(const Instr& ins, std::vector<RtValue>& regs,
+                           const TapePlan* plan, std::size_t idx,
+                           std::byte* arena_base) {
+  if (plan && arena_base && idx < plan->intervals.size() &&
+      plan->intervals[idx].planned) {
+    const PlanInterval& iv = plan->intervals[idx];
+    PlacementGuard slot(arena_base + iv.offset, iv.nbytes);
+    return CompiledGraph::exec_instr(ins, regs);
+  }
+  return CompiledGraph::exec_instr(ins, regs);
+}
+
+}  // namespace
+
 std::vector<RtValue> CompiledGraph::run(std::vector<RtValue> inputs,
                                         ExecHooks* hooks) const {
+  return run_impl(std::move(inputs), hooks, nullptr, nullptr);
+}
+
+std::vector<RtValue> CompiledGraph::run_planned(std::vector<RtValue> inputs,
+                                                const TapePlan& plan,
+                                                std::byte* arena_base,
+                                                ExecHooks* hooks) const {
+  return run_impl(std::move(inputs), hooks, &plan, arena_base);
+}
+
+std::vector<RtValue> CompiledGraph::run_impl(std::vector<RtValue> inputs,
+                                             ExecHooks* hooks,
+                                             const TapePlan* plan,
+                                             std::byte* arena_base) const {
   if (inputs.size() != input_regs_.size()) {
     throw arity_error(input_regs_.size(), inputs.size())
         .with_engine(Engine::Tape);
@@ -156,11 +189,12 @@ std::vector<RtValue> CompiledGraph::run(std::vector<RtValue> inputs,
   if (hooks) hooks->on_run_begin(instrs_.size());
   std::vector<RtValue> result;
   try {
-    for (const Instr& ins : instrs_) {
+    for (std::size_t i = 0; i < instrs_.size(); ++i) {
+      const Instr& ins = instrs_[i];
       RtValue out;
       try {
         if (hooks && ins.node) hooks->on_node_begin(*ins.node);
-        out = exec_instr(ins, regs);
+        out = exec_instr_planned(ins, regs, plan, i, arena_base);
         if (hooks && ins.node) hooks->on_node_output(*ins.node, out);
         if (hooks && ins.node) hooks->on_node_end(*ins.node, out);
       } catch (...) {
@@ -350,6 +384,62 @@ void GraphModule::recompile() {
 
   compiled->num_regs_ = next_reg;
   compiled_ = std::move(compiled);
+  // Any installed memory plan indexed the old tape; drop it. The replanner
+  // (if set) rebuilds a matching plan on the next run_planned().
+  plan_.reset();
+  arena_.reset();
+}
+
+void GraphModule::install_plan(std::shared_ptr<const TapePlan> plan) {
+  if (!plan) {
+    clear_plan();
+    return;
+  }
+  arena_ = std::make_shared<MemoryArena>(plan->arena_bytes);
+  plan_ = std::move(plan);
+}
+
+void GraphModule::clear_plan() {
+  plan_.reset();
+  arena_.reset();
+}
+
+std::vector<RtValue> GraphModule::run_planned(std::vector<RtValue> inputs,
+                                              ExecHooks* hooks) {
+  if (!compiled_) recompile();
+  if (!plan_ || !plan_matches_inputs(*plan_, inputs)) {
+    // Shape change (or no plan yet): transparent re-plan, then fall back to
+    // the unplanned tape if no matching plan could be produced.
+    if (replanner_) replanner_(*this, inputs);
+    if (!plan_ || !plan_matches_inputs(*plan_, inputs)) {
+      return compiled_->run(std::move(inputs), hooks);
+    }
+  }
+  return compiled_->run_planned(std::move(inputs), *plan_, arena_->base(),
+                                hooks);
+}
+
+Tensor GraphModule::run_planned(const Tensor& input) {
+  std::vector<RtValue> out = run_planned(std::vector<RtValue>{input});
+  if (out.empty() || !rt_is_tensor(out.front())) {
+    throw std::logic_error("graph produced a non-tensor output");
+  }
+  return std::move(std::get<Tensor>(out.front()));
+}
+
+std::vector<RtValue> GraphModule::run_planned_parallel(
+    std::vector<RtValue> inputs, int num_threads) {
+  if (!compiled_) recompile();
+  if (!plan_ || !plan_matches_inputs(*plan_, inputs)) {
+    if (replanner_) replanner_(*this, inputs);
+  }
+  ExecutorOptions eo;
+  eo.num_threads = num_threads;
+  // The executor snapshots the (possibly re-planned) plan at construction
+  // and owns its own arena; with no matching plan it runs unplanned.
+  eo.use_plan = plan_ != nullptr && plan_matches_inputs(*plan_, inputs);
+  ParallelExecutor ex(*this, eo);
+  return ex.run(std::move(inputs));
 }
 
 const CompiledGraph& GraphModule::compiled_graph() const {

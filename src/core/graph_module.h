@@ -10,6 +10,8 @@
 // text of Figures 1-3 for inspection and golden-testing.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +24,8 @@
 namespace fxcpp::fx {
 
 class ExecHooks;
+struct TapePlan;   // core/memory_plan.h
+class MemoryArena;  // core/memory_plan.h
 
 // Input contract for one placeholder, generated from traced shape/dtype meta
 // (resilience::generate_guards). Checked at run entry by
@@ -68,6 +72,18 @@ class CompiledGraph {
   std::vector<RtValue> run(std::vector<RtValue> inputs,
                            ExecHooks* hooks = nullptr) const;
 
+  // Planned execution: identical to run(), but before each planned
+  // instruction the thread-local placement hint (Storage::arm_placement) is
+  // armed with the instruction's arena slot, so the kernel's output
+  // allocation adopts pre-sized arena memory instead of hitting the heap.
+  // `arena_base` must point at (at least) plan.arena_bytes of 64-byte-
+  // aligned memory that outlives the returned values' last use. The caller
+  // is responsible for having validated the inputs against plan.guards —
+  // GraphModule::run_planned does, and re-plans on mismatch.
+  std::vector<RtValue> run_planned(std::vector<RtValue> inputs,
+                                   const TapePlan& plan, std::byte* arena_base,
+                                   ExecHooks* hooks = nullptr) const;
+
   // Execute one instruction against a register file and return its result
   // (the caller stores it into ins.out_reg / the output list). Shared by
   // the serial run() loop and the inter-op ParallelExecutor; does not apply
@@ -82,6 +98,9 @@ class CompiledGraph {
 
  private:
   friend class GraphModule;
+  std::vector<RtValue> run_impl(std::vector<RtValue> inputs, ExecHooks* hooks,
+                                const TapePlan* plan,
+                                std::byte* arena_base) const;
   std::vector<Instr> instrs_;
   std::vector<int> input_regs_;
   // Placeholder provenance parallel to input_regs_, so failure diagnostics
@@ -163,6 +182,42 @@ class GraphModule : public nn::Module {
     return run_parallel(std::vector<Tensor>{input}, num_threads);
   }
 
+  // --- memory planning (computed by passes/memory_planner) --------------
+  // A TapePlan maps each instruction's output to a slot in one pre-sized
+  // arena; planned runs reuse the arena run-to-run instead of re-allocating
+  // every intermediate. Install via passes::compile_planned(), which also
+  // sets a replanner so a shape change re-plans transparently.
+
+  // Installs `plan` and allocates a fresh arena sized plan->arena_bytes.
+  void install_plan(std::shared_ptr<const TapePlan> plan);
+  const std::shared_ptr<const TapePlan>& plan() const { return plan_; }
+  bool has_plan() const { return plan_ != nullptr; }
+  // Drops the plan and its arena (the replanner, if any, survives — the
+  // next run_planned rebuilds the plan from the actual inputs).
+  void clear_plan();
+
+  // Called by run_planned when the inputs violate the current plan's
+  // contract (or no plan is installed); expected to install_plan() a plan
+  // matching `inputs`. Set by passes::compile_planned.
+  using Replanner =
+      std::function<void(GraphModule&, const std::vector<RtValue>&)>;
+  void set_replanner(Replanner r) { replanner_ = std::move(r); }
+
+  // Execute the tape into the plan's arena. Inputs that violate the plan's
+  // shape/dtype contract trigger the replanner; with no replanner (or one
+  // that could not produce a matching plan) the run transparently falls
+  // back to the unplanned tape — planned execution is an optimization, not
+  // a new failure mode. Not thread-safe: concurrent callers would share one
+  // arena; give each thread its own module or use ParallelExecutor's
+  // executor-owned arena instead.
+  std::vector<RtValue> run_planned(std::vector<RtValue> inputs,
+                                   ExecHooks* hooks = nullptr);
+  Tensor run_planned(const Tensor& input);
+  // Planned + inter-op parallel convenience: validates/re-plans, then runs
+  // a plan-aware ParallelExecutor (rebuilt per call, like forward_parallel).
+  std::vector<RtValue> run_planned_parallel(std::vector<RtValue> inputs,
+                                            int num_threads = 0);
+
   // --- input guards (resilience) ----------------------------------------
   // GuardSpecs are generated from traced shape/dtype meta by
   // resilience::generate_guards and validated at entry by run_resilient (or
@@ -208,6 +263,9 @@ class GraphModule : public nn::Module {
   std::unique_ptr<CompiledGraph> compiled_;
   std::string code_;
   std::vector<GuardSpec> guards_;
+  std::shared_ptr<const TapePlan> plan_;
+  std::shared_ptr<MemoryArena> arena_;
+  Replanner replanner_;
 };
 
 // Validate `inputs` against the module's GuardSpecs (strict mode): arity

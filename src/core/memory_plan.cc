@@ -1,0 +1,18 @@
+#include "core/memory_plan.h"
+
+namespace fxcpp::fx {
+
+bool plan_matches_inputs(const TapePlan& plan,
+                         const std::vector<RtValue>& inputs) {
+  if (plan.guards.size() != inputs.size()) return false;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const GuardSpec& g = plan.guards[i];
+    if (g.placeholder.empty()) continue;  // non-tensor input: unchecked
+    if (!rt_is_tensor(inputs[i])) return false;
+    const Tensor& t = rt_tensor(inputs[i]);
+    if (t.sizes() != g.shape || t.dtype() != g.dtype) return false;
+  }
+  return true;
+}
+
+}  // namespace fxcpp::fx

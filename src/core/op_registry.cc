@@ -16,6 +16,17 @@ OpRegistry& OpRegistry::methods() {
 
 void OpRegistry::add(OpInfo info) { ops_[info.name] = std::move(info); }
 
+void OpRegistry::annotate(const std::string& name, bool fresh_output,
+                          bool can_alias) {
+  auto it = ops_.find(name);
+  if (it == ops_.end()) {
+    throw std::out_of_range("annotate: no registered operator target '" +
+                            name + "'");
+  }
+  it->second.fresh_output = fresh_output;
+  it->second.can_alias = can_alias;
+}
+
 const OpInfo* OpRegistry::find(const std::string& name) const {
   auto it = ops_.find(name);
   return it == ops_.end() ? nullptr : &it->second;

@@ -26,6 +26,14 @@ struct OpInfo {
   // Execute with fully positional arguments (missing trailing optionals are
   // monostate).
   std::function<RtValue(const std::vector<RtValue>&)> run;
+  // --- memory-planner traits ------------------------------------------
+  // The kernel's result tensor is freshly allocated and never aliases an
+  // input — its output may safely be served from a planned arena slot.
+  bool fresh_output = false;
+  // The kernel is an index-aligned elementwise map (it reads in[i] before
+  // writing out[i] for every i), so when a same-shaped input dies at this
+  // instruction the planner may give output and input the same arena slot.
+  bool can_alias = false;
 };
 
 class OpRegistry {
@@ -36,6 +44,10 @@ class OpRegistry {
   static OpRegistry& methods();
 
   void add(OpInfo info);
+  // Set the memory-planner traits on an already-registered op. Throws
+  // std::out_of_range if the op is unknown (an annotation that silently
+  // misses would leave a kernel unplanned or, worse, wrongly aliasable).
+  void annotate(const std::string& name, bool fresh_output, bool can_alias);
   const OpInfo* find(const std::string& name) const;
   // Throws std::out_of_range naming the missing target.
   const OpInfo& at(const std::string& name) const;

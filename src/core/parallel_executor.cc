@@ -8,6 +8,7 @@
 #include <variant>
 
 #include "core/exec_hooks.h"
+#include "core/memory_plan.h"
 #include "resilience/exec_error.h"
 #include "runtime/timer.h"
 
@@ -78,10 +79,52 @@ Schedule build_schedule(const CompiledGraph& cg) {
   return s;
 }
 
+Schedule build_planned_schedule(const CompiledGraph& cg,
+                                const TapePlan& plan) {
+  Schedule s = build_schedule(cg);
+  const std::size_t n = cg.instrs().size();
+  auto add_edge = [&s](int from, int to) {
+    if (from == to || from < 0 || to < 0) return;
+    auto& edges = s.succs[static_cast<std::size_t>(from)];
+    if (std::find(edges.begin(), edges.end(), to) != edges.end()) return;
+    edges.push_back(to);
+    ++s.dep_count[static_cast<std::size_t>(to)];
+  };
+  // Anti-dependency (WAR) edges between planned intervals whose arena byte
+  // ranges overlap. First-fit only reuses a slot after its previous owner's
+  // last read (and an in-place interval dies exactly at its aliasing
+  // instruction), so every edge points forward in tape order — the
+  // augmented graph stays acyclic.
+  for (std::size_t i = 0; i < n && i < plan.intervals.size(); ++i) {
+    const PlanInterval& a = plan.intervals[i];
+    if (!a.planned) continue;
+    for (std::size_t j = i + 1; j < n && j < plan.intervals.size(); ++j) {
+      const PlanInterval& b = plan.intervals[j];
+      if (!b.planned) continue;
+      const bool overlap = a.offset < b.offset + b.padded &&
+                           b.offset < a.offset + a.padded;
+      if (!overlap) continue;
+      add_edge(static_cast<int>(i), static_cast<int>(j));
+      for (int r : a.readers) add_edge(r, static_cast<int>(j));
+    }
+  }
+  s.initial_ready.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (s.dep_count[i] == 0) s.initial_ready.push_back(static_cast<int>(i));
+  }
+  return s;
+}
+
 ParallelExecutor::ParallelExecutor(GraphModule& gm, ExecutorOptions opts)
     : gm_(gm), opts_(opts) {
   if (!gm_.compiled()) gm_.recompile();
-  schedule_ = build_schedule(gm_.compiled_graph());
+  if (opts_.use_plan && gm_.plan()) {
+    plan_ = gm_.plan();
+    arena_ = std::make_shared<MemoryArena>(plan_->arena_bytes);
+    schedule_ = build_planned_schedule(gm_.compiled_graph(), *plan_);
+  } else {
+    schedule_ = build_schedule(gm_.compiled_graph());
+  }
   int threads = opts_.num_threads;
   if (threads <= 0) threads = rt::get_num_interop_threads();
   pool_ = std::make_unique<rt::ThreadPool>(threads);
@@ -99,6 +142,14 @@ std::vector<RtValue> ParallelExecutor::run(std::vector<RtValue> inputs) {
                     "cancellation requested before execution started")
         .with_engine(Engine::Parallel);
   }
+  if (plan_ && !plan_matches_inputs(*plan_, inputs)) {
+    throw ExecError(ErrorCode::GuardViolation,
+                    "inputs violate the memory plan's shape/dtype contract; "
+                    "this executor is shape-specialized — re-plan via "
+                    "GraphModule::run_planned_parallel or rebuild it")
+        .with_engine(Engine::Parallel);
+  }
+  std::byte* const arena_base = arena_ ? arena_->base() : nullptr;
 
   rt::Timer total;
   stats_ = ExecutorStats{};
@@ -168,7 +219,19 @@ std::vector<RtValue> ParallelExecutor::run(std::vector<RtValue> inputs) {
       RtValue out;
       try {
         if (opts_.hooks && ins.node) opts_.hooks->on_node_begin(*ins.node);
-        out = CompiledGraph::exec_instr(ins, regs);
+        if (plan_ && arena_base &&
+            static_cast<std::size_t>(idx) < plan_->intervals.size() &&
+            plan_->intervals[static_cast<std::size_t>(idx)].planned) {
+          const PlanInterval& iv =
+              plan_->intervals[static_cast<std::size_t>(idx)];
+          // Arm this worker's placement hint with the instruction's arena
+          // slot; the anti-dependency edges guarantee the slot's previous
+          // owner (and all its readers) already finished.
+          PlacementGuard slot(arena_base + iv.offset, iv.nbytes);
+          out = CompiledGraph::exec_instr(ins, regs);
+        } else {
+          out = CompiledGraph::exec_instr(ins, regs);
+        }
         if (opts_.hooks && ins.node) {
           opts_.hooks->on_node_output(*ins.node, out);
           opts_.hooks->on_node_end(*ins.node, out);

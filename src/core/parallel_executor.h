@@ -52,6 +52,16 @@ struct Schedule {
 // also used by the analysis rule "schedule.coverage".
 Schedule build_schedule(const CompiledGraph& cg);
 
+// Plan-aware schedule: build_schedule plus the anti-dependency (WAR) edges
+// a shared arena requires. Two planned intervals may share arena bytes only
+// because the first is dead before the second is defined *in tape order*;
+// under reordering that liveness argument needs edges: every reader of the
+// earlier interval (and its definition) must complete before the later
+// interval's definition runs. In-place instructions likewise wait for every
+// other reader of the buffer they overwrite. With these edges the executor
+// keeps bit-identical outputs while executing into one arena.
+Schedule build_planned_schedule(const CompiledGraph& cg, const TapePlan& plan);
+
 // Observability counters for one run(); lets tests and benches confirm
 // actual overlap instead of trusting the scheduler.
 struct ExecutorStats {
@@ -88,6 +98,15 @@ struct ExecutorOptions {
   // granularity: a single wedged kernel delays the return by at most its
   // own runtime, and the executor stays usable afterwards.
   double deadline_seconds = 0.0;
+  // Execute into the module's installed memory plan (see core/memory_plan.h
+  // and passes::compile_planned). The executor snapshots the plan at
+  // construction, builds the anti-dependency-augmented schedule, and owns a
+  // private arena, so concurrent executors never share planned memory.
+  // Inputs that violate the plan's shape contract make run() throw
+  // ExecError{GuardViolation} — a long-lived planned executor is
+  // shape-specialized; use GraphModule::run_planned_parallel for the
+  // transparent-replan convenience. Ignored when the module has no plan.
+  bool use_plan = false;
 };
 
 class ParallelExecutor {
@@ -108,6 +127,8 @@ class ParallelExecutor {
   // Stats of the most recent run() (empty unless opts.collect_stats).
   const ExecutorStats& stats() const { return stats_; }
   int num_threads() const { return pool_->size(); }
+  // The memory plan this executor runs under (null = unplanned).
+  const std::shared_ptr<const TapePlan>& plan() const { return plan_; }
 
  private:
   GraphModule& gm_;
@@ -115,6 +136,8 @@ class ParallelExecutor {
   Schedule schedule_;
   std::unique_ptr<rt::ThreadPool> pool_;
   ExecutorStats stats_;
+  std::shared_ptr<const TapePlan> plan_;
+  std::shared_ptr<MemoryArena> arena_;
 };
 
 }  // namespace fxcpp::fx

@@ -1,0 +1,339 @@
+#include "passes/memory_planner.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "core/parallel_executor.h"  // build_schedule (pure analysis)
+#include "nn/layers.h"
+#include "passes/shape_prop.h"
+#include "tensor/dtype.h"
+
+namespace fxcpp::passes {
+
+using fx::CompiledGraph;
+using fx::GraphModule;
+using fx::GuardSpec;
+using fx::Instr;
+using fx::Opcode;
+using fx::PlanInterval;
+using fx::RtValue;
+using fx::TapePlan;
+
+FirstFitPacking first_fit_pack(const std::vector<LiveRange>& ranges,
+                               int num_steps) {
+  struct Block {
+    std::int64_t off, size;
+  };
+  FirstFitPacking out;
+  out.offsets.assign(ranges.size(), -1);
+  std::vector<Block> free_blocks;
+  auto alloc = [&](std::int64_t size) {
+    for (std::size_t i = 0; i < free_blocks.size(); ++i) {
+      if (free_blocks[i].size >= size) {
+        const std::int64_t off = free_blocks[i].off;
+        if (free_blocks[i].size == size) {
+          free_blocks.erase(free_blocks.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        } else {
+          free_blocks[i].off += size;
+          free_blocks[i].size -= size;
+        }
+        return off;
+      }
+    }
+    const std::int64_t off = out.high_water;
+    out.high_water += size;
+    return off;
+  };
+
+  // Buffers live before the first step (graph inputs) get memory first.
+  for (std::size_t b = 0; b < ranges.size(); ++b) {
+    if (ranges[b].def < 0 && out.offsets[b] < 0) {
+      out.offsets[b] = alloc(ranges[b].size);
+    }
+  }
+  for (int i = 0; i < num_steps; ++i) {
+    // Allocate outputs defined at step i...
+    for (std::size_t b = 0; b < ranges.size(); ++b) {
+      if (ranges[b].def == i && out.offsets[b] < 0) {
+        out.offsets[b] = alloc(ranges[b].size);
+      }
+    }
+    // ...then free buffers whose last use is step i.
+    for (std::size_t b = 0; b < ranges.size(); ++b) {
+      if (ranges[b].last_use == i && out.offsets[b] >= 0) {
+        free_blocks.push_back(Block{out.offsets[b], ranges[b].size});
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// nn modules whose forward materializes fresh storage for its result (the
+// kernels all end in a new Tensor of the output shape). Anything not listed
+// — Flatten, Identity, Dropout-as-module, user modules — is treated as
+// potentially returning a view of an input.
+bool module_output_is_fresh(const nn::Module* m) {
+  return dynamic_cast<const nn::Linear*>(m) != nullptr ||
+         dynamic_cast<const nn::Conv2d*>(m) != nullptr ||
+         dynamic_cast<const nn::BatchNorm2d*>(m) != nullptr ||
+         dynamic_cast<const nn::LayerNorm*>(m) != nullptr ||
+         dynamic_cast<const nn::MaxPool2d*>(m) != nullptr ||
+         dynamic_cast<const nn::AdaptiveAvgPool2d*>(m) != nullptr ||
+         dynamic_cast<const nn::Embedding*>(m) != nullptr;
+}
+
+std::size_t meta_nbytes(const fx::Node* n) {
+  if (!n || !n->has_meta("shape") || !n->has_meta("dtype")) return 0;
+  std::int64_t numel = 1;
+  for (std::int64_t d : n->shape()) {
+    if (d < 0) return 0;  // symbolic / unknown dimension
+    numel *= d;
+  }
+  return static_cast<std::size_t>(numel) * dtype_size(n->dtype());
+}
+
+// Slot granularity: matches Storage's own 64-byte padding, so adjacent
+// slots never share a cache line and an adopting allocation's padded tail
+// stays inside its slot.
+constexpr std::size_t kSlotAlign = 64;
+
+std::size_t pad_slot(std::size_t nbytes) {
+  const std::size_t p = (nbytes + kSlotAlign - 1) / kSlotAlign * kSlotAlign;
+  return p == 0 ? kSlotAlign : p;
+}
+
+void merge_bases(std::vector<int>& dst, const std::vector<int>& src) {
+  for (int b : src) {
+    if (std::find(dst.begin(), dst.end(), b) == dst.end()) dst.push_back(b);
+  }
+}
+
+bool meta_matches(const fx::Node* a, const fx::Node* b) {
+  return a && b && a->has_meta("shape") && b->has_meta("shape") &&
+         a->has_meta("dtype") && b->has_meta("dtype") &&
+         a->shape() == b->shape() && a->dtype() == b->dtype();
+}
+
+void install_with_guards(GraphModule& gm,
+                         std::shared_ptr<const TapePlan> plan) {
+  // Mirror the plan's input contract onto the module's resilience guards
+  // (PR 4) when every placeholder has a named spec; unnamed specs mean
+  // non-tensor or meta-less placeholders, which strict guards can't express.
+  const bool all_named =
+      std::all_of(plan->guards.begin(), plan->guards.end(),
+                  [](const GuardSpec& g) { return !g.placeholder.empty(); });
+  if (all_named) gm.set_guards(plan->guards);
+  gm.install_plan(std::move(plan));
+}
+
+}  // namespace
+
+std::shared_ptr<const TapePlan> plan_tape(GraphModule& gm) {
+  if (!gm.compiled()) gm.recompile();
+  const CompiledGraph& cg = gm.compiled_graph();
+  const auto& instrs = cg.instrs();
+  const int n = static_cast<int>(instrs.size());
+  const fx::Schedule sched = fx::build_schedule(cg);
+
+  auto plan = std::make_shared<TapePlan>();
+  plan->intervals.resize(static_cast<std::size_t>(n));
+
+  // Per-register base set: which instruction outputs (interval indices) the
+  // register's value may alias. Registers have exactly one writer (recompile
+  // assigns sequential out_regs), so the sets are stable once written.
+  // Placeholders, GetAttr results, and immediates have no interval base —
+  // their memory is never in the arena, so views of them need no tracking.
+  std::vector<std::vector<int>> reg_bases(
+      static_cast<std::size_t>(cg.num_registers()));
+
+  std::vector<bool> fresh(static_cast<std::size_t>(n), false);
+  std::vector<bool> escaped(static_cast<std::size_t>(n), false);
+
+  // Pass 1 — forward walk: classify each instruction, record every read
+  // through the alias sets (extending base lifetimes), propagate bases.
+  for (int i = 0; i < n; ++i) {
+    const Instr& ins = instrs[static_cast<std::size_t>(i)];
+    const auto iu = static_cast<std::size_t>(i);
+    PlanInterval& iv = plan->intervals[iu];
+    iv.def = i;
+    iv.last_use = i;
+
+    const auto& reads = sched.reads[iu];
+    for (int r : reads) {
+      for (int b : reg_bases[static_cast<std::size_t>(r)]) {
+        PlanInterval& base = plan->intervals[static_cast<std::size_t>(b)];
+        base.last_use = std::max(base.last_use, i);
+        if (base.readers.empty() || base.readers.back() != i) {
+          base.readers.push_back(i);
+        }
+        if (ins.op == Opcode::Output) escaped[static_cast<std::size_t>(b)] = true;
+      }
+    }
+
+    switch (ins.op) {
+      case Opcode::Output:
+      case Opcode::GetAttr:
+        break;  // no interval base: returned value / module state
+      case Opcode::CallFunction:
+      case Opcode::CallMethod:
+        fresh[iu] = ins.fn != nullptr && ins.fn->fresh_output;
+        break;
+      case Opcode::CallModule:
+        fresh[iu] = module_output_is_fresh(ins.module.get());
+        break;
+      case Opcode::Placeholder:
+        break;  // register fills, never tape instructions
+    }
+
+    if (ins.out_reg >= 0) {
+      auto& out_bases = reg_bases[static_cast<std::size_t>(ins.out_reg)];
+      out_bases.clear();
+      if (fresh[iu]) {
+        out_bases.push_back(i);
+      } else {
+        // View or unknown: the output may alias any input.
+        for (int r : reads) {
+          merge_bases(out_bases, reg_bases[static_cast<std::size_t>(r)]);
+        }
+      }
+    }
+  }
+
+  // Planned candidacy: fresh output, known static size, does not escape.
+  std::vector<bool> candidate(static_cast<std::size_t>(n), false);
+  for (int i = 0; i < n; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    if (!fresh[iu]) continue;
+    const std::size_t nb = meta_nbytes(instrs[iu].node);
+    if (nb == 0) continue;
+    plan->intervals[iu].nbytes = nb;
+    plan->intervals[iu].padded = pad_slot(nb);
+    plan->unplanned_bytes += pad_slot(nb);
+    candidate[iu] = !escaped[iu];
+  }
+
+  // Pass 2 — in-place merging (can_alias). Instruction i may write over
+  // input j's slot when:
+  //  (a) j is read through its producer's own register (not a view), is a
+  //      planned candidate, and its interval dies exactly at i;
+  //  (b) i's and j's traced shape/dtype match (the kernels' index-aligned
+  //      path: o[k] is written only after pa[k] is read);
+  //  (c) every OTHER tensor operand of i is itself a directly-read fresh
+  //      instruction output. Fresh kernel outputs are always contiguous, so
+  //      no operand triggers a defensive .contiguous() copy inside i's
+  //      kernel — such a copy could be slot-sized and would adopt the armed
+  //      hint, clobbering j's live bytes before the kernel reads them.
+  std::vector<int> alias_root(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) alias_root[static_cast<std::size_t>(i)] = i;
+  for (int i = 0; i < n; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    if (!candidate[iu]) continue;
+    const Instr& ins = instrs[iu];
+    if (ins.op != Opcode::CallFunction && ins.op != Opcode::CallMethod)
+      continue;
+    if (!ins.fn || !ins.fn->can_alias) continue;
+    const auto& reads = sched.reads[iu];
+    // (c): every read must be a direct fresh-output register.
+    bool all_direct_fresh = true;
+    for (int r : reads) {
+      const auto& bases = reg_bases[static_cast<std::size_t>(r)];
+      if (bases.size() != 1 || !fresh[static_cast<std::size_t>(bases[0])] ||
+          instrs[static_cast<std::size_t>(bases[0])].out_reg != r) {
+        all_direct_fresh = false;
+        break;
+      }
+    }
+    if (!all_direct_fresh) continue;
+    for (int r : reads) {
+      const int j = reg_bases[static_cast<std::size_t>(r)][0];
+      const auto ju = static_cast<std::size_t>(j);
+      if (!candidate[ju]) continue;
+      if (plan->intervals[ju].last_use != i) continue;  // must die here
+      if (!meta_matches(ins.node, instrs[ju].node)) continue;
+      alias_root[iu] = alias_root[ju];
+      plan->intervals[iu].in_place = true;
+      plan->intervals[iu].alias_of = j;
+      break;
+    }
+  }
+
+  // Pass 3 — pack the alias-merged live ranges first-fit into one arena.
+  // Ranges are created in def order (an alias chain's root always precedes
+  // its members), so index order == allocation order, exactly like the TRT
+  // prototype this routine was extracted from.
+  std::vector<LiveRange> ranges;
+  std::vector<int> range_of(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    if (!candidate[iu]) continue;
+    const int root = alias_root[iu];
+    if (root == i) {
+      range_of[iu] = static_cast<int>(ranges.size());
+      ranges.push_back(
+          LiveRange{static_cast<std::int64_t>(plan->intervals[iu].padded), i,
+                    plan->intervals[iu].last_use});
+    } else {
+      const int ri = range_of[static_cast<std::size_t>(root)];
+      ranges[static_cast<std::size_t>(ri)].last_use =
+          std::max(ranges[static_cast<std::size_t>(ri)].last_use,
+                   plan->intervals[iu].last_use);
+      range_of[iu] = ri;
+    }
+  }
+  const FirstFitPacking packed = first_fit_pack(ranges, n);
+  plan->arena_bytes = static_cast<std::size_t>(packed.high_water);
+  for (int i = 0; i < n; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    if (!candidate[iu]) continue;
+    PlanInterval& iv = plan->intervals[iu];
+    iv.offset = static_cast<std::size_t>(
+        packed.offsets[static_cast<std::size_t>(range_of[iu])]);
+    iv.planned = true;
+    plan->planned_bytes += iv.padded;
+    ++plan->planned_count;
+    if (iv.in_place) ++plan->aliased_count;
+  }
+
+  // Input contract: one spec per placeholder; meta-less placeholders get an
+  // unnamed (unchecked) spec, and their downstream nodes have no meta either
+  // so nothing unsound is planned from them.
+  plan->guards.reserve(cg.input_nodes().size());
+  for (const fx::Node* pn : cg.input_nodes()) {
+    GuardSpec g;
+    if (pn && pn->has_meta("shape") && pn->has_meta("dtype")) {
+      g.placeholder = pn->name();
+      g.shape = pn->shape();
+      g.dtype = pn->dtype();
+    }
+    plan->guards.push_back(std::move(g));
+  }
+  return plan;
+}
+
+const TapePlan& compile_planned(GraphModule& gm,
+                                const std::vector<Tensor>& example_inputs) {
+  shape_prop(gm, example_inputs);
+  install_with_guards(gm, plan_tape(gm));
+  // The replanner makes planned entry points shape-polymorphic: on a guard
+  // mismatch they re-propagate shapes from the actual inputs and swap in a
+  // fresh plan (stateless, so it survives recompile()).
+  gm.set_replanner([](GraphModule& g, const std::vector<RtValue>& inputs) {
+    std::vector<Tensor> ts;
+    ts.reserve(inputs.size());
+    for (const RtValue& v : inputs) {
+      if (!fx::rt_is_tensor(v)) {
+        g.clear_plan();  // non-tensor inputs: fall back to unplanned runs
+        return;
+      }
+      ts.push_back(fx::rt_tensor(v));
+    }
+    shape_prop(g, ts);
+    install_with_guards(g, plan_tape(g));
+  });
+  return *gm.plan();
+}
+
+}  // namespace fxcpp::passes

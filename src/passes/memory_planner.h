@@ -1,0 +1,76 @@
+// Static memory planner — computes a core TapePlan from the compiled tape.
+//
+// The planner side of core/memory_plan.h: per-instruction live intervals are
+// derived from the tape's register reads (the same use-def info that drives
+// Instr::frees and the parallel Schedule), alias-propagated through
+// view-producing ops, and packed into one arena by a greedy first-fit over
+// freed blocks. The first-fit routine is shared with trt/engine.cc — the TRT
+// engine's inline planner was the prototype; `first_fit_pack` preserves its
+// step semantics exactly (inputs allocated before step 0, per step allocate
+// definitions in buffer order *then* free last-uses) so the engine's
+// planner_saving() stat is bit-identical after the dedup.
+//
+// Conservatism rules (what keeps a wrong plan impossible, not just unlikely):
+//  - Only ops whose OpInfo::fresh_output trait is set (and a whitelist of nn
+//    modules whose kernels materialize new storage) get arena slots. Any
+//    other instruction is treated as a view: its output's base set is the
+//    union of its inputs' base sets, reads through it extend the bases'
+//    lifetimes, and the bases are never considered dead early.
+//  - Buffers reachable from the Output instruction escape the run; they are
+//    demoted to the heap (arena reuse would mutate values the caller holds).
+//  - can_alias in-place reuse additionally requires the input to be the
+//    producing instruction's own register (not a view), the same shape and
+//    dtype per traced meta, and a live interval that dies exactly at the
+//    aliasing instruction.
+// Everything else falls back to the heap via the exact-size single-shot
+// placement hint (see tensor/tensor.h) — a stale shape meta degrades a
+// planned run to heap allocation, never corrupts it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/graph_module.h"
+#include "core/memory_plan.h"
+
+namespace fxcpp::passes {
+
+// One buffer's lifetime for first_fit_pack. Sizes are in caller units
+// (bytes for the tape planner, floats for the TRT engine).
+struct LiveRange {
+  std::int64_t size = 0;
+  int def = -1;       // step that materializes it; < 0 = before step 0
+  int last_use = -1;  // last step reading it; < 0 or >= num_steps = kept
+};
+
+struct FirstFitPacking {
+  std::vector<std::int64_t> offsets;  // parallel to the input ranges
+  std::int64_t high_water = 0;        // arena size, in the caller's units
+};
+
+// Greedy first-fit arena assignment over freed blocks (extracted from
+// trt/engine.cc, semantics preserved exactly): ranges defined before step 0
+// are allocated first in index order; then per step i, ranges with def == i
+// are allocated in index order *before* ranges with last_use == i are
+// returned to the free list — so a value consumed and produced at the same
+// step never aliases itself. Freeing splits blocks first-fit (exact-size
+// blocks are removed, larger ones shrink from the front); no coalescing.
+FirstFitPacking first_fit_pack(const std::vector<LiveRange>& ranges,
+                               int num_steps);
+
+// Compute a memory plan for gm's current tape. Requires shape/dtype meta on
+// the nodes (run shape_prop first); instructions without meta — or whose
+// outputs alias inputs or escape through Output — stay on the heap. Pure
+// analysis: does not install anything on the module.
+std::shared_ptr<const fx::TapePlan> plan_tape(fx::GraphModule& gm);
+
+// One-call planned-mode setup: propagates shapes from the example inputs,
+// plans the tape, installs the plan (+ input guards derived from it) on the
+// module, and registers a replanner so a later input-shape change re-plans
+// transparently inside run_planned / run_planned_parallel. Returns the
+// installed plan (owned by the module).
+const fx::TapePlan& compile_planned(fx::GraphModule& gm,
+                                    const std::vector<Tensor>& example_inputs);
+
+}  // namespace fxcpp::passes

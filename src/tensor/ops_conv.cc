@@ -3,6 +3,7 @@
 
 #include "runtime/thread_pool.h"
 #include "tensor/ops.h"
+#include "tensor/pack_cache.h"
 
 namespace fxcpp::ops {
 
@@ -67,7 +68,7 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
               std::vector<std::int64_t> stride,
               std::vector<std::int64_t> padding) {
   const Tensor xc = x.contiguous();
-  const Tensor wc = w.contiguous();
+  const Tensor wc = PackCache::local().packed_weight(w);
   const Conv2dDims d = conv_dims(xc, wc, stride, padding);
   Tensor out(Shape{d.n, d.o, d.oh, d.ow}, DType::Float32);
 
@@ -82,10 +83,13 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
   }
 
   // Per-image: col = im2col(x_n); out_n[o, :] = W[o, :] @ col (+ bias).
-  std::vector<float> col(static_cast<std::size_t>(k * spatial));
+  // The column buffer comes from the thread's PackCache workspace — grown
+  // once to the largest conv seen, then reused across forwards instead of
+  // being reallocated per call.
+  float* col = PackCache::local().workspace(static_cast<std::size_t>(k * spatial));
   for (std::int64_t img = 0; img < d.n; ++img) {
     const float* xin = xc.data<float>() + img * d.c * d.h * d.w;
-    im2col(xin, d, col.data());
+    im2col(xin, d, col);
     float* yout = out.data<float>() + img * d.o * spatial;
     rt::parallel_for(0, d.o, 4, [&](std::int64_t o0, std::int64_t o1) {
       for (std::int64_t o = o0; o < o1; ++o) {
@@ -96,7 +100,7 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
         for (std::int64_t kk = 0; kk < k; ++kk) {
           const float wv = wrow[kk];
           if (wv == 0.f) continue;
-          const float* crow = col.data() + kk * spatial;
+          const float* crow = col + kk * spatial;
           for (std::int64_t j = 0; j < spatial; ++j) yrow[j] += wv * crow[j];
         }
       }

@@ -2,6 +2,7 @@
 
 #include "runtime/thread_pool.h"
 #include "tensor/ops.h"
+#include "tensor/pack_cache.h"
 
 namespace fxcpp::ops {
 
@@ -76,7 +77,9 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 
 Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
   const Tensor xc = x.contiguous();
-  const Tensor wc = w.contiguous();
+  // Weights have stable identity across forwards; pack (contiguize) once
+  // per (storage, version) instead of per call.
+  const Tensor wc = PackCache::local().packed_weight(w);
   if (wc.dim() != 2) throw std::invalid_argument("linear: weight must be 2-D");
   const std::int64_t in = wc.size(1), out_f = wc.size(0);
   if (xc.size(-1) != in) {

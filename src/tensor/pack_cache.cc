@@ -1,0 +1,74 @@
+#include "tensor/pack_cache.h"
+
+#include <algorithm>
+
+namespace fxcpp {
+
+PackCache& PackCache::local() {
+  thread_local PackCache cache;
+  return cache;
+}
+
+Tensor PackCache::packed_weight(const Tensor& w) {
+  if (!w.defined() || w.is_contiguous()) return w;
+  const std::uintptr_t id = w.storage_id();
+  const std::uint64_t version = w.storage_version();
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    Entry& e = it->second;
+    // Same storage — but only a hit if nothing moved underneath: the bytes
+    // (version) and the view geometry must both still match. Two live views
+    // of one storage alternate into repacks, which is slow but never wrong.
+    if (e.version == version && e.source.sizes() == w.sizes() &&
+        e.source.strides() == w.strides() &&
+        e.source.storage_offset() == w.storage_offset()) {
+      ++stats_.hits;
+      return e.packed;
+    }
+    ++stats_.repacks;
+    ++stats_.misses;
+    e.source = w;
+    e.packed = w.contiguous();
+    e.version = version;
+    return e.packed;
+  }
+  ++stats_.misses;
+  Entry e;
+  e.source = w;
+  e.packed = w.contiguous();
+  e.version = version;
+  entries_.emplace(id, std::move(e));
+  insertion_order_.push_back(id);
+  evict_to_capacity();
+  auto found = entries_.find(id);
+  return found != entries_.end() ? found->second.packed : w.contiguous();
+}
+
+float* PackCache::workspace(std::size_t count) {
+  if (workspace_.size() < count) workspace_.resize(count);
+  stats_.workspace_floats = workspace_.size();
+  return workspace_.data();
+}
+
+void PackCache::clear() {
+  entries_.clear();
+  insertion_order_.clear();
+  workspace_.clear();
+  workspace_.shrink_to_fit();
+  stats_ = Stats{};
+}
+
+void PackCache::set_capacity(std::size_t max_entries) {
+  capacity_ = max_entries;
+  evict_to_capacity();
+}
+
+void PackCache::evict_to_capacity() {
+  while (entries_.size() > capacity_ && !insertion_order_.empty()) {
+    const std::uintptr_t victim = insertion_order_.front();
+    insertion_order_.erase(insertion_order_.begin());
+    if (entries_.erase(victim) > 0) ++stats_.evictions;
+  }
+}
+
+}  // namespace fxcpp

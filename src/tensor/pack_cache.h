@@ -1,0 +1,78 @@
+// Per-thread cache of packed GEMM weights and im2col scratch space.
+//
+// Eager dispatch re-derives kernel-private data on every call: `linear` and
+// `conv2d` materialize a contiguous ("packed" row-major) copy of any
+// non-contiguous weight per forward, and `conv2d` allocates a fresh im2col
+// column buffer per call. Once a program is captured as a graph, the weights
+// are module state with stable identity across runs (the paper's Section 2.3
+// point: fx keeps parameters out of the IR, in Modules), so the packing can
+// be computed once and reused until the weight actually mutates.
+//
+// The cache is thread-local: each ParallelExecutor worker keeps its own
+// entries, so lookups take no locks and the cache is trivially race-free
+// under TSan. Entries are keyed by storage identity and validated against
+// the storage's mutation version (Storage::version(), bumped by every
+// in-place tensor mutation) plus the view geometry — mutate a weight and the
+// next lookup silently re-packs. Each entry retains the source tensor, so a
+// storage address can never be recycled into a stale key while its entry
+// lives. A small FIFO capacity bound keeps pathological many-weight
+// workloads from pinning unbounded memory.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fxcpp {
+
+class PackCache {
+ public:
+  // The calling thread's cache.
+  static PackCache& local();
+
+  // Contiguous row-major view of `w`, suitable for the GEMM/conv kernels.
+  // Already-contiguous weights pass through untouched (no cache traffic);
+  // non-contiguous weights are packed once per (storage identity, version,
+  // geometry) and the cached pack is returned on subsequent calls.
+  Tensor packed_weight(const Tensor& w);
+
+  // Grow-only float scratch buffer (the conv2d im2col workspace). Returns a
+  // pointer valid until the next workspace() call with a larger count, or
+  // clear(). Contents are unspecified on entry.
+  float* workspace(std::size_t count);
+
+  struct Stats {
+    std::int64_t hits = 0;       // packed_weight served from cache
+    std::int64_t misses = 0;     // packed_weight had to pack
+    std::int64_t repacks = 0;    // misses caused by a version/geometry change
+    std::int64_t evictions = 0;  // entries dropped by the capacity bound
+    std::size_t workspace_floats = 0;  // current workspace size
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Drop all entries and the workspace; stats reset too.
+  void clear();
+
+  // Capacity bound on cached packs (default 64). Shrinking evicts oldest.
+  void set_capacity(std::size_t max_entries);
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Tensor source;  // pins the storage so its address cannot be recycled
+    Tensor packed;
+    std::uint64_t version = 0;
+  };
+
+  void evict_to_capacity();
+
+  std::unordered_map<std::uintptr_t, Entry> entries_;
+  std::vector<std::uintptr_t> insertion_order_;  // FIFO eviction order
+  std::size_t capacity_ = 64;
+  std::vector<float> workspace_;
+  Stats stats_;
+};
+
+}  // namespace fxcpp

@@ -18,12 +18,32 @@ std::atomic<std::int64_t> g_alloc_count{0};
 // Fault-injection ceiling; see Storage::set_alloc_limit. Thread-local keeps
 // an injected limit scoped to the worker running the targeted node.
 thread_local std::int64_t t_alloc_limit = 0;
+// Single-shot placement hint; see Storage::arm_placement. Thread-local so
+// each ParallelExecutor worker can aim its own instruction's arena slot.
+thread_local std::byte* t_place_ptr = nullptr;
+thread_local std::size_t t_place_nbytes = 0;
+std::atomic<std::int64_t> g_served_bytes{0};
+std::atomic<std::int64_t> g_served_count{0};
 }  // namespace
 
 Storage::Storage(std::size_t nbytes) : nbytes_(nbytes) {
   // Round up so vectorized kernels may read a full lane at the tail.
   const std::size_t padded = (nbytes + 63) / 64 * 64;
   alloc_bytes_ = padded == 0 ? 64 : padded;
+  if (t_place_ptr != nullptr && t_place_nbytes == nbytes) {
+    // Adopt the planner's arena slot: no heap traffic, no counter churn
+    // (the arena's backing Storage was counted when it was created).
+    // Single-shot — the hint serves exactly one allocation.
+    std::byte* slot = t_place_ptr;
+    t_place_ptr = nullptr;
+    t_place_nbytes = 0;
+    data_ = std::unique_ptr<std::byte[], AlignedDelete>(slot,
+                                                        AlignedDelete{false});
+    g_served_bytes.fetch_add(static_cast<std::int64_t>(alloc_bytes_),
+                             std::memory_order_relaxed);
+    g_served_count.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   if (t_alloc_limit > 0 &&
       g_live_bytes.load(std::memory_order_relaxed) +
               static_cast<std::int64_t>(alloc_bytes_) >
@@ -52,7 +72,14 @@ Storage::Storage(std::size_t nbytes) : nbytes_(nbytes) {
   }
 }
 
+Storage::Storage(std::byte* external, std::size_t nbytes)
+    : data_(external, AlignedDelete{false}), nbytes_(nbytes) {
+  const std::size_t padded = (nbytes + 63) / 64 * 64;
+  alloc_bytes_ = padded == 0 ? 64 : padded;
+}
+
 Storage::~Storage() {
+  if (!data_.get_deleter().owned) return;  // arena slot: arena owns the bytes
   g_live_bytes.fetch_sub(static_cast<std::int64_t>(alloc_bytes_),
                          std::memory_order_relaxed);
 }
@@ -77,6 +104,22 @@ void Storage::set_alloc_limit(std::int64_t max_live_bytes) {
   t_alloc_limit = max_live_bytes > 0 ? max_live_bytes : 0;
 }
 std::int64_t Storage::alloc_limit() { return t_alloc_limit; }
+
+void Storage::arm_placement(std::byte* slot, std::size_t nbytes) {
+  t_place_ptr = slot;
+  t_place_nbytes = nbytes;
+}
+void Storage::disarm_placement() {
+  t_place_ptr = nullptr;
+  t_place_nbytes = 0;
+}
+bool Storage::placement_armed() { return t_place_ptr != nullptr; }
+std::int64_t Storage::planner_served_bytes() {
+  return g_served_bytes.load(std::memory_order_relaxed);
+}
+std::int64_t Storage::planner_served_count() {
+  return g_served_count.load(std::memory_order_relaxed);
+}
 
 Tensor::Tensor(Shape shape, DType dtype)
     : shape_(std::move(shape)), dtype_(dtype) {
@@ -155,6 +198,7 @@ double Tensor::at_flat(std::int64_t i) const {
 
 void Tensor::set_flat(std::int64_t i, double v) {
   if (!is_contiguous()) throw std::logic_error("set_flat requires contiguous");
+  storage_->bump_version();
   std::byte* base = storage_->data();
   const std::int64_t off = offset_ + i;
   switch (dtype_) {

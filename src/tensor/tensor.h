@@ -5,6 +5,7 @@
 // eager IRs and what fx sidesteps by keeping state in Modules.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -34,6 +35,11 @@ class AllocLimitError : public std::bad_alloc {
 class Storage {
  public:
   explicit Storage(std::size_t nbytes);
+  // Non-owning view over externally managed memory (an arena slot). The
+  // caller guarantees `external` stays alive for the Storage's lifetime and
+  // is 64-byte aligned. Does not touch the allocator counters — the arena's
+  // own backing Storage was counted once when it was created.
+  Storage(std::byte* external, std::size_t nbytes);
   ~Storage();
 
   Storage(const Storage&) = delete;
@@ -42,6 +48,15 @@ class Storage {
   std::byte* data() { return data_.get(); }
   const std::byte* data() const { return data_.get(); }
   std::size_t nbytes() const { return nbytes_; }
+  bool owns_memory() const { return data_.get_deleter().owned; }
+
+  // Monotonic mutation counter. In-place tensor mutations bump it; caches
+  // keyed on (storage identity, version) — e.g. the GEMM PackCache — use it
+  // to detect that a weight changed underneath them.
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_relaxed);
+  }
+  void bump_version() { version_.fetch_add(1, std::memory_order_relaxed); }
 
   // --- process-wide allocator counters (thread-safe) --------------------
   // Sizes are the actual (64-byte-padded) allocations. The profiler reads
@@ -65,13 +80,40 @@ class Storage {
   static void set_alloc_limit(std::int64_t max_live_bytes);
   static std::int64_t alloc_limit();
 
+  // --- thread-local placement hint (memory planner) ---------------------
+  // The planned executors arm a single-shot hint naming the arena slot for
+  // the instruction about to run. The next Storage(nbytes) constructed on
+  // this thread with *exactly* the hinted logical size adopts the slot
+  // (non-owning, no heap traffic) instead of allocating; any other size
+  // passes through to the normal allocator. Exact-size matching keeps a
+  // kernel's internal temporaries from stealing the slot in practice —
+  // and if a same-sized temporary does take it, the kernel's real output
+  // simply heap-allocates, which is slower but never wrong.
+  static void arm_placement(std::byte* slot, std::size_t nbytes);
+  static void disarm_placement();
+  static bool placement_armed();
+
+  // Cumulative count/bytes of allocations served from an armed placement
+  // hint (i.e. heap traffic avoided by the planner).
+  static std::int64_t planner_served_bytes();
+  static std::int64_t planner_served_count();
+
  private:
   struct AlignedDelete {
-    void operator()(std::byte* p) const { ::operator delete[](p, std::align_val_t{64}); }
+    // No default member initializer: NSDMI parsing is deferred to the end of
+    // the *enclosing* class, which would leave this deleter not-yet-default-
+    // constructible right where data_ needs it to be.
+    bool owned;
+    constexpr AlignedDelete() : owned(true) {}
+    constexpr explicit AlignedDelete(bool o) : owned(o) {}
+    void operator()(std::byte* p) const {
+      if (owned) ::operator delete[](p, std::align_val_t{64});
+    }
   };
   std::unique_ptr<std::byte[], AlignedDelete> data_;
   std::size_t nbytes_ = 0;
   std::size_t alloc_bytes_ = 0;  // padded size actually allocated
+  std::atomic<std::uint64_t> version_{0};
 };
 
 // Affine quantization parameters attached to Int8/UInt8 tensors
@@ -103,10 +145,14 @@ class Tensor {
   const QParams& qparams() const;
   void set_qparams(QParams q);
 
-  // Raw typed element access. Checked against the tensor's dtype.
+  // Raw typed element access. Checked against the tensor's dtype. The
+  // mutable overload bumps the storage version: handing out a writable
+  // pointer is the only way kernels mutate data, so this conservatively
+  // invalidates (storage, version)-keyed caches like PackCache.
   template <typename T>
   T* data() {
     check_dtype(dtype_of<T>::value);
+    storage_->bump_version();
     return reinterpret_cast<T*>(storage_->data()) + offset_;
   }
   template <typename T>
@@ -151,6 +197,16 @@ class Tensor {
   bool shares_storage_with(const Tensor& other) const {
     return storage_ != nullptr && storage_ == other.storage_;
   }
+
+  // Identity of the underlying storage (0 for undefined tensors) and its
+  // mutation version — the cache key for PackCache and friends.
+  std::uintptr_t storage_id() const {
+    return reinterpret_cast<std::uintptr_t>(storage_.get());
+  }
+  std::uint64_t storage_version() const {
+    return storage_ ? storage_->version() : 0;
+  }
+  std::int64_t storage_offset() const { return offset_; }
 
   std::string to_string(std::int64_t max_elems = 16) const;
 

@@ -9,6 +9,7 @@
 
 #include "nn/layers.h"
 #include "passes/fuse_conv_bn.h"
+#include "passes/memory_planner.h"
 #include "passes/shape_prop.h"
 #include "runtime/thread_pool.h"
 
@@ -300,43 +301,22 @@ std::unique_ptr<Engine> Engine::build(fx::GraphModule& gm,
   buffers[0].last_use = std::max(buffers[0].last_use, 0);
 
   // --- greedy arena assignment (first-fit over freed blocks) ---------------
-  struct Block { std::int64_t off, size; };
-  std::vector<Block> free_blocks;
-  std::int64_t high_water = 0;
-  auto alloc = [&](std::int64_t size) {
-    for (std::size_t i = 0; i < free_blocks.size(); ++i) {
-      if (free_blocks[i].size >= size) {
-        const std::int64_t off = free_blocks[i].off;
-        if (free_blocks[i].size == size) {
-          free_blocks.erase(free_blocks.begin() + static_cast<std::ptrdiff_t>(i));
-        } else {
-          free_blocks[i].off += size;
-          free_blocks[i].size -= size;
-        }
-        return off;
-      }
-    }
-    const std::int64_t off = high_water;
-    high_water += size;
-    return off;
-  };
-
-  // Allocate input buffer first.
-  buffers[0].offset = alloc(buffers[0].size);
-  for (std::size_t i = 0; i < e->plan_.size(); ++i) {
-    // Allocate outputs defined at step i.
-    for (auto& b : buffers) {
-      if (b.def_op == static_cast<int>(i) && b.offset < 0) {
-        b.offset = alloc(b.size);
-      }
-    }
-    // Free buffers whose last use is step i (not the output).
-    for (auto& b : buffers) {
-      if (b.last_use == static_cast<int>(i) && b.offset >= 0) {
-        free_blocks.push_back(Block{b.offset, b.size});
-      }
-    }
+  // This inline planner was the prototype for the shared tape planner; it is
+  // now a client of passes::first_fit_pack, which preserves its step
+  // semantics exactly (input allocated before step 0, per step allocate
+  // definitions in buffer order then free last-uses), so planner_saving()
+  // is bit-identical to the pre-extraction engine.
+  std::vector<passes::LiveRange> ranges;
+  ranges.reserve(buffers.size());
+  for (const auto& b : buffers) {
+    ranges.push_back(passes::LiveRange{b.size, b.def_op, b.last_use});
   }
+  const passes::FirstFitPacking packed =
+      passes::first_fit_pack(ranges, static_cast<int>(e->plan_.size()));
+  for (std::size_t b = 0; b < buffers.size(); ++b) {
+    buffers[b].offset = packed.offsets[b];
+  }
+  const std::int64_t high_water = packed.high_water;
 
   // Swap buffer ids for offsets in the plan.
   for (auto& op : e->plan_) {
