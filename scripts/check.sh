@@ -32,11 +32,22 @@ fxprof_smoke() {
 }
 
 echo "== [1/3] normal build + ctest (build/) =="
-cmake -B "$repo/build" -S "$repo"
+cmake -B "$repo/build" -S "$repo" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 echo "-- fxprof smoke (build/) --"
 fxprof_smoke "$repo/build"
+
+# clang-tidy (bugprone / performance / concurrency, config in .clang-tidy)
+# over the analysis + passes layers. Gated: the CI container does not ship
+# clang-tidy; run it locally when available.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "-- clang-tidy (src/analysis src/passes) --"
+  find "$repo/src/analysis" "$repo/src/passes" -name '*.cc' -print0 |
+    xargs -0 -n 4 -P "$jobs" clang-tidy -p "$repo/build" --quiet
+else
+  echo "-- clang-tidy not installed; skipping static-analysis lint --"
+fi
 
 echo "== [2/3] sanitized build + ctest (build-asan/) =="
 cmake -B "$repo/build-asan" -S "$repo" -DFXCPP_SANITIZE=ON
@@ -49,7 +60,7 @@ echo "== [3/3] TSan build + concurrency suite (build-tsan/) =="
 cmake -B "$repo/build-tsan" -S "$repo" -DFXCPP_SANITIZE=thread
 cmake --build "$repo/build-tsan" -j "$jobs" --target test_parallel_exec \
   --target test_runtime --target test_profile --target test_resilience \
-  --target test_memory_plan
+  --target test_memory_plan --target test_dataflow --target test_constant_fold
 "$repo/build-tsan/tests/test_parallel_exec"
 "$repo/build-tsan/tests/test_runtime"
 "$repo/build-tsan/tests/test_profile"
@@ -61,5 +72,10 @@ cmake --build "$repo/build-tsan" -j "$jobs" --target test_parallel_exec \
 # one arena (WAR edges must serialize them) and the pack-cache concurrency
 # test packs one shared weight from many threads at once.
 "$repo/build-tsan/tests/test_memory_plan"
+# Static race checker + folded-graph fuzz under TSan: the schedules the
+# checker proves race-free (including plan-aware WAR edges) actually run
+# race-free, and folded graphs stay clean across parallel engines.
+"$repo/build-tsan/tests/test_dataflow"
+"$repo/build-tsan/tests/test_constant_fold"
 
 echo "== check.sh: all suites green =="

@@ -1,0 +1,266 @@
+#include "analysis/race_check.h"
+
+#include <algorithm>
+#include <string>
+
+namespace fxcpp::analysis {
+
+using fx::CompiledGraph;
+using fx::Instr;
+using fx::Node;
+using fx::Schedule;
+using fx::TapePlan;
+
+HappensBefore::HappensBefore(int n, const std::vector<std::vector<int>>& succs)
+    : n_(n), words_((static_cast<std::size_t>(n) + 63) / 64) {
+  reach_.assign(static_cast<std::size_t>(n) * words_, 0);
+
+  // Kahn topological order over the edge relation.
+  std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    for (int s : succs[static_cast<std::size_t>(i)]) {
+      if (s >= 0 && s < n) ++indeg[static_cast<std::size_t>(s)];
+    }
+  }
+  std::vector<int> topo;
+  topo.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (indeg[static_cast<std::size_t>(i)] == 0) topo.push_back(i);
+  }
+  for (std::size_t head = 0; head < topo.size(); ++head) {
+    for (int s : succs[static_cast<std::size_t>(topo[head])]) {
+      if (s >= 0 && s < n && --indeg[static_cast<std::size_t>(s)] == 0) {
+        topo.push_back(s);
+      }
+    }
+  }
+  if (static_cast<int>(topo.size()) != n) {
+    cyclic_ = true;
+    return;
+  }
+  // Reverse topological accumulation: reach(a) = U_succ ({s} U reach(s)).
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const auto a = static_cast<std::size_t>(*it);
+    for (int s : succs[a]) {
+      const auto su = static_cast<std::size_t>(s);
+      reach_[a * words_ + su / 64] |= std::uint64_t{1} << (su % 64);
+      for (std::size_t w = 0; w < words_; ++w) {
+        reach_[a * words_ + w] |= reach_[su * words_ + w];
+      }
+    }
+  }
+}
+
+namespace {
+
+// Distinct registers instruction `ins` reads, derived from its pre-decoded
+// args (kwargs were merged positionally at recompile). Ground truth for the
+// conflict relation — deliberately NOT taken from Schedule::reads, which is
+// part of the claim being checked.
+void collect_reads(const Instr::ArgExpr& a, std::vector<int>& out) {
+  switch (a.kind) {
+    case Instr::ArgExpr::Kind::Reg:
+      if (std::find(out.begin(), out.end(), a.reg) == out.end()) {
+        out.push_back(a.reg);
+      }
+      break;
+    case Instr::ArgExpr::Kind::List:
+      for (const auto& item : a.items) collect_reads(item, out);
+      break;
+    case Instr::ArgExpr::Kind::Imm:
+      break;
+  }
+}
+
+std::string instr_name(const CompiledGraph& cg, int i) {
+  const Node* n = cg.instrs()[static_cast<std::size_t>(i)].node;
+  if (n) return n->name();
+  std::string s = "#";
+  s += std::to_string(i);
+  return s;
+}
+
+}  // namespace
+
+void check_schedule_race(const CompiledGraph& cg, const Schedule& sched,
+                         std::vector<Diagnostic>& out) {
+  const auto& instrs = cg.instrs();
+  const int n = static_cast<int>(instrs.size());
+  if (static_cast<int>(sched.succs.size()) != n) {
+    emit(out, "schedule.race", Severity::Error, nullptr, "",
+         "schedule has " + std::to_string(sched.succs.size()) +
+             " successor lists but the tape has " + std::to_string(n) +
+             " instructions",
+         "the schedule was built for a different tape");
+    return;
+  }
+
+  const HappensBefore hb(n, sched.succs);
+  if (hb.cyclic()) {
+    emit(out, "schedule.race", Severity::Error, nullptr, "",
+         "schedule edges form a cycle: no happens-before order exists",
+         "every conflicting access pair below the cycle is unordered");
+    return;
+  }
+
+  // Unique producer per register, from the tape.
+  std::vector<int> producer(static_cast<std::size_t>(cg.num_registers()), -1);
+  for (int i = 0; i < n; ++i) {
+    const int r = instrs[static_cast<std::size_t>(i)].out_reg;
+    if (r < 0) continue;
+    const auto ru = static_cast<std::size_t>(r);
+    if (producer[ru] >= 0) {
+      // Write/write conflict on one register: the writers themselves must
+      // be ordered (schedule.coverage separately flags the double write).
+      if (!hb.ordered(producer[ru], i) && !hb.ordered(i, producer[ru])) {
+        const Node* node = instrs[static_cast<std::size_t>(i)].node;
+        emit(out, "schedule.race", Severity::Error, node,
+             node ? node->name() : "",
+             "instructions " + instr_name(cg, producer[ru]) + " and " +
+                 instr_name(cg, i) + " both write register " +
+                 std::to_string(r) + " with no happens-before path",
+             "unordered write/write conflict");
+      }
+    }
+    producer[ru] = i;
+  }
+
+  // Every read must be ordered after the register's producer (RAW), and the
+  // schedule's ref-count for the register must cover all readers (a low
+  // count frees the value while a reader may still run — a read/free race).
+  std::vector<int> actual_reads(static_cast<std::size_t>(cg.num_registers()),
+                                0);
+  std::vector<int> reads;
+  for (int i = 0; i < n; ++i) {
+    reads.clear();
+    for (const auto& a : instrs[static_cast<std::size_t>(i)].args) {
+      collect_reads(a, reads);
+    }
+    for (int r : reads) {
+      if (r < 0 || r >= cg.num_registers()) continue;
+      ++actual_reads[static_cast<std::size_t>(r)];
+      const int p = producer[static_cast<std::size_t>(r)];
+      if (p < 0 || p == i) continue;  // placeholder-filled register
+      if (!hb.ordered(p, i)) {
+        const Node* node = instrs[static_cast<std::size_t>(i)].node;
+        emit(out, "schedule.race", Severity::Error, node,
+             node ? node->name() : "",
+             "instruction " + instr_name(cg, i) + " reads register " +
+                 std::to_string(r) + " written by " + instr_name(cg, p) +
+                 " with no happens-before path",
+             "unordered read/write conflict: the reader may observe "
+             "uninitialized or concurrently-written memory");
+      }
+    }
+  }
+  if (!sched.reg_reads.empty()) {
+    for (int r = 0; r < cg.num_registers() &&
+                    r < static_cast<int>(sched.reg_reads.size());
+         ++r) {
+      const auto ru = static_cast<std::size_t>(r);
+      // Placeholder-filled registers (producer < 0) are covered too: an
+      // exhausted ref-count frees the register slot early either way.
+      if (sched.reg_reads[ru] < actual_reads[ru]) {
+        const Node* node =
+            producer[ru] >= 0
+                ? instrs[static_cast<std::size_t>(producer[ru])].node
+                : nullptr;
+        emit(out, "schedule.race", Severity::Error, node,
+             node ? node->name() : "",
+             "register " + std::to_string(r) + " has " +
+                 std::to_string(actual_reads[ru]) +
+                 " reading instructions but the schedule ref-counts only " +
+                 std::to_string(sched.reg_reads[ru]),
+             "the value would be freed while a reader may still run");
+      }
+    }
+  }
+}
+
+void check_plan_war_ordering(const CompiledGraph& cg, const Schedule& sched,
+                             const TapePlan& plan,
+                             std::vector<Diagnostic>& out) {
+  const auto& instrs = cg.instrs();
+  const auto& ivs = plan.intervals;
+  const int n = static_cast<int>(instrs.size());
+  if (static_cast<int>(ivs.size()) != n ||
+      static_cast<int>(sched.succs.size()) != n) {
+    emit(out, "plan.war-ordering", Severity::Error, nullptr, "",
+         "plan (" + std::to_string(ivs.size()) + " intervals) / schedule (" +
+             std::to_string(sched.succs.size()) +
+             " entries) do not match the tape (" + std::to_string(n) +
+             " instructions)",
+         "stale plan or schedule; re-run passes::compile_planned");
+    return;
+  }
+
+  const HappensBefore hb(n, sched.succs);
+  if (hb.cyclic()) {
+    emit(out, "plan.war-ordering", Severity::Error, nullptr, "",
+         "schedule edges form a cycle: no happens-before order exists");
+    return;
+  }
+
+  // Resolve in-place chains to root slots (overlap inside a chain is the
+  // point; plan.aliasing validates the chain links themselves).
+  std::vector<int> root(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) root[static_cast<std::size_t>(i)] = i;
+  for (int i = 0; i < n; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    if (!ivs[iu].in_place) continue;
+    const int j = ivs[iu].alias_of;
+    if (j >= 0 && j < i) root[iu] = root[static_cast<std::size_t>(j)];
+  }
+
+  auto require_ordered = [&](int before, int after, const std::string& why) {
+    if (hb.ordered(before, after)) return;
+    const Node* node = instrs[static_cast<std::size_t>(after)].node;
+    emit(out, "plan.war-ordering", Severity::Error, node,
+         node ? node->name() : "",
+         instr_name(cg, after) + " may run before " + instr_name(cg, before) +
+             ": " + why,
+         "a planned parallel run could overwrite bytes another instruction "
+         "still reads; build_planned_schedule must add this anti-dependency "
+         "edge");
+  };
+
+  for (int i = 0; i < n; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    const auto& a = ivs[iu];
+    if (!a.planned) continue;
+
+    // In-place reuse: the overwrite must wait for every other reader of the
+    // buffer it claims.
+    if (a.in_place && a.alias_of >= 0 && a.alias_of < i) {
+      const auto& target = ivs[static_cast<std::size_t>(a.alias_of)];
+      for (int r : target.readers) {
+        if (r == i) continue;
+        require_ordered(r, i,
+                        "it overwrites in place the slot of " +
+                            instr_name(cg, a.alias_of) + " which " +
+                            instr_name(cg, r) + " still reads");
+      }
+    }
+
+    // Slot reuse across alias chains: the later definition must be ordered
+    // after the earlier interval's definition and all of its readers.
+    for (int j = i + 1; j < n; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      const auto& b = ivs[ju];
+      if (!b.planned || root[iu] == root[ju]) continue;
+      const bool bytes_overlap =
+          a.offset < b.offset + b.padded && b.offset < a.offset + a.padded;
+      if (!bytes_overlap) continue;
+      require_ordered(i, j,
+                      "both define planned intervals sharing arena bytes");
+      for (int r : a.readers) {
+        if (r == j) continue;
+        require_ordered(r, j,
+                        "it reuses arena bytes of " + instr_name(cg, i) +
+                            " which " + instr_name(cg, r) + " still reads");
+      }
+    }
+  }
+}
+
+}  // namespace fxcpp::analysis

@@ -1,0 +1,78 @@
+// Static schedule race checker.
+//
+// The ParallelExecutor runs the compiled tape under a dependency-counted
+// schedule (core/parallel_executor.h); the memory planner additionally lets
+// instructions share arena bytes (core/memory_plan.h). Both are only correct
+// if every pair of conflicting accesses is ordered by a happens-before path
+// through the schedule's completion edges. TSan can catch a violation
+// dynamically — if the racy interleaving happens to occur under the test
+// harness; these checks prove the absence of races at compile time by
+// building the transitive closure of the schedule DAG (Kahn-style, like the
+// schedule.coverage rule's reachability simulation) and checking every
+// conflicting pair:
+//
+//   schedule.race      every register read is ordered after the register's
+//                      (unique) producer, no register is freed (ref-count
+//                      exhausted) before all its readers ran, and the edge
+//                      relation is acyclic.
+//   plan.war-ordering  for every pair of planned intervals that share arena
+//                      bytes, the later definition is ordered after the
+//                      earlier interval's definition and every one of its
+//                      readers (the anti-dependency obligation); in-place
+//                      reuse waits for every other reader of the buffer it
+//                      overwrites.
+//
+// The checks are standalone functions (not just verifier rules) so tests can
+// feed them deliberately corrupted Schedules — the verifier rules
+// (analysis/verifier.cc) call them with freshly built schedules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "core/memory_plan.h"
+#include "core/parallel_executor.h"
+
+namespace fxcpp::analysis {
+
+// Transitive closure of a schedule's completion edges as per-node bitsets.
+// ordered(a, b) answers "must a complete before b starts?" in O(1).
+class HappensBefore {
+ public:
+  HappensBefore(int n, const std::vector<std::vector<int>>& succs);
+
+  // True when a == b or a reaches b through completion edges.
+  bool ordered(int a, int b) const {
+    if (a == b) return true;
+    if (cyclic_) return false;  // no order exists in a cyclic "schedule"
+    const auto bu = static_cast<std::size_t>(b);
+    return (reach_[static_cast<std::size_t>(a) * words_ + bu / 64] >>
+            (bu % 64)) & 1u;
+  }
+  bool cyclic() const { return cyclic_; }
+
+ private:
+  int n_ = 0;
+  std::size_t words_ = 0;
+  bool cyclic_ = false;
+  std::vector<std::uint64_t> reach_;
+};
+
+// Prove the schedule orders every conflicting register access of the tape.
+// Conflicts are derived from the instructions themselves (ground truth);
+// ordering comes from `sched` (the claim under test). Emits "schedule.race"
+// diagnostics.
+void check_schedule_race(const fx::CompiledGraph& cg, const fx::Schedule& sched,
+                         std::vector<Diagnostic>& out);
+
+// Prove the schedule orders every pair of planned intervals that share arena
+// bytes (write-after-read over reused slots). `plan.intervals` must be
+// parallel to the tape (the plan.aliasing rule reports staleness). Emits
+// "plan.war-ordering" diagnostics.
+void check_plan_war_ordering(const fx::CompiledGraph& cg,
+                             const fx::Schedule& sched,
+                             const fx::TapePlan& plan,
+                             std::vector<Diagnostic>& out);
+
+}  // namespace fxcpp::analysis

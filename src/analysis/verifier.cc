@@ -4,6 +4,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "analysis/race_check.h"
 #include "analysis/structural_rules.h"
 #include "core/functional.h"
 #include "core/memory_plan.h"
@@ -341,6 +342,36 @@ void check_schedule_coverage(const RuleContext& ctx,
 }
 
 // ---------------------------------------------------------------------------
+// Race rules — beyond coverage, the schedule must *order* every conflicting
+// pair of register / arena accesses (analysis/race_check.h). The rules run
+// the checkers against freshly built schedules: schedule.race proves the
+// dependency-counted schedule itself, plan.war-ordering proves the
+// anti-dependency-augmented schedule a planned parallel run executes under.
+// ---------------------------------------------------------------------------
+
+void check_schedule_race_rule(const RuleContext& ctx,
+                              std::vector<Diagnostic>& out) {
+  if (!ctx.gm || !ctx.gm->compiled()) return;
+  const fx::CompiledGraph& cg = ctx.gm->compiled_graph();
+  check_schedule_race(cg, fx::build_schedule(cg), out);
+  if (ctx.gm->has_plan() &&
+      ctx.gm->plan()->intervals.size() == cg.instrs().size()) {
+    // The planned schedule only adds edges, but check it anyway: an edge
+    // bug there would race even on conflict-free register traffic.
+    check_schedule_race(cg, fx::build_planned_schedule(cg, *ctx.gm->plan()),
+                        out);
+  }
+}
+
+void check_plan_war_rule(const RuleContext& ctx, std::vector<Diagnostic>& out) {
+  if (!ctx.gm || !ctx.gm->compiled() || !ctx.gm->has_plan()) return;
+  const fx::CompiledGraph& cg = ctx.gm->compiled_graph();
+  const fx::TapePlan& plan = *ctx.gm->plan();
+  if (plan.intervals.size() != cg.instrs().size()) return;  // plan.aliasing
+  check_plan_war_ordering(cg, fx::build_planned_schedule(cg, plan), plan, out);
+}
+
+// ---------------------------------------------------------------------------
 // Plan-aliasing rule — an installed memory plan (passes::compile_planned)
 // must be internally sound: no two simultaneously-live planned intervals may
 // overlap in the arena, every slot must lie inside the arena, and can_alias
@@ -565,6 +596,14 @@ std::vector<Rule> Verifier::default_rules() {
                    "installed memory plan is sound: no simultaneously-live "
                    "arena overlap, in-place reuse only of dead inputs",
                    check_plan_aliasing});
+  r.push_back(Rule{"schedule.race", Severity::Error,
+                   "every conflicting register access pair is ordered by a "
+                   "happens-before path through the schedule",
+                   check_schedule_race_rule});
+  r.push_back(Rule{"plan.war-ordering", Severity::Error,
+                   "planned intervals sharing arena bytes are ordered after "
+                   "the earlier interval's readers (anti-dependencies)",
+                   check_plan_war_rule});
   return r;
 }
 

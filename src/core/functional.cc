@@ -565,6 +565,12 @@ void do_register() {
   methods.annotate("neg", /*fresh_output=*/true, /*can_alias=*/true);
   methods.annotate("relu", /*fresh_output=*/true, /*can_alias=*/true);
   methods.annotate("dequantize", /*fresh_output=*/true, /*can_alias=*/false);
+
+  // --- analysis traits -------------------------------------------------
+  // dropout draws from the RNG in training mode: not a pure expression, so
+  // the constness analysis (and CSE / constant folding) must not merge or
+  // precompute it. Everything else registered above is deterministic.
+  fns.annotate_pure("dropout", false);
 }
 
 }  // namespace

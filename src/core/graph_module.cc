@@ -257,6 +257,13 @@ Tensor GraphModule::get_parameter(const std::string& qualname) const {
 }
 
 Tensor GraphModule::resolve_attr(const std::string& qualname) const {
+  // The GraphModule's own state first: passes that bake tensors (constant
+  // folding's "_folded_N" attrs) register them on the GraphModule itself,
+  // which must resolve even when the module wraps a root hierarchy.
+  try {
+    return nn::Module::get_parameter(qualname);
+  } catch (const std::out_of_range&) {
+  }
   if (!root_) {
     throw std::out_of_range("GraphModule has no module hierarchy for '" +
                             qualname + "'");

@@ -27,6 +27,15 @@ void OpRegistry::annotate(const std::string& name, bool fresh_output,
   it->second.can_alias = can_alias;
 }
 
+void OpRegistry::annotate_pure(const std::string& name, bool pure) {
+  auto it = ops_.find(name);
+  if (it == ops_.end()) {
+    throw std::out_of_range("annotate_pure: no registered operator target '" +
+                            name + "'");
+  }
+  it->second.pure = pure;
+}
+
 const OpInfo* OpRegistry::find(const std::string& name) const {
   auto it = ops_.find(name);
   return it == ops_.end() ? nullptr : &it->second;

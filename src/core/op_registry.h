@@ -34,6 +34,11 @@ struct OpInfo {
   // writing out[i] for every i), so when a same-shaped input dies at this
   // instruction the planner may give output and input the same arena slot.
   bool can_alias = false;
+  // --- analysis traits --------------------------------------------------
+  // The kernel is a pure function of its arguments (no RNG, no hidden
+  // state): equal inputs give bit-equal outputs. Drives the constness
+  // analysis (dataflow) and constant folding; dropout is the counterexample.
+  bool pure = true;
 };
 
 class OpRegistry {
@@ -48,6 +53,8 @@ class OpRegistry {
   // std::out_of_range if the op is unknown (an annotation that silently
   // misses would leave a kernel unplanned or, worse, wrongly aliasable).
   void annotate(const std::string& name, bool fresh_output, bool can_alias);
+  // Set the purity trait (see OpInfo::pure); same throwing contract.
+  void annotate_pure(const std::string& name, bool pure);
   const OpInfo* find(const std::string& name) const;
   // Throws std::out_of_range naming the missing target.
   const OpInfo& at(const std::string& name) const;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/interpreter.h"
+#include "passes/constant_folding.h"
 
 namespace fxcpp::passes {
 
@@ -71,107 +72,11 @@ int common_subexpression_elimination(fx::GraphModule& gm) {
 }
 
 int constant_fold(fx::GraphModule& gm) {
-  fx::Graph& g = gm.graph();
-  // Evaluate with an interpreter environment seeded lazily: a node is
-  // foldable if it is a pure call whose node-inputs are all foldable or
-  // get_attr.
-  std::map<const fx::Node*, bool> foldable;
-  for (const fx::Node* n : g.nodes()) {
-    switch (n->op()) {
-      case fx::Opcode::GetAttr:
-        foldable[n] = true;
-        break;
-      case fx::Opcode::CallFunction:
-      case fx::Opcode::CallMethod: {
-        if (n->target() == "dropout") {
-          foldable[n] = false;
-          break;
-        }
-        bool ok = true;
-        for (const fx::Node* in : n->input_nodes()) ok = ok && foldable[in];
-        foldable[n] = ok;
-        break;
-      }
-      default:
-        foldable[n] = false;
-    }
-  }
-
-  // Roots to fold: foldable non-get_attr nodes with at least one
-  // non-foldable user (or feeding the output).
-  int folded = 0;
-  int counter = 0;
-  for (fx::Node* n : g.nodes()) {
-    if (!foldable[n] || n->op() == fx::Opcode::GetAttr) continue;
-    bool is_root = false;
-    for (const fx::Node* u : n->users()) {
-      if (!foldable[const_cast<fx::Node*>(u)]) is_root = true;
-    }
-    if (!is_root) continue;
-
-    // Evaluate just this node's upstream cone with a fresh interpreter pass
-    // over the graph prefix.
-    fx::RtValue v;
-    {
-      // Cheap approach: run an interpreter that only executes foldable
-      // nodes. Placeholders never feed foldable nodes by construction.
-      std::unordered_map<const fx::Node*, fx::RtValue> env;
-      for (const fx::Node* m : g.nodes()) {
-        if (!foldable[m]) continue;
-        if (m->op() == fx::Opcode::GetAttr) {
-          env[m] = gm.resolve_attr(m->target());
-        } else {
-          // Rebuild args against the local env.
-          std::function<fx::RtValue(const fx::Argument&)> ev =
-              [&](const fx::Argument& a) -> fx::RtValue {
-            if (a.is_node()) return env.at(a.node());
-            if (a.is_list()) {
-              bool all_int = !a.list().empty();
-              for (const auto& item : a.list()) {
-                all_int = all_int && item.is_int();
-              }
-              if (all_int) return a.int_list();
-              std::vector<Tensor> ts;
-              for (const auto& item : a.list()) {
-                ts.push_back(fx::rt_tensor(ev(item)));
-              }
-              return ts;
-            }
-            if (a.is_int()) return a.as_int();
-            if (a.is_double()) return a.as_double();
-            if (a.is_bool()) return a.as_bool();
-            if (a.is_string()) return a.as_string();
-            return fx::RtValue();
-          };
-          const auto& reg = m->op() == fx::Opcode::CallFunction
-                                ? fx::OpRegistry::functions()
-                                : fx::OpRegistry::methods();
-          const fx::OpInfo& info = reg.at(m->target());
-          std::vector<fx::RtValue> args;
-          for (const auto& a : m->args()) args.push_back(ev(a));
-          std::vector<std::pair<std::string, fx::RtValue>> kwargs;
-          for (const auto& [k, kv] : m->kwargs()) kwargs.emplace_back(k, ev(kv));
-          env[m] = info.run(fx::merge_kwargs(info, std::move(args), kwargs));
-        }
-        if (m == n) break;
-      }
-      v = env.at(n);
-    }
-    if (!fx::rt_is_tensor(v)) continue;
-
-    const std::string name = "_folded_" + std::to_string(counter++);
-    gm.root()->set_parameter(name, fx::rt_tensor(v));
-    fx::Graph::InsertScope scope(g, n);
-    fx::Node* attr = g.get_attr(name);
-    n->replace_all_uses_with(attr);
-    ++folded;
-  }
-  if (folded > 0) {
-    g.eliminate_dead_code();
-    g.lint();
-    gm.recompile();
-  }
-  return folded;
+  // Rebased onto the constness-analysis-driven pass (constant_folding.h):
+  // same contract (count of nodes replaced by baked get_attr), but
+  // foldability now comes from the shared dataflow analysis and evaluation
+  // runs once through the Interpreter over the whole constant cone.
+  return constant_folding(gm).folded;
 }
 
 }  // namespace fxcpp::passes

@@ -1,0 +1,184 @@
+#include "passes/constant_folding.h"
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "analysis/dataflow.h"
+#include "core/interpreter.h"
+#include "tensor/dtype.h"
+
+namespace fxcpp::passes {
+
+using fx::Argument;
+using fx::Graph;
+using fx::GraphModule;
+using fx::Node;
+using fx::Opcode;
+using fx::RtValue;
+
+namespace {
+
+// Root for the scratch evaluation module: resolves get_attr / call_module
+// targets by delegating to the folded GraphModule, which itself falls back
+// to its traced hierarchy. Handles root-less GraphModules, gm-local baked
+// buffers from an earlier fold, and nested submodule paths uniformly.
+class AttrProxy : public nn::Module {
+ public:
+  explicit AttrProxy(const GraphModule& gm)
+      : nn::Module("AttrProxy"), gm_(gm) {}
+
+  fx::Value forward(const std::vector<fx::Value>&) override {
+    throw std::logic_error("AttrProxy is not executable");
+  }
+  nn::Module::Ptr get_submodule(const std::string& qualname) const override {
+    return gm_.get_submodule(qualname);
+  }
+  Tensor get_parameter(const std::string& qualname) const override {
+    return gm_.get_parameter(qualname);
+  }
+
+ private:
+  const GraphModule& gm_;
+};
+
+// Interpreter that records every evaluated node's value; the Output node is
+// skipped so the result plumbing never constrains what the subgraph returns.
+class RecordingInterpreter : public fx::Interpreter {
+ public:
+  using fx::Interpreter::Interpreter;
+
+  RtValue run_node(const Node& n) override {
+    if (n.op() == Opcode::Output) return RtValue();
+    RtValue v = fx::Interpreter::run_node(n);
+    values[&n] = v;
+    return v;
+  }
+
+  std::unordered_map<const Node*, RtValue> values;
+};
+
+std::size_t tensor_bytes(const Tensor& t) {
+  return static_cast<std::size_t>(t.numel()) * dtype_size(t.dtype());
+}
+
+}  // namespace
+
+FoldStats constant_folding(GraphModule& gm, const FoldOptions& opts) {
+  FoldStats stats;
+  Graph& g = gm.graph();
+
+  const auto is_const = analysis::constant_nodes(g, &gm);
+  auto const_of = [&](const Node* n) {
+    const auto it = is_const.find(n);
+    return it != is_const.end() && it->second;
+  };
+
+  // Boundary roots: constant calls with at least one non-constant user.
+  // get_attr nodes are already single static loads — nothing to fold —
+  // and interior constants fold as part of some root's cone.
+  std::vector<Node*> roots;
+  for (Node* n : g.nodes()) {
+    if (!const_of(n)) continue;
+    if (n->op() != Opcode::CallFunction && n->op() != Opcode::CallMethod) {
+      continue;
+    }
+    for (const Node* u : n->users()) {
+      if (!const_of(u)) {
+        roots.push_back(n);
+        break;
+      }
+    }
+  }
+  if (roots.empty()) return stats;
+
+  // The cones to evaluate: every constant ancestor of some root.
+  std::unordered_set<const Node*> needed;
+  std::vector<const Node*> stack(roots.begin(), roots.end());
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (!needed.insert(n).second) continue;
+    for (const Node* in : n->input_nodes()) {
+      if (const_of(in)) stack.push_back(in);
+    }
+  }
+
+  // Copy the cones (graph order, so defs precede uses) into a standalone
+  // subgraph and evaluate it once through the Interpreter over a scratch
+  // module whose attribute lookups proxy back to `gm`.
+  auto sub = std::make_unique<Graph>();
+  std::unordered_map<const Node*, Node*> copy_of;
+  std::function<Argument(const Argument&)> remap =
+      [&](const Argument& a) -> Argument {
+    if (a.is_node()) return Argument(copy_of.at(a.node()));
+    if (a.is_list()) {
+      Argument::List out;
+      out.reserve(a.list().size());
+      for (const auto& item : a.list()) out.push_back(remap(item));
+      return Argument(std::move(out));
+    }
+    return a;
+  };
+  for (const Node* n : g.nodes()) {
+    if (needed.count(n) == 0) continue;
+    copy_of[n] = sub->copy_node(*n, remap);
+  }
+  Argument::List returned;
+  returned.reserve(roots.size());
+  for (const Node* r : roots) returned.push_back(Argument(copy_of.at(r)));
+  sub->output(Argument(std::move(returned)));
+
+  Graph* sub_raw = sub.get();
+  GraphModule scratch(std::make_shared<AttrProxy>(gm), std::move(sub),
+                      "ConstantFoldEval");
+  RecordingInterpreter interp(scratch);
+  interp.run(std::vector<RtValue>{});
+  (void)sub_raw;
+
+  // Bake each root's value and swap in a get_attr. Names are collision-
+  // checked against both the module and its root so repeated folds compose.
+  nn::Module* bake_target = gm.root() ? gm.root().get()
+                                      : static_cast<nn::Module*>(&gm);
+  auto name_taken = [&](const std::string& nm) {
+    return gm.has_parameter(nm) || (gm.root() && gm.root()->has_parameter(nm));
+  };
+  int counter = 0;
+  for (Node* r : roots) {
+    const auto it = interp.values.find(copy_of.at(r));
+    if (it == interp.values.end() || !fx::rt_is_tensor(it->second)) continue;
+    const Tensor value = fx::rt_tensor(it->second);
+    if (opts.max_bytes != 0 && tensor_bytes(value) > opts.max_bytes) continue;
+
+    std::string name = "_folded_" + std::to_string(counter++);
+    while (name_taken(name)) name = "_folded_" + std::to_string(counter++);
+    bake_target->set_parameter(name, value);
+
+    Graph::InsertScope scope(g, r);
+    Node* attr = g.get_attr(name);
+    // The baked tensor is exactly the folded node's value, so its meta
+    // carries over verbatim (copy_node preserved it on the evaluated copy).
+    for (const auto& [k, v] : r->all_meta()) attr->set_meta(k, v);
+    if (!attr->has_meta("shape")) {
+      attr->set_meta("shape", value.sizes());
+      attr->set_meta("dtype", value.dtype());
+    }
+    r->replace_all_uses_with(attr);
+
+    stats.attr_names.push_back(std::move(name));
+    stats.baked_bytes += tensor_bytes(value);
+    ++stats.folded;
+  }
+
+  if (stats.folded > 0) {
+    stats.erased = g.eliminate_dead_code();
+    g.lint();
+    gm.recompile();
+  }
+  return stats;
+}
+
+}  // namespace fxcpp::passes

@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <cstddef>
 
-#include "core/parallel_executor.h"  // build_schedule (pure analysis)
-#include "nn/layers.h"
+#include "analysis/dataflow.h"  // alias_summary: shared freshness/lifetime facts
 #include "passes/shape_prop.h"
 #include "tensor/dtype.h"
 
@@ -71,20 +70,6 @@ FirstFitPacking first_fit_pack(const std::vector<LiveRange>& ranges,
 
 namespace {
 
-// nn modules whose forward materializes fresh storage for its result (the
-// kernels all end in a new Tensor of the output shape). Anything not listed
-// — Flatten, Identity, Dropout-as-module, user modules — is treated as
-// potentially returning a view of an input.
-bool module_output_is_fresh(const nn::Module* m) {
-  return dynamic_cast<const nn::Linear*>(m) != nullptr ||
-         dynamic_cast<const nn::Conv2d*>(m) != nullptr ||
-         dynamic_cast<const nn::BatchNorm2d*>(m) != nullptr ||
-         dynamic_cast<const nn::LayerNorm*>(m) != nullptr ||
-         dynamic_cast<const nn::MaxPool2d*>(m) != nullptr ||
-         dynamic_cast<const nn::AdaptiveAvgPool2d*>(m) != nullptr ||
-         dynamic_cast<const nn::Embedding*>(m) != nullptr;
-}
-
 std::size_t meta_nbytes(const fx::Node* n) {
   if (!n || !n->has_meta("shape") || !n->has_meta("dtype")) return 0;
   std::int64_t numel = 1;
@@ -103,12 +88,6 @@ constexpr std::size_t kSlotAlign = 64;
 std::size_t pad_slot(std::size_t nbytes) {
   const std::size_t p = (nbytes + kSlotAlign - 1) / kSlotAlign * kSlotAlign;
   return p == 0 ? kSlotAlign : p;
-}
-
-void merge_bases(std::vector<int>& dst, const std::vector<int>& src) {
-  for (int b : src) {
-    if (std::find(dst.begin(), dst.end(), b) == dst.end()) dst.push_back(b);
-  }
 }
 
 bool meta_matches(const fx::Node* a, const fx::Node* b) {
@@ -136,96 +115,51 @@ std::shared_ptr<const TapePlan> plan_tape(GraphModule& gm) {
   const CompiledGraph& cg = gm.compiled_graph();
   const auto& instrs = cg.instrs();
   const int n = static_cast<int>(instrs.size());
-  const fx::Schedule sched = fx::build_schedule(cg);
+
+  // Pass 1 — alias facts from the shared dataflow layer (analysis/dataflow.h).
+  // Summary entries are the graph's non-placeholder nodes in graph order,
+  // which is exactly the tape's instruction order: summary index i IS
+  // instruction i. Freshness, base sets, lifetimes, readers, and escapes all
+  // come from the one analysis the verifier and fxlint --analyze also run,
+  // so the planner can never disagree with them.
+  const analysis::AliasSummary aliases =
+      analysis::alias_summary(gm.graph(), &gm);
 
   auto plan = std::make_shared<TapePlan>();
   plan->intervals.resize(static_cast<std::size_t>(n));
-
-  // Per-register base set: which instruction outputs (interval indices) the
-  // register's value may alias. Registers have exactly one writer (recompile
-  // assigns sequential out_regs), so the sets are stable once written.
-  // Placeholders, GetAttr results, and immediates have no interval base —
-  // their memory is never in the arena, so views of them need no tracking.
-  std::vector<std::vector<int>> reg_bases(
-      static_cast<std::size_t>(cg.num_registers()));
-
-  std::vector<bool> fresh(static_cast<std::size_t>(n), false);
-  std::vector<bool> escaped(static_cast<std::size_t>(n), false);
-
-  // Pass 1 — forward walk: classify each instruction, record every read
-  // through the alias sets (extending base lifetimes), propagate bases.
   for (int i = 0; i < n; ++i) {
-    const Instr& ins = instrs[static_cast<std::size_t>(i)];
     const auto iu = static_cast<std::size_t>(i);
     PlanInterval& iv = plan->intervals[iu];
     iv.def = i;
-    iv.last_use = i;
-
-    const auto& reads = sched.reads[iu];
-    for (int r : reads) {
-      for (int b : reg_bases[static_cast<std::size_t>(r)]) {
-        PlanInterval& base = plan->intervals[static_cast<std::size_t>(b)];
-        base.last_use = std::max(base.last_use, i);
-        if (base.readers.empty() || base.readers.back() != i) {
-          base.readers.push_back(i);
-        }
-        if (ins.op == Opcode::Output) escaped[static_cast<std::size_t>(b)] = true;
-      }
-    }
-
-    switch (ins.op) {
-      case Opcode::Output:
-      case Opcode::GetAttr:
-        break;  // no interval base: returned value / module state
-      case Opcode::CallFunction:
-      case Opcode::CallMethod:
-        fresh[iu] = ins.fn != nullptr && ins.fn->fresh_output;
-        break;
-      case Opcode::CallModule:
-        fresh[iu] = module_output_is_fresh(ins.module.get());
-        break;
-      case Opcode::Placeholder:
-        break;  // register fills, never tape instructions
-    }
-
-    if (ins.out_reg >= 0) {
-      auto& out_bases = reg_bases[static_cast<std::size_t>(ins.out_reg)];
-      out_bases.clear();
-      if (fresh[iu]) {
-        out_bases.push_back(i);
-      } else {
-        // View or unknown: the output may alias any input.
-        for (int r : reads) {
-          merge_bases(out_bases, reg_bases[static_cast<std::size_t>(r)]);
-        }
-      }
-    }
+    iv.last_use = aliases.last_use[iu];
+    iv.readers = aliases.readers[iu];
   }
 
   // Planned candidacy: fresh output, known static size, does not escape.
   std::vector<bool> candidate(static_cast<std::size_t>(n), false);
   for (int i = 0; i < n; ++i) {
     const auto iu = static_cast<std::size_t>(i);
-    if (!fresh[iu]) continue;
+    if (!aliases.fresh[iu]) continue;
     const std::size_t nb = meta_nbytes(instrs[iu].node);
     if (nb == 0) continue;
     plan->intervals[iu].nbytes = nb;
     plan->intervals[iu].padded = pad_slot(nb);
     plan->unplanned_bytes += pad_slot(nb);
-    candidate[iu] = !escaped[iu];
+    candidate[iu] = !aliases.escaped[iu];
   }
 
   // Pass 2 — in-place merging (can_alias). Instruction i may write over
   // input j's slot when:
-  //  (a) j is read through its producer's own register (not a view), is a
-  //      planned candidate, and its interval dies exactly at i;
+  //  (a) j is read directly (not through a view), is a planned candidate,
+  //      and its interval dies exactly at i;
   //  (b) i's and j's traced shape/dtype match (the kernels' index-aligned
   //      path: o[k] is written only after pa[k] is read);
   //  (c) every OTHER tensor operand of i is itself a directly-read fresh
-  //      instruction output. Fresh kernel outputs are always contiguous, so
-  //      no operand triggers a defensive .contiguous() copy inside i's
-  //      kernel — such a copy could be slot-sized and would adopt the armed
-  //      hint, clobbering j's live bytes before the kernel reads them.
+  //      instruction output (AliasSummary::direct_fresh). Fresh kernel
+  //      outputs are always contiguous, so no operand triggers a defensive
+  //      .contiguous() copy inside i's kernel — such a copy could be
+  //      slot-sized and would adopt the armed hint, clobbering j's live
+  //      bytes before the kernel reads them.
   std::vector<int> alias_root(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) alias_root[static_cast<std::size_t>(i)] = i;
   for (int i = 0; i < n; ++i) {
@@ -235,20 +169,21 @@ std::shared_ptr<const TapePlan> plan_tape(GraphModule& gm) {
     if (ins.op != Opcode::CallFunction && ins.op != Opcode::CallMethod)
       continue;
     if (!ins.fn || !ins.fn->can_alias) continue;
-    const auto& reads = sched.reads[iu];
-    // (c): every read must be a direct fresh-output register.
+    // (c): every operand must be a directly-read fresh instruction output.
+    // Placeholder / get_attr operands (absent from or external in the
+    // summary) fail the test, exactly as their empty base sets used to.
+    std::vector<int> operand_entries;
     bool all_direct_fresh = true;
-    for (int r : reads) {
-      const auto& bases = reg_bases[static_cast<std::size_t>(r)];
-      if (bases.size() != 1 || !fresh[static_cast<std::size_t>(bases[0])] ||
-          instrs[static_cast<std::size_t>(bases[0])].out_reg != r) {
+    for (const fx::Node* in : aliases.order[iu]->input_nodes()) {
+      const auto it = aliases.index.find(in);
+      if (it == aliases.index.end() || !aliases.direct_fresh(it->second)) {
         all_direct_fresh = false;
         break;
       }
+      operand_entries.push_back(it->second);
     }
     if (!all_direct_fresh) continue;
-    for (int r : reads) {
-      const int j = reg_bases[static_cast<std::size_t>(r)][0];
+    for (int j : operand_entries) {
       const auto ju = static_cast<std::size_t>(j);
       if (!candidate[ju]) continue;
       if (plan->intervals[ju].last_use != i) continue;  // must die here

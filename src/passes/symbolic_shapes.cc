@@ -100,40 +100,6 @@ SymShape conv_like(const SymShape& x, std::int64_t out_ch, std::int64_t k,
           sym_div_ceil_conv(x[3], pad, k, stride)};
 }
 
-SymShape module_transfer(const nn::Module& m, const SymShape& x) {
-  if (const auto* lin = dynamic_cast<const nn::Linear*>(&m)) {
-    SymShape out = x;
-    out.back() = SymDim::known(lin->out_features());
-    return out;
-  }
-  if (const auto* conv = dynamic_cast<const nn::Conv2d*>(&m)) {
-    return conv_like(x, conv->out_channels(), conv->param("weight").size(2),
-                     conv->stride()[0], conv->padding()[0]);
-  }
-  if (const auto* fl = dynamic_cast<const nn::Flatten*>(&m)) {
-    (void)fl;
-    return flatten_sym(x, 1);
-  }
-  if (dynamic_cast<const nn::AdaptiveAvgPool2d*>(&m)) {
-    // Output spatial size is a module constant; recover via describe? The
-    // layer stores it privately — reuse concrete semantics: adaptive pool to
-    // [N, C, o, o] where o is unknown here, so mark spatial dims dynamic
-    // unless input known (handled by caller via concrete ShapeProp).
-    SymShape out = x;
-    out[2] = SymDim::dynamic();
-    out[3] = SymDim::dynamic();
-    return out;
-  }
-  if (dynamic_cast<const nn::MaxPool2d*>(&m)) {
-    SymShape out = x;
-    out[2] = SymDim::dynamic();
-    out[3] = SymDim::dynamic();
-    return out;
-  }
-  // BatchNorm, activations, Dropout, Identity, LayerNorm: shape-preserving.
-  return x;
-}
-
 SymShape function_transfer(const fx::Node& n, const SymEnv& env) {
   const std::string& t = n.target();
   auto in0 = [&] { return env.of(n.args().at(0)); };
@@ -238,6 +204,58 @@ SymShape function_transfer(const fx::Node& n, const SymEnv& env) {
 
 }  // namespace
 
+const std::vector<ModuleTransfer>& module_transfer_table() {
+  static const std::vector<ModuleTransfer> table = {
+      {"Linear",
+       [](const nn::Module& m, const SymShape& x) -> std::optional<SymShape> {
+         const auto* lin = dynamic_cast<const nn::Linear*>(&m);
+         if (!lin) return std::nullopt;
+         SymShape out = x;
+         out.back() = SymDim::known(lin->out_features());
+         return out;
+       }},
+      {"Conv2d",
+       [](const nn::Module& m, const SymShape& x) -> std::optional<SymShape> {
+         const auto* conv = dynamic_cast<const nn::Conv2d*>(&m);
+         if (!conv) return std::nullopt;
+         return conv_like(x, conv->out_channels(),
+                          conv->param("weight").size(2), conv->stride()[0],
+                          conv->padding()[0]);
+       }},
+      {"MaxPool2d",
+       [](const nn::Module& m, const SymShape& x) -> std::optional<SymShape> {
+         const auto* mp = dynamic_cast<const nn::MaxPool2d*>(&m);
+         if (!mp) return std::nullopt;
+         auto dim = [&](const SymDim& d) {
+           return sym_div_ceil_conv(d, mp->padding(), mp->kernel(),
+                                    mp->stride());
+         };
+         return SymShape{x.at(0), x.at(1), dim(x.at(2)), dim(x.at(3))};
+       }},
+      {"AdaptiveAvgPool2d",
+       [](const nn::Module& m, const SymShape& x) -> std::optional<SymShape> {
+         const auto* ap = dynamic_cast<const nn::AdaptiveAvgPool2d*>(&m);
+         if (!ap) return std::nullopt;
+         return SymShape{x.at(0), x.at(1), SymDim::known(ap->output_size()),
+                         SymDim::known(ap->output_size())};
+       }},
+      {"Flatten",
+       [](const nn::Module& m, const SymShape& x) -> std::optional<SymShape> {
+         if (!dynamic_cast<const nn::Flatten*>(&m)) return std::nullopt;
+         return flatten_sym(x, 1);
+       }},
+  };
+  return table;
+}
+
+SymShape module_sym_transfer(const nn::Module& m, const SymShape& x) {
+  for (const auto& t : module_transfer_table()) {
+    if (auto out = t.fn(m, x)) return *out;
+  }
+  // BatchNorm, activations, Dropout, Identity, LayerNorm: shape-preserving.
+  return x;
+}
+
 SymShape propagate_symbolic(fx::GraphModule& gm,
                             const std::vector<SymShape>& input_shapes) {
   SymEnv env;
@@ -256,8 +274,8 @@ SymShape propagate_symbolic(fx::GraphModule& gm,
         s = sym_of(gm.resolve_attr(n->target()).sizes());
         break;
       case fx::Opcode::CallModule:
-        s = module_transfer(*gm.resolve_module(n->target()),
-                            env.of(n->args().at(0)));
+        s = module_sym_transfer(*gm.resolve_module(n->target()),
+                                env.of(n->args().at(0)));
         break;
       case fx::Opcode::CallFunction:
       case fx::Opcode::CallMethod:

@@ -5,6 +5,7 @@
 // whose join can diverge to "dynamic".
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,6 +38,22 @@ SymShape sym_of(const Shape& s);
 // Lattice join: dims that disagree become dynamic; rank mismatch joins to a
 // fully-dynamic shape of unknown rank (empty optional).
 std::optional<SymShape> join(const SymShape& a, const SymShape& b);
+
+// Shared module transfer-function table. One entry per nn module kind; an
+// entry's fn returns nullopt when the module is not its kind (the table is
+// tried in order). Both symbolic propagation here and the gradual type
+// checker (type_check.cc) key off this single table, so their answers for
+// "what shape does this module produce" can never drift apart.
+struct ModuleTransfer {
+  const char* kind;
+  std::function<std::optional<SymShape>(const nn::Module&, const SymShape&)> fn;
+};
+const std::vector<ModuleTransfer>& module_transfer_table();
+
+// Apply the table; modules with no entry are shape-preserving (activations,
+// norms, dropout, identity). Throws on rank mismatches (e.g. conv on
+// non-NCHW input) like the concrete kernels would.
+SymShape module_sym_transfer(const nn::Module& m, const SymShape& x);
 
 // Forward-propagate symbolic shapes through a (basic block) fx graph given
 // one symbolic shape per placeholder. Annotates each tensor-producing node

@@ -202,9 +202,13 @@ class Checker {
     return a;
   }
 
-  // Bridge into the symbolic-shape module transfer.
+  // Bridge into the shared symbolic-shape module transfer table
+  // (module_transfer_table in symbolic_shapes.h) — the checker and the
+  // symbolic propagator use the same transfer functions by construction.
   static SymShape propagate_module_shape(const nn::Module& m,
-                                         const SymShape& in);
+                                         const SymShape& in) {
+    return module_sym_transfer(m, in);
+  }
 
   fx::GraphModule& gm_;
   std::unordered_map<const fx::Node*, GType> env_;
@@ -212,56 +216,6 @@ class Checker {
 };
 
 }  // namespace
-
-// Defined in symbolic_shapes.cc's anonymous namespace originally; provide a
-// minimal local equivalent for the module kinds the checker cares about.
-SymShape Checker::propagate_module_shape(const nn::Module& m,
-                                         const SymShape& x) {
-  if (const auto* lin = dynamic_cast<const nn::Linear*>(&m)) {
-    SymShape out = x;
-    out.back() = SymDim::known(lin->out_features());
-    return out;
-  }
-  if (const auto* conv = dynamic_cast<const nn::Conv2d*>(&m)) {
-    auto dim = [&](const SymDim& d, std::int64_t pad, std::int64_t k,
-                   std::int64_t s) {
-      return d.is_known ? SymDim::known((d.value + 2 * pad - k) / s + 1)
-                        : SymDim::dynamic();
-    };
-    const std::int64_t k = conv->param("weight").size(2);
-    return {x.at(0), SymDim::known(conv->out_channels()),
-            dim(x.at(2), conv->padding()[0], k, conv->stride()[0]),
-            dim(x.at(3), conv->padding()[0], k, conv->stride()[0])};
-  }
-  if (const auto* mp = dynamic_cast<const nn::MaxPool2d*>(&m)) {
-    auto dim = [&](const SymDim& d) {
-      return d.is_known
-                 ? SymDim::known(
-                       (d.value + 2 * mp->padding() - mp->kernel()) /
-                           mp->stride() +
-                       1)
-                 : SymDim::dynamic();
-    };
-    return {x.at(0), x.at(1), dim(x.at(2)), dim(x.at(3))};
-  }
-  if (const auto* ap = dynamic_cast<const nn::AdaptiveAvgPool2d*>(&m)) {
-    return {x.at(0), x.at(1), SymDim::known(ap->output_size()),
-            SymDim::known(ap->output_size())};
-  }
-  if (dynamic_cast<const nn::Flatten*>(&m)) {
-    SymShape out{x.at(0), SymDim::known(1)};
-    std::int64_t prod = 1;
-    bool known = true;
-    for (std::size_t i = 1; i < x.size(); ++i) {
-      if (!x[i].is_known) known = false;
-      else prod *= x[i].value;
-    }
-    out[1] = known ? SymDim::known(prod) : SymDim::dynamic();
-    return out;
-  }
-  // Activations / norms / dropout / identity: shape preserving.
-  return x;
-}
 
 std::string TypeCheckResult::to_string() const {
   std::ostringstream os;
