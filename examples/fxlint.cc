@@ -8,8 +8,9 @@
 //                                 repeatable)
 //   fxlint --strict graph.fxir    exit nonzero on warnings/infos too
 //   fxlint --analyze graph.fxir   dump per-node dataflow facts (constness,
-//                                 alias set, live range, symbolic shape)
-//                                 instead of linting; honors --json
+//                                 alias set, live range, symbolic shape,
+//                                 shape-polymorphic placeholders) instead of
+//                                 linting; honors --json
 //   fxlint --demo                 built-in graph seeded with defects
 //
 // Loads the graph via graph_io, wraps it in a root-less GraphModule, and
@@ -126,6 +127,16 @@ int main(int argc, char** argv) {
   if (analyze) {
     const analysis::GraphFacts facts = analysis::analyze_graph(gm.graph(), &gm);
     std::printf("%s\n", (json ? facts.to_json() : facts.to_string()).c_str());
+    if (!json) {
+      // The plan cache specializes per concrete signature of these inputs —
+      // many polymorphic placeholders mean many cache entries.
+      std::string poly;
+      for (const auto& f : facts.nodes) {
+        if (f.shape_poly) poly += (poly.empty() ? "" : ", ") + f.name;
+      }
+      std::printf("shape-polymorphic placeholders: %s\n",
+                  poly.empty() ? "(none)" : poly.c_str());
+    }
     return 0;
   }
 

@@ -42,8 +42,9 @@ fxprof_smoke "$repo/build"
 # over the analysis + passes layers. Gated: the CI container does not ship
 # clang-tidy; run it locally when available.
 if command -v clang-tidy >/dev/null 2>&1; then
-  echo "-- clang-tidy (src/analysis src/passes) --"
-  find "$repo/src/analysis" "$repo/src/passes" -name '*.cc' -print0 |
+  echo "-- clang-tidy (src/analysis src/passes src/core/plan_cache) --"
+  { find "$repo/src/analysis" "$repo/src/passes" -name '*.cc' -print0
+    printf '%s\0' "$repo/src/core/plan_cache.cc"; } |
     xargs -0 -n 4 -P "$jobs" clang-tidy -p "$repo/build" --quiet
 else
   echo "-- clang-tidy not installed; skipping static-analysis lint --"
@@ -60,7 +61,8 @@ echo "== [3/3] TSan build + concurrency suite (build-tsan/) =="
 cmake -B "$repo/build-tsan" -S "$repo" -DFXCPP_SANITIZE=thread
 cmake --build "$repo/build-tsan" -j "$jobs" --target test_parallel_exec \
   --target test_runtime --target test_profile --target test_resilience \
-  --target test_memory_plan --target test_dataflow --target test_constant_fold
+  --target test_memory_plan --target test_dataflow --target test_constant_fold \
+  --target test_plan_cache
 "$repo/build-tsan/tests/test_parallel_exec"
 "$repo/build-tsan/tests/test_runtime"
 "$repo/build-tsan/tests/test_profile"
@@ -77,5 +79,9 @@ cmake --build "$repo/build-tsan" -j "$jobs" --target test_parallel_exec \
 # race-free, and folded graphs stay clean across parallel engines.
 "$repo/build-tsan/tests/test_dataflow"
 "$repo/build-tsan/tests/test_constant_fold"
+# Multi-plan cache under TSan: mixed-shape planned runs race LRU eviction,
+# capacity churn, and clear() on the shared cache, and the legacy
+# single-plan path races its replanner from two shapes at once.
+"$repo/build-tsan/tests/test_plan_cache"
 
 echo "== check.sh: all suites green =="

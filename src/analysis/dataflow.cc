@@ -1,6 +1,8 @@
 #include "analysis/dataflow.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdio>
 #include <sstream>
 
 #include "core/functional.h"
@@ -311,6 +313,22 @@ std::string meta_sym_shape(const Node* n) {
   return "";
 }
 
+// A placeholder is shape-polymorphic when nothing pins it to one concrete
+// shape: missing shape/dtype meta, or a sym_shape carrying symbolic (lettered)
+// dimensions. See NodeFacts::shape_poly.
+bool placeholder_shape_poly(const Node* n) {
+  if (n->op() != Opcode::Placeholder) return false;
+  if (!n->has_shape() || !n->has_meta("dtype")) return true;
+  if (n->has_meta("sym_shape")) {
+    if (const auto* s = std::get_if<std::string>(&n->meta("sym_shape"))) {
+      for (char c : *s) {
+        if (std::isalpha(static_cast<unsigned char>(c))) return true;
+      }
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 GraphFacts analyze_graph(const Graph& g, const GraphModule* gm) {
@@ -343,6 +361,7 @@ GraphFacts analyze_graph(const Graph& g, const GraphModule* gm) {
     f.dead = !reach_facts.at(n).live && n->op() != Opcode::Placeholder &&
              n->op() != Opcode::Output;
     f.sym_shape = meta_sym_shape(n);
+    f.shape_poly = placeholder_shape_poly(n);
     const auto it = aliases.index.find(n);
     if (it != aliases.index.end()) {
       const auto i = static_cast<std::size_t>(it->second);
@@ -364,8 +383,8 @@ GraphFacts analyze_graph(const Graph& g, const GraphModule* gm) {
 
 std::string GraphFacts::to_string() const {
   std::ostringstream os;
-  os << "node                 const fresh escapes dead  live-range  aliases"
-     << "  sym_shape\n";
+  os << "node                 const fresh escapes dead  poly  live-range  "
+     << "aliases  sym_shape\n";
   for (const NodeFacts& f : nodes) {
     std::string aliases;
     for (const auto& a : f.alias_bases) {
@@ -375,11 +394,12 @@ std::string GraphFacts::to_string() const {
     char range[32];
     std::snprintf(range, sizeof(range), "[%d,%d]", f.def, f.last_use);
     char line[256];
-    std::snprintf(line, sizeof(line), "%-20s %-5s %-5s %-7s %-5s %-11s %s  %s\n",
+    std::snprintf(line, sizeof(line),
+                  "%-20s %-5s %-5s %-7s %-5s %-5s %-11s %s  %s\n",
                   f.name.c_str(), f.is_const ? "yes" : "no",
                   f.fresh ? "yes" : "no", f.escapes ? "yes" : "no",
-                  f.dead ? "yes" : "no", range, aliases.c_str(),
-                  f.sym_shape.c_str());
+                  f.dead ? "yes" : "no", f.shape_poly ? "yes" : "no", range,
+                  aliases.c_str(), f.sym_shape.c_str());
     os << line;
   }
   return os.str();
@@ -406,7 +426,8 @@ std::string GraphFacts::to_json() const {
     for (std::size_t j = 0; j < f.alias_bases.size(); ++j) {
       os << (j ? ", " : "") << "\"" << json_escape(f.alias_bases[j]) << "\"";
     }
-    os << "], \"sym_shape\": \"" << json_escape(f.sym_shape) << "\"}";
+    os << "], \"sym_shape\": \"" << json_escape(f.sym_shape)
+       << "\", \"shape_poly\": " << (f.shape_poly ? "true" : "false") << "}";
   }
   os << (nodes.empty() ? "]\n}" : "\n  ]\n}");
   return os.str();

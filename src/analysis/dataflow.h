@@ -253,6 +253,11 @@ struct NodeFacts {
   int last_use = -1;  // last consumer index; -1 = unused
   bool dead = false;  // erasable (unreachable from the output)
   std::string sym_shape;  // meta["sym_shape"], else stringified meta shape
+  // Placeholder whose shape is not pinned to one concrete value: no
+  // shape/dtype meta, or symbolic dims in sym_shape. These are the inputs
+  // whose variation drives plan-cache traffic (one cached specialization per
+  // concrete signature); always false for non-placeholders.
+  bool shape_poly = false;
 };
 
 struct GraphFacts {

@@ -1,6 +1,7 @@
 #include "analysis/verifier.h"
 
 #include <algorithm>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 
@@ -10,6 +11,7 @@
 #include "core/memory_plan.h"
 #include "core/op_registry.h"
 #include "core/parallel_executor.h"
+#include "core/plan_cache.h"
 #include "passes/shape_prop.h"
 #include "passes/type_check.h"
 
@@ -523,6 +525,112 @@ void check_guard_coverage(const RuleContext& ctx,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Plan-cache coherence rule — every entry in an attached PlanCache must be a
+// plan the *current* tape can run, and its guards must pin every dimension
+// its arena layout depends on: an interval's slot size was computed from
+// shape meta that flowed from the placeholders it transitively reads, so any
+// such placeholder without a named GuardSpec means the cache key does not
+// actually determine the layout (a differently-shaped input could hash to
+// the same entry and silently mis-place). The entry's signature must also
+// re-derive from its guards, so key and contract cannot drift apart.
+// ---------------------------------------------------------------------------
+
+void check_plan_cache_coherence(const RuleContext& ctx,
+                                std::vector<Diagnostic>& out) {
+  if (!ctx.gm || !ctx.gm->compiled()) return;
+  const std::shared_ptr<fx::PlanCache> cache = ctx.gm->plan_cache();
+  if (!cache) return;
+  const fx::CompiledGraph& cg = ctx.gm->compiled_graph();
+  const auto& instrs = cg.instrs();
+  const std::size_t num_ph = cg.input_regs().size();
+
+  // Transitive placeholder ancestry per instruction, walked over the tape's
+  // pre-decoded register references (the same dataflow the kernels execute).
+  std::unordered_map<int, std::size_t> ph_of_reg;
+  for (std::size_t p = 0; p < num_ph; ++p) {
+    ph_of_reg[cg.input_regs()[p]] = p;
+  }
+  std::unordered_map<int, std::size_t> producer;  // reg -> defining instr
+  std::vector<std::vector<bool>> deps(instrs.size(),
+                                      std::vector<bool>(num_ph, false));
+  std::function<void(const fx::Instr::ArgExpr&, std::vector<bool>&)> mark =
+      [&](const fx::Instr::ArgExpr& e, std::vector<bool>& d) {
+        if (e.kind == fx::Instr::ArgExpr::Kind::Reg) {
+          const auto ph = ph_of_reg.find(e.reg);
+          if (ph != ph_of_reg.end()) {
+            d[ph->second] = true;
+            return;
+          }
+          const auto pr = producer.find(e.reg);
+          if (pr != producer.end()) {
+            const std::vector<bool>& src = deps[pr->second];
+            for (std::size_t k = 0; k < num_ph; ++k) {
+              if (src[k]) d[k] = true;
+            }
+          }
+          return;
+        }
+        for (const auto& item : e.items) mark(item, d);
+      };
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    for (const auto& a : instrs[i].args) mark(a, deps[i]);
+    if (instrs[i].out_reg >= 0) {
+      producer[instrs[i].out_reg] = i;
+    }
+  }
+
+  for (const auto& entry : cache->entries()) {
+    const fx::TapePlan& plan = *entry->plan();
+    const std::string& sig = entry->signature();
+    if (plan.intervals.size() != instrs.size()) {
+      emit(out, "plan.cache-coherence", Severity::Error, nullptr, sig,
+           "cached plan '" + sig + "' has " +
+               std::to_string(plan.intervals.size()) +
+               " intervals but the tape has " +
+               std::to_string(instrs.size()) + " instructions",
+           "the module was recompiled without clearing its plan cache; "
+           "recompile() clears it — do not re-insert stale plans");
+      continue;
+    }
+    if (plan.guards.size() != num_ph) {
+      emit(out, "plan.cache-coherence", Severity::Error, nullptr, sig,
+           "cached plan '" + sig + "' carries " +
+               std::to_string(plan.guards.size()) + " guard spec(s) for " +
+               std::to_string(num_ph) + " placeholder(s)",
+           "plans must pin every input; re-plan via passes::plan_tape");
+      continue;
+    }
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+      if (!plan.intervals[i].planned) continue;
+      for (std::size_t p = 0; p < num_ph; ++p) {
+        if (!deps[i][p] || !plan.guards[p].placeholder.empty()) continue;
+        const Node* n = instrs[i].node;
+        const Node* pn = cg.input_nodes()[p];
+        emit(out, "plan.cache-coherence", Severity::Error, n,
+             n ? n->name() : "",
+             "cached plan '" + sig + "' gives instruction " +
+                 std::to_string(i) + " an arena slot whose size depends on "
+                 "placeholder '" + (pn ? pn->name() : "?") +
+                 "', but that placeholder has no named guard",
+             "every dimension a cached layout depends on must be pinned by "
+             "the entry's guards, or the cache key under-determines it");
+      }
+    }
+    // Key <-> contract cross-check: re-deriving the signature from the
+    // plan's own guards must give the key the entry is filed under (modulo
+    // bucketing, which signature_of_guards applies identically).
+    const std::string gsig = cache->signature_of_guards(plan.guards);
+    if (!gsig.empty() && gsig != sig) {
+      emit(out, "plan.cache-coherence", Severity::Error, nullptr, sig,
+           "cache entry is keyed '" + sig + "' but its plan's guards derive "
+           "signature '" + gsig + "'",
+           "the entry would serve inputs its plan was never specialized "
+           "for; evict and re-plan");
+    }
+  }
+}
+
 Rule structural_rule(const char* id, Severity sev, const char* desc,
                      void (*fn)(const Graph&, std::vector<Diagnostic>&)) {
   return Rule{id, sev, desc,
@@ -604,6 +712,10 @@ std::vector<Rule> Verifier::default_rules() {
                    "planned intervals sharing arena bytes are ordered after "
                    "the earlier interval's readers (anti-dependencies)",
                    check_plan_war_rule});
+  r.push_back(Rule{"plan.cache-coherence", Severity::Error,
+                   "every cached plan matches the current tape and its "
+                   "guards pin every dimension the arena layout depends on",
+                   check_plan_cache_coherence});
   return r;
 }
 

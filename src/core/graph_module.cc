@@ -11,6 +11,7 @@
 #include "core/interpreter.h"
 #include "core/memory_plan.h"
 #include "core/parallel_executor.h"
+#include "core/plan_cache.h"
 
 namespace fxcpp::fx {
 
@@ -391,10 +392,18 @@ void GraphModule::recompile() {
 
   compiled->num_regs_ = next_reg;
   compiled_ = std::move(compiled);
-  // Any installed memory plan indexed the old tape; drop it. The replanner
-  // (if set) rebuilds a matching plan on the next run_planned().
-  plan_.reset();
-  arena_.reset();
+  // Any installed memory plan indexed the old tape; drop it (and every
+  // cached specialization — their instruction indices are meaningless on
+  // the new tape). The replanner (if set) rebuilds a matching plan on the
+  // next run_planned().
+  std::shared_ptr<PlanCache> cache;
+  {
+    std::lock_guard<std::mutex> lk(plan_mu_);
+    plan_.reset();
+    arena_.reset();
+    cache = plan_cache_;
+  }
+  if (cache) cache->clear();
 }
 
 void GraphModule::install_plan(std::shared_ptr<const TapePlan> plan) {
@@ -402,27 +411,135 @@ void GraphModule::install_plan(std::shared_ptr<const TapePlan> plan) {
     clear_plan();
     return;
   }
-  arena_ = std::make_shared<MemoryArena>(plan->arena_bytes);
+  // Build the arena before publishing, then publish the pair under the lock:
+  // a concurrent reader either sees the old (plan, arena) pair or the new
+  // one, never a plan whose arena is missing or undersized.
+  auto arena = std::make_shared<MemoryArena>(plan->arena_bytes);
+  std::lock_guard<std::mutex> lk(plan_mu_);
+  arena_ = std::move(arena);
   plan_ = std::move(plan);
 }
 
 void GraphModule::clear_plan() {
+  std::lock_guard<std::mutex> lk(plan_mu_);
   plan_.reset();
   arena_.reset();
+}
+
+std::shared_ptr<const TapePlan> GraphModule::plan() const {
+  std::lock_guard<std::mutex> lk(plan_mu_);
+  return plan_;
+}
+
+void GraphModule::set_plan_cache(std::shared_ptr<PlanCache> cache) {
+  std::lock_guard<std::mutex> lk(plan_mu_);
+  plan_cache_ = std::move(cache);
+}
+
+std::shared_ptr<PlanCache> GraphModule::plan_cache() const {
+  std::lock_guard<std::mutex> lk(plan_mu_);
+  return plan_cache_;
+}
+
+std::shared_ptr<PlanCacheEntry> GraphModule::replan_into_cache(
+    const std::vector<RtValue>& inputs) {
+  std::shared_ptr<PlanCache> cache = plan_cache();
+  if (!cache || !replanner_) return nullptr;
+  const std::string sig = cache->signature_of(inputs);
+  std::lock_guard<std::mutex> lk(replan_mu_);
+  // Double-checked: another thread may have planned this signature while we
+  // waited for the planning lock.
+  if (std::shared_ptr<PlanCacheEntry> raced = cache->peek(sig)) return raced;
+  // Plan at the signature's canonical shapes (dim 0 rounded up under
+  // bucketing) so one plan serves the whole bucket. Graphs that reject the
+  // canonical shapes (e.g. square-matmul graphs where rounding one dim
+  // breaks the contract) fall back to planning at the exact inputs — the
+  // entry still serves the bucket, with off-canonical sizes degrading to
+  // heap allocation (see core/plan_cache.h).
+  std::vector<Tensor> canon;
+  bool planned = false;
+  if (cache->canonical_inputs(inputs, &canon)) {
+    std::vector<RtValue> canon_rt(canon.begin(), canon.end());
+    try {
+      replanner_(*this, canon_rt);
+      planned = has_plan();
+    } catch (...) {
+      planned = false;
+    }
+  }
+  if (!planned) {
+    replanner_(*this, inputs);
+    if (!has_plan()) return nullptr;
+  }
+  return cache->insert(inputs, plan());
+}
+
+bool GraphModule::run_planned_cached(
+    const std::vector<RtValue>& inputs,
+    std::shared_ptr<const TapePlan>* plan_out,
+    std::shared_ptr<PlanCacheEntry>* entry_out) {
+  std::shared_ptr<PlanCache> cache = plan_cache();
+  if (!cache) return false;
+  std::shared_ptr<PlanCacheEntry> entry = cache->lookup(inputs);
+  if (!entry) entry = replan_into_cache(inputs);
+  if (!entry) return false;
+  // Stale-tape backstop: recompile() clears the cache under plan_mu_, but an
+  // entry obtained just before that clear could index the old tape.
+  if (entry->plan()->intervals.size() != compiled_->instrs().size()) {
+    return false;
+  }
+  *plan_out = entry->plan();
+  *entry_out = std::move(entry);
+  return true;
 }
 
 std::vector<RtValue> GraphModule::run_planned(std::vector<RtValue> inputs,
                                               ExecHooks* hooks) {
   if (!compiled_) recompile();
-  if (!plan_ || !plan_matches_inputs(*plan_, inputs)) {
-    // Shape change (or no plan yet): transparent re-plan, then fall back to
-    // the unplanned tape if no matching plan could be produced.
-    if (replanner_) replanner_(*this, inputs);
-    if (!plan_ || !plan_matches_inputs(*plan_, inputs)) {
+  {
+    // Cache path: hit = signature hash + guard check, zero planning work;
+    // miss plans once (replan_into_cache) and inserts. Each run leases its
+    // own arena, so concurrent callers of any shape mix are safe.
+    std::shared_ptr<const TapePlan> plan;
+    std::shared_ptr<PlanCacheEntry> entry;
+    if (run_planned_cached(inputs, &plan, &entry)) {
+      ArenaLease lease(entry);
+      return compiled_->run_planned(std::move(inputs), *plan, lease.base(),
+                                    hooks);
+    }
+    if (plan_cache()) {
+      // Cache attached but no plan could be produced (non-tensor inputs,
+      // planner failure): transparent unplanned fallback.
       return compiled_->run(std::move(inputs), hooks);
     }
   }
-  return compiled_->run_planned(std::move(inputs), *plan_, arena_->base(),
+  // Cacheless path (install_plan without compile_planned): snapshot the
+  // published (plan, arena) pair so a concurrent replan never leaves us with
+  // a plan whose arena belongs to a different specialization.
+  std::shared_ptr<const TapePlan> plan;
+  std::shared_ptr<MemoryArena> arena;
+  {
+    std::lock_guard<std::mutex> lk(plan_mu_);
+    plan = plan_;
+    arena = arena_;
+  }
+  if (!plan || !plan_matches_inputs(*plan, inputs)) {
+    // Shape change (or no plan yet): transparent re-plan, then fall back to
+    // the unplanned tape if no matching plan could be produced.
+    if (replanner_) {
+      std::lock_guard<std::mutex> lk(replan_mu_);
+      replanner_(*this, inputs);
+    }
+    {
+      std::lock_guard<std::mutex> lk(plan_mu_);
+      plan = plan_;
+      arena = arena_;
+    }
+    if (!plan || !plan_matches_inputs(*plan, inputs)) {
+      return compiled_->run(std::move(inputs), hooks);
+    }
+  }
+  return compiled_->run_planned(std::move(inputs), *plan, arena->base(),
                                 hooks);
 }
 
@@ -437,14 +554,39 @@ Tensor GraphModule::run_planned(const Tensor& input) {
 std::vector<RtValue> GraphModule::run_planned_parallel(
     std::vector<RtValue> inputs, int num_threads) {
   if (!compiled_) recompile();
-  if (!plan_ || !plan_matches_inputs(*plan_, inputs)) {
-    if (replanner_) replanner_(*this, inputs);
+  {
+    // Cache path: hand the executor the entry's plan explicitly; it sizes
+    // its own arena from it, so eviction mid-run is harmless (the entry and
+    // plan stay alive through our shared_ptrs).
+    std::shared_ptr<const TapePlan> plan;
+    std::shared_ptr<PlanCacheEntry> entry;
+    if (run_planned_cached(inputs, &plan, &entry)) {
+      ExecutorOptions eo;
+      eo.num_threads = num_threads;
+      eo.use_plan = true;
+      eo.plan = std::move(plan);
+      ParallelExecutor ex(*this, eo);
+      return ex.run(std::move(inputs));
+    }
+    if (plan_cache()) {
+      ParallelExecutor ex(*this, ExecutorOptions{num_threads, false});
+      return ex.run(std::move(inputs));
+    }
+  }
+  std::shared_ptr<const TapePlan> plan = this->plan();
+  if (!plan || !plan_matches_inputs(*plan, inputs)) {
+    if (replanner_) {
+      std::lock_guard<std::mutex> lk(replan_mu_);
+      replanner_(*this, inputs);
+    }
+    plan = this->plan();
   }
   ExecutorOptions eo;
   eo.num_threads = num_threads;
   // The executor snapshots the (possibly re-planned) plan at construction
   // and owns its own arena; with no matching plan it runs unplanned.
-  eo.use_plan = plan_ != nullptr && plan_matches_inputs(*plan_, inputs);
+  eo.use_plan = plan != nullptr && plan_matches_inputs(*plan, inputs);
+  if (eo.use_plan) eo.plan = std::move(plan);
   ParallelExecutor ex(*this, eo);
   return ex.run(std::move(inputs));
 }

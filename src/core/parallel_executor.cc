@@ -118,8 +118,13 @@ Schedule build_planned_schedule(const CompiledGraph& cg,
 ParallelExecutor::ParallelExecutor(GraphModule& gm, ExecutorOptions opts)
     : gm_(gm), opts_(opts) {
   if (!gm_.compiled()) gm_.recompile();
-  if (opts_.use_plan && gm_.plan()) {
+  if (opts_.use_plan && opts_.plan) {
+    plan_ = opts_.plan;
+    plan_is_explicit_ = true;
+  } else if (opts_.use_plan) {
     plan_ = gm_.plan();
+  }
+  if (plan_) {
     arena_ = std::make_shared<MemoryArena>(plan_->arena_bytes);
     schedule_ = build_planned_schedule(gm_.compiled_graph(), *plan_);
   } else {
@@ -142,7 +147,11 @@ std::vector<RtValue> ParallelExecutor::run(std::vector<RtValue> inputs) {
                     "cancellation requested before execution started")
         .with_engine(Engine::Parallel);
   }
-  if (plan_ && !plan_matches_inputs(*plan_, inputs)) {
+  // An explicit (cache-supplied) plan skips the contract check: the plan
+  // cache matched these inputs by signature, and off-contract in-bucket
+  // shapes degrade to heap allocation rather than corrupting (exact-size
+  // placement adoption, core/memory_plan.h).
+  if (plan_ && !plan_is_explicit_ && !plan_matches_inputs(*plan_, inputs)) {
     throw ExecError(ErrorCode::GuardViolation,
                     "inputs violate the memory plan's shape/dtype contract; "
                     "this executor is shape-specialized — re-plan via "

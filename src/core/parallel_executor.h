@@ -105,8 +105,16 @@ struct ExecutorOptions {
   // Inputs that violate the plan's shape contract make run() throw
   // ExecError{GuardViolation} — a long-lived planned executor is
   // shape-specialized; use GraphModule::run_planned_parallel for the
-  // transparent-replan convenience. Ignored when the module has no plan.
+  // transparent-replan convenience. Ignored when the module has no plan
+  // (and no explicit `plan` below).
   bool use_plan = false;
+  // Explicit plan override (requires use_plan). When set, the executor runs
+  // this plan instead of the module's installed one — the plan-cache path
+  // hands an entry's specialization here. An explicit plan relaxes run()'s
+  // contract check: the caller (the cache) has matched inputs by signature,
+  // and off-contract in-bucket shapes execute safely via the planner's
+  // exact-size placement fallback.
+  std::shared_ptr<const TapePlan> plan;
 };
 
 class ParallelExecutor {
@@ -138,6 +146,7 @@ class ParallelExecutor {
   ExecutorStats stats_;
   std::shared_ptr<const TapePlan> plan_;
   std::shared_ptr<MemoryArena> arena_;
+  bool plan_is_explicit_ = false;  // came via opts.plan, not gm.plan()
 };
 
 }  // namespace fxcpp::fx

@@ -250,6 +250,12 @@ std::shared_ptr<const TapePlan> plan_tape(GraphModule& gm) {
 
 const TapePlan& compile_planned(GraphModule& gm,
                                 const std::vector<Tensor>& example_inputs) {
+  return compile_planned(gm, example_inputs, fx::PlanCacheOptions{});
+}
+
+const TapePlan& compile_planned(GraphModule& gm,
+                                const std::vector<Tensor>& example_inputs,
+                                const fx::PlanCacheOptions& cache_opts) {
   shape_prop(gm, example_inputs);
   install_with_guards(gm, plan_tape(gm));
   // The replanner makes planned entry points shape-polymorphic: on a guard
@@ -268,6 +274,12 @@ const TapePlan& compile_planned(GraphModule& gm,
     shape_prop(g, ts);
     install_with_guards(g, plan_tape(g));
   });
+  // Seed the cache with the example-shape specialization so the first real
+  // request at the traced shape is already a hit.
+  auto cache = std::make_shared<fx::PlanCache>(cache_opts);
+  std::vector<RtValue> example_rt(example_inputs.begin(), example_inputs.end());
+  cache->insert(example_rt, gm.plan());
+  gm.set_plan_cache(std::move(cache));
   return *gm.plan();
 }
 

@@ -33,6 +33,7 @@
 
 #include "core/graph_module.h"
 #include "core/memory_plan.h"
+#include "core/plan_cache.h"
 
 namespace fxcpp::passes {
 
@@ -67,10 +68,16 @@ std::shared_ptr<const fx::TapePlan> plan_tape(fx::GraphModule& gm);
 
 // One-call planned-mode setup: propagates shapes from the example inputs,
 // plans the tape, installs the plan (+ input guards derived from it) on the
-// module, and registers a replanner so a later input-shape change re-plans
-// transparently inside run_planned / run_planned_parallel. Returns the
-// installed plan (owned by the module).
+// module, registers a replanner, and attaches a guard-keyed PlanCache
+// (core/plan_cache.h) seeded with the example-shape plan — so mixed-shape
+// traffic plans each distinct input signature once and every repeat is a
+// pure cache hit. Returns the installed plan (owned by the module).
 const fx::TapePlan& compile_planned(fx::GraphModule& gm,
                                     const std::vector<Tensor>& example_inputs);
+// Same, with explicit cache knobs (LRU capacity, batch-dim bucketing,
+// per-entry arena pooling). See fx::PlanCacheOptions.
+const fx::TapePlan& compile_planned(fx::GraphModule& gm,
+                                    const std::vector<Tensor>& example_inputs,
+                                    const fx::PlanCacheOptions& cache_opts);
 
 }  // namespace fxcpp::passes

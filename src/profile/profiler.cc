@@ -7,6 +7,7 @@
 
 #include "core/interpreter.h"
 #include "core/parallel_executor.h"
+#include "core/plan_cache.h"
 
 namespace fxcpp::profile {
 
@@ -371,6 +372,11 @@ std::string Profiler::summary_json() const {
      << ", \"live_after\": " << mem_.live_after << ", \"peak\": " << mem_.peak
      << ", \"traffic\": " << mem_.traffic
      << ", \"allocations\": " << mem_.allocations << "},\n";
+  if (const std::shared_ptr<fx::PlanCache> cache = gm_.plan_cache()) {
+    // Hit/miss/evict/replan accounting of the module's multi-plan cache
+    // (core/plan_cache.h) — present only when compile_planned attached one.
+    os << "  \"plan_cache\": " << cache->stats().to_json() << ",\n";
+  }
   os << "  \"nodes\": [";
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     const NodeProfile& p = nodes[i];
