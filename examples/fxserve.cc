@@ -1,0 +1,119 @@
+// fxserve — serve a traced model under closed-loop load and report
+// QPS / p50 / p99 plus the session's batching counters.
+//
+//   fxserve [--clients N] [--requests M] [--feat F] [--hidden H]
+//           [--max-batch B] [--delay-us D] [--no-batching]
+//           [--deadline-ms X] [--queue N] [--json PATH]
+//
+// The model is an MLP (feat -> hidden -> 64) traced with fx::symbolic_trace
+// and prepared for serving via passes::compile_planned (batch-dim-bucketed
+// PlanCache), i.e. exactly the deployment shape DESIGN.md's serving chapter
+// describes: compiled artifact + runtime session as the unit of deployment.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/tracer.h"
+#include "nn/models/mlp.h"
+#include "runtime/thread_pool.h"
+#include "serve/loadgen.h"
+#include "serve/session.h"
+
+using namespace fxcpp;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--clients N] [--requests M] [--feat F] [--hidden H]\n"
+      "          [--max-batch B] [--delay-us D] [--no-batching]\n"
+      "          [--deadline-ms X] [--queue N] [--json PATH]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::LoadOptions lo;
+  lo.clients = 4;
+  lo.requests_per_client = 50;
+  std::int64_t feat = 64;
+  std::int64_t hidden = 256;
+  int layers = 1;
+  serve::ServeOptions so;
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (a == "--clients") lo.clients = std::atoi(next());
+    else if (a == "--requests") lo.requests_per_client = std::atoi(next());
+    else if (a == "--feat") feat = std::atoll(next());
+    else if (a == "--hidden") hidden = std::atoll(next());
+    else if (a == "--layers") layers = std::atoi(next());
+    else if (a == "--max-batch") so.max_batch_rows = std::atoll(next());
+    else if (a == "--delay-us")
+      so.max_queue_delay = std::chrono::microseconds(std::atoll(next()));
+    else if (a == "--no-batching") so.batching = false;
+    else if (a == "--deadline-ms")
+      lo.deadline_seconds = std::atof(next()) / 1e3;
+    else if (a == "--queue") so.max_queue_depth =
+        static_cast<std::size_t>(std::atoll(next()));
+    else if (a == "--json") json_path = next();
+    else return usage(argv[0]);
+  }
+  lo.feature_dim = feat;
+
+  rt::set_num_threads(1);
+  std::vector<std::int64_t> dims;
+  dims.push_back(feat);
+  for (int l = 0; l < layers; ++l) dims.push_back(hidden);
+  dims.push_back(64);
+  auto gm = fx::symbolic_trace(nn::models::mlp(dims));
+  serve::InferenceSession session(gm, serve::request_input(0, 4, feat), so);
+
+  std::printf("fxserve: mlp(%lld-%lldx%d-64), %d clients x %d requests, "
+              "batching %s (max %lld rows, %lld us delay)\n",
+              static_cast<long long>(feat), static_cast<long long>(hidden),
+              layers, lo.clients, lo.requests_per_client,
+              so.batching ? "on" : "off",
+              static_cast<long long>(so.max_batch_rows),
+              static_cast<long long>(so.max_queue_delay.count()));
+
+  const serve::LoadReport r = serve::run_closed_loop(session, lo);
+  session.shutdown();
+  const serve::SessionStats st = session.stats();
+
+  std::printf("\n  QPS          : %.1f\n", r.qps);
+  std::printf("  p50 latency  : %.3f ms\n", r.p50_seconds * 1e3);
+  std::printf("  p99 latency  : %.3f ms\n", r.p99_seconds * 1e3);
+  std::printf("  ok / failed  : %zu / %zu\n", r.ok, r.failed);
+  std::printf("  mean batch   : %.2f requests/run\n", r.mean_batch_requests);
+  std::printf("  session      : %s\n", st.to_json().c_str());
+
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    f << "{\n"
+      << "  \"qps\": " << r.qps << ",\n"
+      << "  \"p50_sec\": " << r.p50_seconds << ",\n"
+      << "  \"p99_sec\": " << r.p99_seconds << ",\n"
+      << "  \"ok\": " << r.ok << ",\n"
+      << "  \"failed\": " << r.failed << ",\n"
+      << "  \"mean_batch_requests\": " << r.mean_batch_requests << ",\n"
+      << "  \"session\": " << st.to_json() << "\n"
+      << "}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  // Exit nonzero if any request failed: the smoke-test contract.
+  return r.failed == 0 ? 0 : 1;
+}

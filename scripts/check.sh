@@ -2,7 +2,8 @@
 # Tier-1 verification, three ways: a normal Release build+ctest, the same
 # suite under AddressSanitizer+UBSan (FXCPP_SANITIZE=ON), and the
 # concurrency suite (parallel executor, task groups, thread pool, profiler
-# hooks, hardened runtime) under ThreadSanitizer (FXCPP_SANITIZE=thread).
+# hooks, hardened runtime, inference serving) under ThreadSanitizer
+# (FXCPP_SANITIZE=thread).
 # The ASan step covers the fault-injection differential fuzz (every fault
 # kind at every node must leak nothing and double-free nothing) and the
 # memory-planner fuzz (arena reuse / in-place aliasing must never read or
@@ -42,8 +43,9 @@ fxprof_smoke "$repo/build"
 # over the analysis + passes layers. Gated: the CI container does not ship
 # clang-tidy; run it locally when available.
 if command -v clang-tidy >/dev/null 2>&1; then
-  echo "-- clang-tidy (src/analysis src/passes src/core/plan_cache) --"
-  { find "$repo/src/analysis" "$repo/src/passes" -name '*.cc' -print0
+  echo "-- clang-tidy (src/analysis src/passes src/serve src/core/plan_cache) --"
+  { find "$repo/src/analysis" "$repo/src/passes" "$repo/src/serve" \
+      -name '*.cc' -print0
     printf '%s\0' "$repo/src/core/plan_cache.cc"; } |
     xargs -0 -n 4 -P "$jobs" clang-tidy -p "$repo/build" --quiet
 else
@@ -62,7 +64,7 @@ cmake -B "$repo/build-tsan" -S "$repo" -DFXCPP_SANITIZE=thread
 cmake --build "$repo/build-tsan" -j "$jobs" --target test_parallel_exec \
   --target test_runtime --target test_profile --target test_resilience \
   --target test_memory_plan --target test_dataflow --target test_constant_fold \
-  --target test_plan_cache
+  --target test_plan_cache --target test_serving
 "$repo/build-tsan/tests/test_parallel_exec"
 "$repo/build-tsan/tests/test_runtime"
 "$repo/build-tsan/tests/test_profile"
@@ -83,5 +85,9 @@ cmake --build "$repo/build-tsan" -j "$jobs" --target test_parallel_exec \
 # capacity churn, and clear() on the shared cache, and the legacy
 # single-plan path races its replanner from two shapes at once.
 "$repo/build-tsan/tests/test_plan_cache"
+# Serving layer under TSan: the batcher thread races client submitters,
+# cancellation flags, and mid-run deadline sweeps; the fuzz test runs two
+# sessions sharing one GraphModule's weights and plan cache.
+"$repo/build-tsan/tests/test_serving"
 
 echo "== check.sh: all suites green =="

@@ -12,6 +12,7 @@
 #include "core/memory_plan.h"
 #include "core/parallel_executor.h"
 #include "core/plan_cache.h"
+#include "tensor/ops.h"
 
 namespace fxcpp::fx {
 
@@ -549,6 +550,58 @@ Tensor GraphModule::run_planned(const Tensor& input) {
     throw std::logic_error("graph produced a non-tensor output");
   }
   return std::move(std::get<Tensor>(out.front()));
+}
+
+std::vector<Tensor> GraphModule::run_planned_batched(
+    const std::vector<Tensor>& rows, ExecHooks* hooks) {
+  if (rows.empty()) return {};
+  const Tensor& head = rows.front();
+  if (head.dim() < 1) {
+    throw std::invalid_argument(
+        "run_planned_batched: rows must have a batch dim");
+  }
+  std::int64_t total = 0;
+  for (const Tensor& r : rows) {
+    bool ok = r.dtype() == head.dtype() && r.dim() == head.dim();
+    for (std::int64_t d = 1; ok && d < head.dim(); ++d) {
+      ok = r.size(static_cast<int>(d)) == head.size(static_cast<int>(d));
+    }
+    if (!ok) {
+      throw std::invalid_argument(
+          "run_planned_batched: rows disagree on dtype or trailing dims");
+    }
+    total += r.size(0);
+  }
+  // One planned run over the whole batch. A single-request batch skips the
+  // concat copy and runs on the caller's tensor directly.
+  Tensor batched = rows.size() == 1 ? head : ops::cat(rows, 0);
+  std::vector<RtValue> out =
+      run_planned(std::vector<RtValue>{RtValue(std::move(batched))}, hooks);
+  if (out.size() != 1 || !rt_is_tensor(out.front())) {
+    throw ExecError(ErrorCode::NodeFailure,
+                    "run_planned_batched: graph did not produce a single "
+                    "tensor output");
+  }
+  Tensor result = std::move(std::get<Tensor>(out.front()));
+  if (result.dim() < 1 || result.size(0) != total) {
+    throw ExecError(
+        ErrorCode::NodeFailure,
+        "run_planned_batched: graph is not row-count-preserving (output "
+        "dim 0 is " +
+            std::to_string(result.dim() < 1 ? -1 : result.size(0)) +
+            ", batch has " + std::to_string(total) + " rows)");
+  }
+  std::vector<Tensor> split;
+  split.reserve(rows.size());
+  std::int64_t off = 0;
+  for (const Tensor& r : rows) {
+    const std::int64_t k = r.size(0);
+    // clone(): each response owns its bytes — never a view into the batch
+    // (whose storage may be arena-backed and recycled by the next run).
+    split.push_back(result.narrow(0, off, k).clone());
+    off += k;
+  }
+  return split;
 }
 
 std::vector<RtValue> GraphModule::run_planned_parallel(

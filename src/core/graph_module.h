@@ -230,6 +230,20 @@ class GraphModule : public nn::Module {
   std::vector<RtValue> run_planned(std::vector<RtValue> inputs,
                                    ExecHooks* hooks = nullptr);
   Tensor run_planned(const Tensor& input);
+
+  // Dynamic-batching entry (the serving layer's hot path): concatenate
+  // `rows` — per-request tensors that must agree on dtype and every dim but
+  // dim 0 — along dim 0, execute ONE planned run over the combined batch,
+  // and split the batched output back into one contiguous per-request tensor
+  // (row-count-preserving graphs only: the single tensor output's dim 0 must
+  // equal the summed input rows, else ExecError{NodeFailure} — callers
+  // degrade to per-request runs). Outputs are cloned out of the batch so a
+  // response never aliases arena or batch memory. Row-independent kernels
+  // (elementwise chains, GEMM over rows) make each split bit-identical to
+  // running that row alone.
+  std::vector<Tensor> run_planned_batched(const std::vector<Tensor>& rows,
+                                          ExecHooks* hooks = nullptr);
+
   // Planned + inter-op parallel convenience: validates/re-plans, then runs
   // a plan-aware ParallelExecutor (rebuilt per call, like forward_parallel).
   std::vector<RtValue> run_planned_parallel(std::vector<RtValue> inputs,

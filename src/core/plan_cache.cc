@@ -88,6 +88,10 @@ PlanCache::PlanCache(PlanCacheOptions opts) : opts_(opts) {
 }
 
 std::int64_t PlanCache::bucket_dim(std::int64_t d) const {
+  // An empty batch is its own bucket ("~0"): rounding 0 up into bucket_min
+  // would collide empty-tensor requests with the 1..bucket_min bucket, and a
+  // plan specialized at batch>=1 is the wrong contract for a 0-row run.
+  if (d <= 0) return 0;
   if (d <= opts_.bucket_min) return opts_.bucket_min;
   std::int64_t b = opts_.bucket_min;
   while (b < d) b <<= 1;  // next power-of-two multiple of the minimum bucket

@@ -14,7 +14,10 @@
 // With bucketing enabled (PlanCacheOptions::bucket_batch_dim), dim 0 of every
 // tensor input is rounded up to the next power-of-two bucket before keying
 // ("f32[~16,64]"), so a long tail of batch sizes collapses into a bounded
-// set of entries. A bucketed entry's plan is specialized at the bucket's
+// set of entries. Degenerate batches do not alias: a dim-0 of 0 keys to its
+// own "~0" bucket (never rounded up into the 1..bucket_min bucket), so the
+// empty-tensor requests a dynamic batcher generates can't be served by a
+// plan specialized at batch >= 1. A bucketed entry's plan is specialized at the bucket's
 // rounded-up canonical shape where the graph admits it; smaller batches in
 // the bucket still execute that plan *safely* — the planner's exact-size
 // single-shot placement hint means any instruction whose actual output size

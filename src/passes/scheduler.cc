@@ -54,7 +54,7 @@ std::vector<Tensor> run_pipelined(fx::SplitResult& split,
   // Stage-1 consumer — the "asynchronous device" draining stage-0 results —
   // runs as one inter-op pool task; the TaskGroup supplies the completion
   // signal (and propagates a stage-1 exception out of this function).
-  rt::TaskGroup group(rt::ThreadPool::inter_op());
+  rt::TaskGroup group(rt::ThreadPool::inter_op_handle());
   group.run([&] {
     for (;;) {
       std::pair<std::size_t, Tensor> item;

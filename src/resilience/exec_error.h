@@ -43,6 +43,8 @@ enum class ErrorCode {
   Cancelled,         // cooperative cancellation token observed
   DeadlineExceeded,  // wall-clock deadline expired mid-run
   ScheduleError,     // the dependency-counted schedule failed to cover
+  AdmissionRejected, // serving: request refused before execution (queue full
+                     // or session shutting down) — never reached an engine
 };
 
 inline const char* error_code_name(ErrorCode c) {
@@ -56,6 +58,7 @@ inline const char* error_code_name(ErrorCode c) {
     case ErrorCode::Cancelled: return "cancelled";
     case ErrorCode::DeadlineExceeded: return "deadline-exceeded";
     case ErrorCode::ScheduleError: return "schedule-error";
+    case ErrorCode::AdmissionRejected: return "admission-rejected";
   }
   return "?";
 }

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
 namespace fxcpp::rt {
@@ -72,13 +73,20 @@ void ThreadPool::worker_loop() {
 
 namespace {
 
-ThreadPool& pool_for(std::atomic<int>& knob) {
+std::shared_ptr<ThreadPool> pool_for(std::atomic<int>& knob) {
   // One pool per configured size; rebuilding on resize keeps the common case
-  // (size never changes after startup) lock-free at call sites. The old
-  // pool's destructor drains its queue before joining, so tasks already
-  // submitted (e.g. by an in-flight TaskGroup) still complete.
+  // (size never changes after startup) cheap at call sites. Pools are handed
+  // out as shared_ptrs: on resize this cache merely drops its reference, so
+  // an in-flight TaskGroup (or parallel_for) holding a handle keeps the old
+  // pool — and every task queued on it — alive and draining, while new
+  // handles see the new size. With no outstanding handles the drop destroys
+  // the old pool immediately, which drains its queue before joining. Either
+  // way a late set_num_threads()/set_num_interop_threads() takes effect
+  // without ever invalidating running work (the realized-pool resize bug:
+  // the old code returned bare references into a slot that reset() freed
+  // underneath them).
   static std::mutex mu;
-  static std::unique_ptr<ThreadPool> pools[2];
+  static std::shared_ptr<ThreadPool> pools[2];
   static int pool_sizes[2] = {-1, -1};
   const int slot = &knob == &g_num_interop_threads ? 1 : 0;
   std::lock_guard<std::mutex> lock(mu);
@@ -88,32 +96,55 @@ ThreadPool& pool_for(std::atomic<int>& knob) {
     knob.store(want);
   }
   if (!pools[slot] || pool_sizes[slot] != want) {
-    pools[slot].reset();
-    pools[slot] = std::make_unique<ThreadPool>(want);
+    pools[slot] = std::make_shared<ThreadPool>(want);
     pool_sizes[slot] = want;
   }
-  return *pools[slot];
+  return pools[slot];
 }
 
 }  // namespace
 
-ThreadPool& ThreadPool::global() { return pool_for(g_num_threads); }
+ThreadPool& ThreadPool::global() { return *pool_for(g_num_threads); }
 
-ThreadPool& ThreadPool::inter_op() { return pool_for(g_num_interop_threads); }
+ThreadPool& ThreadPool::inter_op() { return *pool_for(g_num_interop_threads); }
+
+std::shared_ptr<ThreadPool> ThreadPool::global_handle() {
+  return pool_for(g_num_threads);
+}
+
+std::shared_ptr<ThreadPool> ThreadPool::inter_op_handle() {
+  return pool_for(g_num_interop_threads);
+}
 
 // ---------------------------------------------------------------------------
 // TaskGroup
 // ---------------------------------------------------------------------------
 
 TaskGroup::TaskGroup(ThreadPool& pool)
-    : pool_(pool), state_(std::make_shared<State>()) {}
+    // Aliasing handle with no ownership: the caller promised the pool
+    // outlives the group (locally owned pools).
+    : pool_(std::shared_ptr<ThreadPool>(std::shared_ptr<void>(), &pool)),
+      state_(std::make_shared<State>()) {}
+
+TaskGroup::TaskGroup(std::shared_ptr<ThreadPool> pool)
+    : pool_(std::move(pool)), state_(std::make_shared<State>()) {
+  if (!pool_) throw std::invalid_argument("TaskGroup: null pool handle");
+}
 
 TaskGroup::~TaskGroup() {
-  // Best-effort drain so detached tasks never touch a dead State through a
-  // dangling group; an unobserved exception dies with the State (wait()
-  // would have rethrown it).
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [&] { return state_->pending == 0; });
+  // Drain so detached tasks never touch a dead State through a dangling
+  // group. An exception nobody consumed (the caller timed out and walked
+  // away) goes to the abandoned-error observer when one is set; otherwise
+  // it dies with the State, as wait() would have rethrown it.
+  std::exception_ptr leftover;
+  std::function<void(std::exception_ptr)> observer;
+  {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->pending == 0; });
+    leftover = std::exchange(state_->error, nullptr);
+    observer = state_->abandoned_observer;
+  }
+  if (leftover && observer) observer(leftover);
 }
 
 void TaskGroup::run(std::function<void()> fn) {
@@ -123,7 +154,7 @@ void TaskGroup::run(std::function<void()> fn) {
   }
   // The wrapper owns a shared_ptr to the State, so a task finishing after
   // the group's user is done waiting (destructor path) stays safe.
-  pool_.submit([st = state_, f = std::move(fn)]() mutable {
+  pool_->submit([st = state_, f = std::move(fn)]() mutable {
     try {
       f();
     } catch (...) {
@@ -171,9 +202,26 @@ bool TaskGroup::wait_for(std::chrono::milliseconds timeout) {
   return true;
 }
 
+std::exception_ptr TaskGroup::drain() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->pending == 0; });
+  return std::exchange(state_->error, nullptr);
+}
+
+void TaskGroup::set_abandoned_error_observer(
+    std::function<void(std::exception_ptr)> f) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->abandoned_observer = std::move(f);
+}
+
 bool TaskGroup::failed() const {
   std::lock_guard<std::mutex> lock(state_->mu);
   return state_->failed;
+}
+
+std::size_t TaskGroup::pending() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->pending;
 }
 
 // ---------------------------------------------------------------------------
@@ -221,11 +269,13 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
   std::mutex mu;
   std::condition_variable cv;
 
-  ThreadPool& pool = ThreadPool::global();
+  // Handle, not reference: a concurrent set_num_threads() must not destroy
+  // the pool while our chunks are queued on it.
+  const std::shared_ptr<ThreadPool> pool = ThreadPool::global_handle();
   for (std::int64_t c = 1; c < chunks; ++c) {
     const std::int64_t b = begin + c * chunk;
     const std::int64_t e = std::min(end, b + chunk);
-    pool.submit([&, b, e] {
+    pool->submit([&, b, e] {
       fn(b, e);
       if (remaining.fetch_sub(1) == 1) {
         std::lock_guard<std::mutex> lock(mu);

@@ -51,10 +51,24 @@ class ThreadPool {
   bool stopped() const;
 
   // Process-wide intra-op pool sized to the current set_num_threads() knob.
+  // The returned reference is valid only until the next resize; callers that
+  // hold the pool across a possible set_num_threads() call (or submit work a
+  // concurrent resize could race) must use global_handle() instead.
   static ThreadPool& global();
   // Process-wide inter-op pool (graph-level parallelism) sized to the
-  // current set_num_interop_threads() knob.
+  // current set_num_interop_threads() knob. Same lifetime caveat as
+  // global(); prefer inter_op_handle() for anything longer than a call.
   static ThreadPool& inter_op();
+
+  // Owning handles to the process-wide pools. A late set_num_threads() /
+  // set_num_interop_threads() call takes effect on the *next* handle (a new
+  // pool of the new size is built); pools already handed out stay alive —
+  // and keep executing their queued work — until the last handle drops, so
+  // a resize can never invalidate in-flight TaskGroups. This is the safe
+  // answer to "the knob changed after the pool was realized": new work sees
+  // the new size, old work drains on the old pool.
+  static std::shared_ptr<ThreadPool> global_handle();
+  static std::shared_ptr<ThreadPool> inter_op_handle();
 
  private:
   void worker_loop();
@@ -79,9 +93,26 @@ class ThreadPool {
 // stopped or destroyed mid-flight, already-queued tasks still run (the
 // pool drains before joining) and later run() calls execute inline, so
 // wait() never deadlocks.
+// Post-deadline completion contract (what a wait_for() timeout means):
+// a false return abandons nothing. The timed-out tasks keep running; their
+// results/exceptions stay observable through exactly one of
+//   - a later wait() / wait_for() (rethrows a captured exception),
+//   - drain() (blocks until quiescent, *returns* the exception), or
+//   - the destructor, which waits for quiescence and hands any still-
+//     unconsumed exception to the abandoned-error observer (if set) instead
+//     of dropping it.
+// The serving batcher keys off this: it answers expired requests early but
+// keeps polling wait_for() until the batch quiesces, so a late kernel
+// failure is always seen, counted, and never lost.
 class TaskGroup {
  public:
+  // Non-owning: the caller guarantees `pool` outlives the group (the idiom
+  // for locally owned pools, e.g. the ParallelExecutor's private pool).
   explicit TaskGroup(ThreadPool& pool);
+  // Owning: pins the pool for the group's lifetime. Required with the
+  // process-wide pools (ThreadPool::inter_op_handle()), whose current
+  // instance can be swapped out by a concurrent thread-count resize.
+  explicit TaskGroup(std::shared_ptr<ThreadPool> pool);
   ~TaskGroup();
 
   TaskGroup(const TaskGroup&) = delete;
@@ -97,11 +128,27 @@ class TaskGroup {
   // Bounded wait: true when the group quiesced within `timeout` (consuming
   // and rethrowing a captured exception exactly like wait()), false on
   // timeout with tasks still pending. The polling loop the ParallelExecutor
-  // builds its cancellation/deadline watch on.
+  // and the serving batcher build their cancellation/deadline watches on.
   bool wait_for(std::chrono::milliseconds timeout);
+
+  // Block until the group quiesces and return (consuming, not throwing) the
+  // first captured exception, or nullptr when every task succeeded. The
+  // post-timeout drain: after wait_for() returned false and the caller has
+  // already answered its clients, drain() is how a late exception is
+  // observed rather than dropped.
+  std::exception_ptr drain();
+
+  // Observer for exceptions still unconsumed when the group is destroyed
+  // (the caller timed out and never called wait()/drain()). Invoked at most
+  // once, from the destructor, after quiescence. Without an observer such
+  // an exception dies with the group (the pre-existing behavior).
+  void set_abandoned_error_observer(std::function<void(std::exception_ptr)> f);
 
   // True once any task has thrown (long fan-outs can bail early).
   bool failed() const;
+
+  // Tasks scheduled but not yet finished (snapshot; for tests/diagnostics).
+  std::size_t pending() const;
 
  private:
   struct State {
@@ -110,8 +157,9 @@ class TaskGroup {
     std::size_t pending = 0;
     std::exception_ptr error;
     bool failed = false;  // sticky: survives wait() consuming `error`
+    std::function<void(std::exception_ptr)> abandoned_observer;
   };
-  ThreadPool& pool_;
+  std::shared_ptr<ThreadPool> pool_;  // null deleter when built from a ref
   std::shared_ptr<State> state_;
 };
 
@@ -125,7 +173,10 @@ int get_num_threads();
 
 // Inter-op (graph-level) parallelism knob, `n >= 1`. Defaults to
 // hardware_concurrency; independent of the intra-op setting, like
-// torch.set_num_interop_threads.
+// torch.set_num_interop_threads. Unlike its torch namesake, a late call —
+// after the pool has been realized — is not ignored: the next
+// ThreadPool::inter_op()/inter_op_handle() serves a pool of the new size,
+// while handles to the old pool stay valid until released.
 void set_num_interop_threads(int n);
 int get_num_interop_threads();
 

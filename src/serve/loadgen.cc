@@ -1,0 +1,94 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "runtime/timer.h"
+
+namespace fxcpp::serve {
+
+std::int64_t zipf_rows(rt::Rng& rng) {
+  const double p = rng.uniform(0.0, 1.0);
+  if (p < 0.55) return 1;
+  if (p < 0.80) return 2;
+  if (p < 0.92) return 4;
+  return 3 + rng.randint(0, 5);
+}
+
+Tensor request_input(std::uint64_t seed, std::int64_t rows,
+                     std::int64_t feat) {
+  rt::Rng rng(0xF00Du ^ seed);
+  std::vector<float> v(static_cast<std::size_t>(rows * feat));
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return Tensor::from_vector(v, {rows, feat});
+}
+
+namespace {
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+}  // namespace
+
+LoadReport run_closed_loop(InferenceSession& session,
+                           const LoadOptions& opts) {
+  std::vector<std::vector<LoadOutcome>> per(
+      static_cast<std::size_t>(opts.clients));
+  rt::Timer wall;
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(opts.clients));
+  for (int c = 0; c < opts.clients; ++c) {
+    clients.emplace_back([&, c] {
+      rt::Rng rng(opts.seed * 7919 + static_cast<std::uint64_t>(c));
+      auto& mine = per[static_cast<std::size_t>(c)];
+      mine.reserve(static_cast<std::size_t>(opts.requests_per_client));
+      for (int i = 0; i < opts.requests_per_client; ++i) {
+        const std::int64_t rows = zipf_rows(rng);
+        Tensor x = request_input(
+            (static_cast<std::uint64_t>(c) << 32) |
+                static_cast<std::uint64_t>(i),
+            rows, opts.feature_dim);
+        LoadOutcome o;
+        o.response = session.run(x.clone(), opts.deadline_seconds);
+        o.input = std::move(x);
+        mine.push_back(std::move(o));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  LoadReport r;
+  r.wall_seconds = wall.seconds();
+  std::vector<double> lat;
+  double batch_req_sum = 0.0;
+  for (auto& v : per) {
+    for (LoadOutcome& o : v) {
+      if (o.response.ok) {
+        ++r.ok;
+        lat.push_back(o.response.total_seconds);
+        batch_req_sum += static_cast<double>(o.response.batch_requests);
+      } else {
+        ++r.failed;
+      }
+      r.outcomes.push_back(std::move(o));
+    }
+  }
+  const std::size_t total = r.ok + r.failed;
+  r.qps = r.wall_seconds > 0.0
+              ? static_cast<double>(total) / r.wall_seconds
+              : 0.0;
+  r.p50_seconds = percentile(lat, 0.50);
+  r.p99_seconds = percentile(lat, 0.99);
+  r.mean_batch_requests = r.ok ? batch_req_sum / static_cast<double>(r.ok) : 0.0;
+  return r;
+}
+
+}  // namespace fxcpp::serve

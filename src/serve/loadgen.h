@@ -1,0 +1,53 @@
+// Closed-loop load generator for InferenceSession (bench/bench_serving and
+// examples/fxserve): N client threads, each submitting its next request the
+// moment the previous response lands, over a Zipf-flavored row-count mix —
+// the "production traffic has a few hot shapes" distribution the plan
+// cache and the dynamic batcher are both built for. Reports QPS and
+// client-observed p50/p99 latency, and keeps every (input, response) pair
+// so callers can bit-check outputs against a reference engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/rng.h"
+#include "serve/session.h"
+
+namespace fxcpp::serve {
+
+struct LoadOptions {
+  int clients = 6;
+  int requests_per_client = 60;
+  std::int64_t feature_dim = 64;
+  double deadline_seconds = 0.0;  // 0 = none
+  std::uint64_t seed = 1;
+};
+
+struct LoadOutcome {
+  Tensor input;
+  Response response;
+};
+
+struct LoadReport {
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50_seconds = 0.0;  // over ok responses' submit-to-response time
+  double p99_seconds = 0.0;
+  double mean_batch_requests = 0.0;  // coalescing actually achieved
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::vector<LoadOutcome> outcomes;  // every request, client-major order
+};
+
+// Hot row counts 1/2/4 carry 92% of the mass; the tail is uniform 3..8.
+std::int64_t zipf_rows(rt::Rng& rng);
+
+// Deterministic per (seed, rows): repeated requests carry identical bits so
+// responses can be bit-checked against a reference run on the same input.
+Tensor request_input(std::uint64_t seed, std::int64_t rows, std::int64_t feat);
+
+// Drive `session` closed-loop and aggregate. Blocks until every client
+// finished; does not shut the session down.
+LoadReport run_closed_loop(InferenceSession& session, const LoadOptions& opts);
+
+}  // namespace fxcpp::serve

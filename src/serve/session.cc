@@ -1,0 +1,387 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "core/plan_cache.h"
+#include "passes/memory_planner.h"
+
+namespace fxcpp::serve {
+
+namespace {
+
+double secs(std::chrono::steady_clock::time_point from,
+            std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+std::string SessionStats::to_json() const {
+  std::ostringstream os;
+  os << "{\"admitted\": " << admitted << ", \"rejected\": " << rejected
+     << ", \"completed\": " << completed << ", \"failed\": " << failed
+     << ", \"cancelled\": " << cancelled << ", \"expired\": " << expired
+     << ", \"batches\": " << batches << ", \"batched_rows\": " << batched_rows
+     << ", \"degraded_batches\": " << degraded_batches
+     << ", \"late_results\": " << late_results
+     << ", \"late_errors\": " << late_errors
+     << ", \"peak_batch_rows\": " << peak_batch_rows << "}";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::shared_ptr<fx::GraphModule> prepare_for_serving(
+    std::shared_ptr<fx::GraphModule> gm, const Tensor& example) {
+  fx::PlanCacheOptions co;
+  co.bucket_batch_dim = true;  // coalesced row counts land in p2 buckets
+  passes::compile_planned(*gm, {example}, co);
+  return gm;
+}
+
+}  // namespace
+
+InferenceSession::InferenceSession(std::shared_ptr<fx::GraphModule> gm,
+                                   ServeOptions opts)
+    : gm_(std::move(gm)),
+      opts_(opts),
+      pool_(std::make_shared<rt::ThreadPool>(1)) {
+  if (!gm_) throw std::invalid_argument("InferenceSession: null module");
+  if (opts_.max_queue_depth == 0) opts_.max_queue_depth = 1;
+  if (opts_.max_batch_rows < 1) opts_.max_batch_rows = 1;
+  if (opts_.batch_poll.count() < 1) opts_.batch_poll = std::chrono::milliseconds(1);
+  if (!gm_->compiled()) gm_->recompile();
+  batcher_ = std::thread([this] { batcher_loop(); });
+}
+
+InferenceSession::InferenceSession(std::shared_ptr<fx::GraphModule> gm,
+                                   const Tensor& example, ServeOptions opts)
+    : InferenceSession(prepare_for_serving(std::move(gm), example), opts) {}
+
+InferenceSession::~InferenceSession() { shutdown(); }
+
+void InferenceSession::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+Ticket InferenceSession::submit(Tensor input, double deadline_seconds) {
+  Ticket t;
+  t.cancel = std::make_shared<std::atomic<bool>>(false);
+  std::promise<Response> promise;
+  t.response = promise.get_future();
+
+  const Clock::time_point now = Clock::now();
+  Request r;
+  r.input = std::move(input);
+  r.cancel = t.cancel;
+  r.enqueue = now;
+  r.deadline = deadline_seconds > 0.0
+                   ? now + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(deadline_seconds))
+                   : Clock::time_point::max();
+
+  if (r.input.dim() < 1) {
+    Response resp;
+    resp.code = ErrorCode::GuardViolation;
+    resp.error = "serve: request tensor must have a batch dim (dim >= 1)";
+    promise.set_value(std::move(resp));
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    ++stats_.rejected;
+    return t;
+  }
+
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    t.id = r.id = next_id_++;
+    if (!stopping_ && queue_.size() < opts_.max_queue_depth) {
+      r.promise = std::move(promise);
+      queue_.push_back(std::move(r));
+      admitted = true;
+    }
+  }
+  if (admitted) {
+    cv_.notify_all();
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    ++stats_.admitted;
+    return t;
+  }
+  Response resp;
+  resp.code = ErrorCode::AdmissionRejected;
+  resp.error = "serve: request rejected at admission (queue full or session "
+               "shutting down)";
+  promise.set_value(std::move(resp));
+  std::lock_guard<std::mutex> sl(stats_mu_);
+  ++stats_.rejected;
+  return t;
+}
+
+Response InferenceSession::run(Tensor input, double deadline_seconds) {
+  Ticket t = submit(std::move(input), deadline_seconds);
+  return t.response.get();
+}
+
+SessionStats InferenceSession::stats() const {
+  std::lock_guard<std::mutex> sl(stats_mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Batcher
+// ---------------------------------------------------------------------------
+
+bool InferenceSession::compatible(const Tensor& a, const Tensor& b) {
+  if (a.dtype() != b.dtype() || a.dim() != b.dim() || a.dim() < 1) return false;
+  for (std::int64_t d = 1; d < a.dim(); ++d) {
+    if (a.size(static_cast<int>(d)) != b.size(static_cast<int>(d))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void InferenceSession::batcher_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, fully drained
+      batch = form_batch(lock);
+    }
+    process_batch(std::move(batch));
+  }
+}
+
+std::vector<InferenceSession::Request> InferenceSession::form_batch(
+    std::unique_lock<std::mutex>& lock) {
+  std::vector<Request> batch;
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  if (!opts_.batching) return batch;
+
+  std::int64_t rows = batch.front().input.size(0);
+  const Clock::time_point flush_at =
+      batch.front().enqueue + opts_.max_queue_delay;
+  for (;;) {
+    // Sweep the queue for members of the head's compatibility class. A
+    // compatible request that would overflow max_batch_rows stays queued
+    // for its own batch; incompatible ones keep their arrival order.
+    for (auto it = queue_.begin();
+         it != queue_.end() && rows < opts_.max_batch_rows;) {
+      if (compatible(batch.front().input, it->input) &&
+          rows + it->input.size(0) <= opts_.max_batch_rows) {
+        rows += it->input.size(0);
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (rows >= opts_.max_batch_rows || stopping_) break;
+    if (Clock::now() >= flush_at) break;
+    // Wait for more traffic until the head's flush point; a submit() or
+    // shutdown() notifies cv_ and re-runs the sweep.
+    if (cv_.wait_until(lock, flush_at) == std::cv_status::timeout) break;
+  }
+  return batch;
+}
+
+void InferenceSession::respond_error(Request& r, ErrorCode code,
+                                     const std::string& msg) {
+  if (r.answered) return;
+  Response resp;
+  resp.code = code;
+  resp.error = msg;
+  resp.total_seconds = secs(r.enqueue, Clock::now());
+  r.promise.set_value(std::move(resp));
+  r.answered = true;
+}
+
+void InferenceSession::respond_ok(Request& r, Tensor out,
+                                  std::int64_t batch_rows,
+                                  std::size_t batch_requests,
+                                  Clock::time_point start) {
+  if (r.answered) return;
+  Response resp;
+  resp.ok = true;
+  resp.output = std::move(out);
+  resp.batch_rows = batch_rows;
+  resp.batch_requests = batch_requests;
+  resp.queue_seconds = secs(r.enqueue, start);
+  resp.total_seconds = secs(r.enqueue, Clock::now());
+  r.promise.set_value(std::move(resp));
+  r.answered = true;
+}
+
+void InferenceSession::process_batch(std::vector<Request> batch) {
+  // Weed requests already dead before execution starts.
+  const Clock::time_point now0 = Clock::now();
+  std::vector<Request> live;
+  live.reserve(batch.size());
+  for (Request& r : batch) {
+    if (r.cancel && r.cancel->load()) {
+      respond_error(r, ErrorCode::Cancelled, "serve: cancelled in queue");
+      std::lock_guard<std::mutex> sl(stats_mu_);
+      ++stats_.cancelled;
+    } else if (r.deadline <= now0) {
+      respond_error(r, ErrorCode::DeadlineExceeded,
+                    "serve: deadline expired in queue");
+      std::lock_guard<std::mutex> sl(stats_mu_);
+      ++stats_.expired;
+    } else {
+      live.push_back(std::move(r));
+    }
+  }
+  if (live.empty()) return;
+
+  std::vector<Tensor> inputs;
+  inputs.reserve(live.size());
+  std::int64_t rows = 0;
+  for (const Request& r : live) {
+    inputs.push_back(r.input);
+    rows += r.input.size(0);
+  }
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    ++stats_.batches;
+    stats_.batched_rows += static_cast<std::uint64_t>(rows);
+    stats_.peak_batch_rows = std::max(stats_.peak_batch_rows, rows);
+  }
+
+  // One planned run over the coalesced batch, on the session's private
+  // pool. The TaskGroup pins the pool and supplies the watch-loop seam:
+  // wait_for's post-deadline contract guarantees a late result or
+  // exception is still observable after we time out and answer clients.
+  const Clock::time_point start = Clock::now();
+  auto results = std::make_shared<std::vector<Tensor>>();
+  rt::TaskGroup group(pool_);
+  group.run([this, inputs = std::move(inputs), results] {
+    *results = gm_->run_planned_batched(inputs);
+  });
+
+  std::exception_ptr batch_err;
+  for (;;) {
+    bool done = false;
+    try {
+      done = group.wait_for(opts_.batch_poll);
+    } catch (...) {
+      batch_err = std::current_exception();
+      done = true;
+    }
+    if (done) break;
+    // Mid-run sweep: answer cancelled/expired requests now — their batch
+    // slot keeps computing (cooperative batch, no per-row preemption), and
+    // the eventual result is counted late, not delivered.
+    const Clock::time_point now = Clock::now();
+    for (Request& r : live) {
+      if (r.answered) continue;
+      if (r.cancel && r.cancel->load()) {
+        respond_error(r, ErrorCode::Cancelled, "serve: cancelled mid-run");
+        std::lock_guard<std::mutex> sl(stats_mu_);
+        ++stats_.cancelled;
+      } else if (r.deadline <= now) {
+        respond_error(r, ErrorCode::DeadlineExceeded,
+                      "serve: deadline expired mid-run");
+        std::lock_guard<std::mutex> sl(stats_mu_);
+        ++stats_.expired;
+      }
+    }
+  }
+
+  std::size_t unanswered = 0;
+  for (const Request& r : live) unanswered += r.answered ? 0 : 1;
+
+  if (batch_err) {
+    if (unanswered == 0) {
+      // Every member was already answered (deadline/cancel); the error is
+      // observed and counted — the contract's "never dropped on the floor".
+      std::lock_guard<std::mutex> sl(stats_mu_);
+      ++stats_.late_errors;
+      return;
+    }
+    if (opts_.resilient) {
+      {
+        std::lock_guard<std::mutex> sl(stats_mu_);
+        ++stats_.degraded_batches;
+      }
+      degrade_requests(live, start);
+      return;
+    }
+    std::string msg;
+    try {
+      std::rethrow_exception(batch_err);
+    } catch (const ExecError& e) {
+      msg = e.what();
+      for (Request& r : live) respond_error(r, e.code(), msg);
+    } catch (const std::exception& e) {
+      msg = e.what();
+      for (Request& r : live) respond_error(r, ErrorCode::NodeFailure, msg);
+    }
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    stats_.failed += unanswered;
+    return;
+  }
+
+  // Success: deliver each request its split of the batched output.
+  std::uint64_t completed = 0;
+  std::uint64_t late = 0;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (live[i].answered) {
+      ++late;  // result arrived after a deadline/cancel response went out
+      continue;
+    }
+    respond_ok(live[i], std::move((*results)[i]), rows, live.size(), start);
+    ++completed;
+  }
+  std::lock_guard<std::mutex> sl(stats_mu_);
+  stats_.completed += completed;
+  stats_.late_results += late;
+}
+
+void InferenceSession::degrade_requests(std::vector<Request>& reqs,
+                                        Clock::time_point start) {
+  // Per-request rescue: one poisoned input must fail alone. Guards are
+  // specialized to the session's example shape, so they stay off here (the
+  // plan-cache path already keys safety by signature); the parallel rung
+  // stays off too — the degrade path runs on the batcher thread and wants
+  // the serial tape -> interpreter ladder.
+  fx::ResilientOptions ro;
+  ro.try_parallel = false;
+  ro.check_guards = false;
+  for (Request& r : reqs) {
+    if (r.answered) continue;
+    try {
+      Tensor out = gm_->run_resilient(r.input, ro);
+      respond_ok(r, std::move(out), r.input.size(0), 1, start);
+      std::lock_guard<std::mutex> sl(stats_mu_);
+      ++stats_.completed;
+    } catch (const ExecError& e) {
+      respond_error(r, e.code(), e.what());
+      std::lock_guard<std::mutex> sl(stats_mu_);
+      ++stats_.failed;
+    } catch (const std::exception& e) {
+      respond_error(r, ErrorCode::NodeFailure, e.what());
+      std::lock_guard<std::mutex> sl(stats_mu_);
+      ++stats_.failed;
+    }
+  }
+}
+
+}  // namespace fxcpp::serve

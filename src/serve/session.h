@@ -1,0 +1,209 @@
+// Inference serving front-end: an onnxruntime-style session over a
+// compiled, planned, guarded GraphModule.
+//
+// The paper treats fx-captured graphs as artifacts to be transformed and
+// then deployed; everything below the line already exists in this repo —
+// planned tapes, the guard-keyed multi-plan cache (core/plan_cache.h),
+// the resilient fallback ladder, TaskGroup deadlines — and this layer is
+// the traffic front-end that composes them:
+//
+//   clients --submit()--> bounded queue --batcher--> run_planned_batched
+//                 |                          |               |
+//            admission control        dynamic batching   PlanCache hit
+//
+// Dynamic batching. Single-sample requests whose tensors agree on dtype and
+// every dim but dim 0 are coalesced into one batched planned run — the
+// serving analogue of the multi-plan cache's batch-dim bucketing: the
+// combined row count lands in a power-of-two PlanCache bucket
+// (PlanCacheOptions::bucket_batch_dim), so a whole distribution of batch
+// sizes executes against a bounded set of cached plans. A batch flushes
+// when it reaches ServeOptions::max_batch_rows or when the oldest member
+// has waited ServeOptions::max_queue_delay.
+//
+// Deadlines & cancellation ride on TaskGroup::wait_for's post-deadline
+// completion contract (runtime/thread_pool.h): the batcher polls the
+// in-flight batch in batch_poll steps, answers any request whose deadline
+// expired (or whose cancel token fired) mid-run immediately, and keeps
+// polling until the batch quiesces — so a late result or exception is
+// always observed (counted in SessionStats::late_results / late_errors),
+// never dropped.
+//
+// Failure isolation. A batch run that throws does not poison its
+// co-batched requests: the batcher degrades to per-request
+// GraphModule::run_resilient calls, so one poisoned input fails alone with
+// its own ExecError code while its neighbors still get answers.
+//
+// Sharing. Multiple concurrent sessions may serve the same GraphModule
+// (shared weights): the planned cache path is thread-safe for concurrent
+// mixed-shape callers, and each session runs batches on its own private
+// execution pool.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/graph_module.h"
+#include "runtime/thread_pool.h"
+#include "tensor/tensor.h"
+
+namespace fxcpp::serve {
+
+struct ServeOptions {
+  // Admission bound: submissions beyond this many queued requests are
+  // rejected immediately with ErrorCode::AdmissionRejected (shed load at
+  // the door instead of growing latency without bound).
+  std::size_t max_queue_depth = 256;
+  // Flush a forming batch once its combined dim-0 rows reach this.
+  std::int64_t max_batch_rows = 16;
+  // Flush a forming batch once its oldest member has waited this long
+  // (the latency the batcher may add to a lone request). Keep it SHORT:
+  // under saturation batches fill from requests that accumulated while the
+  // previous run executed, so waiting longer mostly buys dead air (A11
+  // measures this directly — see bench/bench_serving.cc).
+  std::chrono::microseconds max_queue_delay{250};
+  // Poll step of the in-flight watch loop (TaskGroup::wait_for granularity
+  // for mid-run deadline/cancellation sweeps).
+  std::chrono::milliseconds batch_poll{1};
+  // Coalesce compatible requests (false = every request runs alone; the
+  // bench's control arm).
+  bool batching = true;
+  // Degrade a failed batch through per-request run_resilient (false =
+  // every co-batched request fails with the batch's error).
+  bool resilient = true;
+};
+
+// What a client gets back. `ok` responses carry the output tensor (always
+// an owning copy — never a view into batch or arena memory); failures
+// carry the ExecError taxonomy code plus the rendered message.
+struct Response {
+  bool ok = false;
+  ErrorCode code = ErrorCode::Unknown;
+  std::string error;
+  Tensor output;
+  std::int64_t batch_rows = 0;     // rows in the run that served this
+  std::size_t batch_requests = 0;  // requests coalesced into that run
+  double queue_seconds = 0.0;      // submit -> execution start
+  double total_seconds = 0.0;      // submit -> response
+};
+
+// Handle returned by submit(): the response future plus a cancellation
+// token (set true any time; a request cancelled before or during its run
+// resolves to ErrorCode::Cancelled).
+struct Ticket {
+  std::uint64_t id = 0;
+  std::future<Response> response;
+  std::shared_ptr<std::atomic<bool>> cancel;
+};
+
+struct SessionStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;   // shed at admission (queue full / stopping)
+  std::uint64_t completed = 0;  // ok responses
+  std::uint64_t failed = 0;     // error responses (excl. cancel/deadline)
+  std::uint64_t cancelled = 0;
+  std::uint64_t expired = 0;    // deadline exceeded (queue or mid-run)
+  std::uint64_t batches = 0;    // planned runs issued
+  std::uint64_t batched_rows = 0;     // total rows across those runs
+  std::uint64_t degraded_batches = 0; // batches rescued via run_resilient
+  std::uint64_t late_results = 0;  // results that landed after the request
+                                   // was already answered (deadline/cancel)
+  std::uint64_t late_errors = 0;   // batch errors observed after every
+                                   // member was already answered
+  std::int64_t peak_batch_rows = 0;
+  std::string to_json() const;
+};
+
+// One serving session: owns the request queue, the batcher thread, and a
+// private single-worker execution pool. submit() never blocks on
+// execution; shutdown() (or the destructor) drains already-admitted
+// requests before returning.
+class InferenceSession {
+ public:
+  // Serve an already-prepared module (caller ran passes::compile_planned
+  // or accepts unplanned-tape fallback). Recompiles if needed.
+  explicit InferenceSession(std::shared_ptr<fx::GraphModule> gm,
+                            ServeOptions opts = {});
+  // Convenience: prepare the module for serving first —
+  // passes::compile_planned at `example` with a batch-dim-bucketed
+  // PlanCache — then serve it.
+  InferenceSession(std::shared_ptr<fx::GraphModule> gm, const Tensor& example,
+                   ServeOptions opts = {});
+  ~InferenceSession();
+
+  InferenceSession(const InferenceSession&) = delete;
+  InferenceSession& operator=(const InferenceSession&) = delete;
+
+  // Enqueue one request (tensor-in/tensor-out graphs; dim 0 is the batch
+  // dim and may be any size >= 0). `deadline_seconds` > 0 bounds
+  // submit-to-response wall clock; an expired request is answered
+  // ErrorCode::DeadlineExceeded even while its batch is still running.
+  // Admission failures resolve the ticket immediately
+  // (ErrorCode::AdmissionRejected) — submit() itself never throws on load.
+  Ticket submit(Tensor input, double deadline_seconds = 0.0);
+
+  // Synchronous convenience: submit and wait.
+  Response run(Tensor input, double deadline_seconds = 0.0);
+
+  // Stop admitting, drain every queued request (they still get real
+  // responses), join the batcher. Idempotent; the destructor calls it.
+  void shutdown();
+
+  SessionStats stats() const;
+  const ServeOptions& options() const { return opts_; }
+  const std::shared_ptr<fx::GraphModule>& module() const { return gm_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    std::uint64_t id = 0;
+    Tensor input;
+    std::promise<Response> promise;
+    std::shared_ptr<std::atomic<bool>> cancel;
+    Clock::time_point enqueue;
+    Clock::time_point deadline;  // Clock::time_point::max() = none
+    bool answered = false;
+  };
+
+  void batcher_loop();
+  // Pop the head request and coalesce queued requests of its compatibility
+  // class (same dtype + trailing dims) until max_batch_rows or the head's
+  // max_queue_delay flush point. Called with `lock` held; may wait on cv_.
+  std::vector<Request> form_batch(std::unique_lock<std::mutex>& lock);
+  void process_batch(std::vector<Request> batch);
+  // Per-request rescue after a failed batch run (run_resilient ladder).
+  void degrade_requests(std::vector<Request>& reqs, Clock::time_point start);
+  static bool compatible(const Tensor& a, const Tensor& b);
+
+  void respond_error(Request& r, ErrorCode code, const std::string& msg);
+  void respond_ok(Request& r, Tensor out, std::int64_t batch_rows,
+                  std::size_t batch_requests, Clock::time_point start);
+
+  std::shared_ptr<fx::GraphModule> gm_;
+  ServeOptions opts_;
+  // Private execution pool: batch runs must not contend with (or be
+  // resized under) the process-wide pools; TaskGroup pins it per batch.
+  std::shared_ptr<rt::ThreadPool> pool_;
+
+  mutable std::mutex mu_;  // queue_, stopping_, next_id_
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  std::uint64_t next_id_ = 1;
+
+  mutable std::mutex stats_mu_;
+  SessionStats stats_;
+
+  std::thread batcher_;  // started last in the ctor, joined by shutdown()
+};
+
+}  // namespace fxcpp::serve

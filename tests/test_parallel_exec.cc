@@ -305,7 +305,9 @@ TEST(TaskGroup, FirstWorkerExceptionPropagates) {
 
 TEST(TaskGroup, ResizeWhileGroupInFlight) {
   const int before = rt::get_num_interop_threads();
-  rt::TaskGroup group(rt::ThreadPool::inter_op());
+  // Handle idiom: pins the current pool so the mid-flight resize below can
+  // never destroy it underneath the group's queued tasks.
+  rt::TaskGroup group(rt::ThreadPool::inter_op_handle());
   std::atomic<int> done{0};
   for (int i = 0; i < 32; ++i) {
     group.run([&] {

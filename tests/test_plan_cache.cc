@@ -219,6 +219,41 @@ TEST(PlanCacheSignature, BucketingRoundsBatchDimUp) {
   EXPECT_NE(cache.signature_of(b), cache.signature_of(d));
 }
 
+// Regression: degenerate dim-0 sizes must not collide under bucketing. The
+// old bucket_dim rounded 0 up into the bucket_min bucket, so an empty-tensor
+// request (which a dynamic batcher legitimately generates) would be served a
+// plan specialized at batch >= 1.
+TEST(PlanCacheSignature, BucketKeyingZeroBatchDoesNotCollideWithOne) {
+  PlanCacheOptions po;
+  po.bucket_batch_dim = true;
+  PlanCache cache(po);  // bucket_min = 1
+  const std::vector<RtValue> zero{RtValue(Tensor::zeros({0, 16}))};
+  const std::vector<RtValue> one{RtValue(Tensor::zeros({1, 16}))};
+  EXPECT_EQ(cache.signature_of(zero), "float32[~0,16]");
+  EXPECT_EQ(cache.signature_of(one), "float32[~1,16]");
+  EXPECT_NE(cache.signature_of(zero), cache.signature_of(one));
+}
+
+TEST(PlanCacheSignature, BucketKeyingDegenerateShapeUniqueness) {
+  PlanCacheOptions po;
+  po.bucket_batch_dim = true;
+  po.bucket_min = 4;
+  PlanCache cache(po);
+  // 0 keys alone; 1..bucket_min share the bucket_min bucket by design.
+  EXPECT_EQ(cache.signature_of({RtValue(Tensor::zeros({0, 8}))}),
+            "float32[~0,8]");
+  for (std::int64_t d : {1, 2, 3, 4}) {
+    EXPECT_EQ(cache.signature_of({RtValue(Tensor::zeros({d, 8}))}),
+              "float32[~4,8]");
+  }
+  // And the keys stay distinct end to end, not just textually: a canonical
+  // planning shape for the zero bucket keeps dim 0 at 0.
+  std::vector<Tensor> canon;
+  ASSERT_TRUE(cache.canonical_inputs({RtValue(Tensor::zeros({0, 8}))}, &canon));
+  ASSERT_EQ(canon.size(), 1u);
+  EXPECT_EQ(canon[0].size(0), 0);
+}
+
 TEST(PlanCacheSignature, GuardDerivationMatchesInputDerivation) {
   PlanCache cache;
   const std::vector<RtValue> in{RtValue(Tensor::zeros({8, 16}))};

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 #include "runtime/rng.h"
 #include "runtime/thread_pool.h"
@@ -109,6 +111,121 @@ TEST(TimerTest, MeasuresElapsed) {
   volatile double x = 0;
   for (int i = 0; i < 1000000; ++i) x = x + 1.0;
   EXPECT_GT(t.seconds(), 0.0);
+}
+
+// --------------------------------------------------------------------------
+// Regression: a late set_num_interop_threads() — after the inter-op pool
+// has been realized — must take effect, and a resize must never invalidate
+// pools that in-flight work still holds.
+// --------------------------------------------------------------------------
+
+TEST(InteropThreads, LateSetTakesEffectOnRealizedPool) {
+  const int before = get_num_interop_threads();
+  // Realize the pool at the current knob...
+  const std::shared_ptr<ThreadPool> first = ThreadPool::inter_op_handle();
+  EXPECT_EQ(first->size(), before);
+  // ...then change the knob late. The old behavior silently served the
+  // stale pool forever; now the next handle must see the new size.
+  set_num_interop_threads(before + 2);
+  const std::shared_ptr<ThreadPool> second = ThreadPool::inter_op_handle();
+  EXPECT_EQ(second->size(), before + 2);
+  EXPECT_NE(first.get(), second.get());
+  // The stale handle is still a live, usable pool (not freed under us).
+  std::atomic<int> ran{0};
+  first->submit([&] { ran.fetch_add(1); });
+  set_num_interop_threads(before);
+  ThreadPool::inter_op_handle();
+  // first/second keep their pools alive until these handles drop.
+  for (int i = 0; i < 2000 && ran.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(InteropThreads, ResizeKeepsOldPoolAliveForLiveGroups) {
+  const int before = get_num_interop_threads();
+  TaskGroup group(ThreadPool::inter_op_handle());
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    group.run([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  }
+  // Swap the process-wide pool mid-flight; the group's pinned handle keeps
+  // the old pool (and its queue) alive and draining.
+  set_num_interop_threads(before + 1);
+  const std::shared_ptr<ThreadPool> fresh = ThreadPool::inter_op_handle();
+  EXPECT_EQ(fresh->size(), before + 1);
+  // Late submissions through the group still land on the pinned pool.
+  group.run([&] { done.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(done.load(), 17);
+  set_num_interop_threads(before);
+}
+
+// --------------------------------------------------------------------------
+// Regression: TaskGroup::wait_for's post-deadline completion contract — a
+// timed-out batch's late exception must stay observable (drain(), a later
+// wait, or the abandoned-error observer), never dropped on the floor.
+// --------------------------------------------------------------------------
+
+TEST(TaskGroupDrain, LateExceptionObservedAfterTimeout) {
+  ThreadPool pool(1);
+  TaskGroup group(pool);
+  group.run([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    throw std::runtime_error("late boom");
+  });
+  // The caller times out and walks away from wait_for...
+  EXPECT_FALSE(group.wait_for(std::chrono::milliseconds(1)));
+  // ...but the exception is still there once the group quiesces.
+  const std::exception_ptr err = group.drain();
+  ASSERT_TRUE(err != nullptr);
+  try {
+    std::rethrow_exception(err);
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "late boom");
+  }
+  // drain() consumed it; the group is clean afterwards.
+  EXPECT_EQ(group.drain(), nullptr);
+  EXPECT_TRUE(group.failed()) << "failed() stays sticky after consumption";
+}
+
+TEST(TaskGroupDrain, AbandonedErrorObserverReceivesUnconsumedError) {
+  ThreadPool pool(1);
+  std::string observed;
+  {
+    TaskGroup group(pool);
+    group.set_abandoned_error_observer([&](std::exception_ptr e) {
+      try {
+        std::rethrow_exception(e);
+      } catch (const std::runtime_error& ex) {
+        observed = ex.what();
+      }
+    });
+    group.run([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      throw std::runtime_error("abandoned boom");
+    });
+    EXPECT_FALSE(group.wait_for(std::chrono::milliseconds(1)));
+    // Destructor path: nobody ever waits again.
+  }
+  EXPECT_EQ(observed, "abandoned boom");
+}
+
+TEST(TaskGroupDrain, DrainWithoutErrorReturnsNull) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) group.run([&] { ran.fetch_add(1); });
+  EXPECT_EQ(group.drain(), nullptr);
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_EQ(group.pending(), 0u);
+}
+
+TEST(TaskGroupDrain, NullPoolHandleThrows) {
+  EXPECT_THROW(TaskGroup(std::shared_ptr<ThreadPool>()), std::invalid_argument);
 }
 
 }  // namespace
