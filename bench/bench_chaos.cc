@@ -1,0 +1,204 @@
+// A12 — chaos soak: closed-loop serving under a seeded fault schedule
+// (resilience PR). Six closed-loop clients drive an InferenceSession over
+// the A11 MLP while a ChaosInjector faults ~5% of engine runs (thrown
+// kernel errors, NaN-poisoned outputs caught by the anomaly watchdog,
+// injected allocation ceilings) plus one deterministic fault STORM — a
+// run-index window where every run faults — that forces the circuit
+// breaker Open. The session must absorb all of it: failed batches degrade
+// to per-request rescues, rescues retry under the budgeted backoff policy,
+// the breaker fails fast during the storm and probes its way back Closed,
+// and the health machine drops the execution rung and earns it back.
+// Acceptance — >= 99% of requests that got a genuine verdict succeed
+// (shed and resubmitted requests are counted separately — a shed is the
+// resilience working, not a failure), every successful response
+// bit-identical to a reference Interpreter run, and the breaker
+// demonstrably tripped Open AND re-closed via half-open probes — is
+// enforced by the exit code.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/exec_hooks.h"
+#include "core/interpreter.h"
+#include "core/plan_cache.h"
+#include "core/tracer.h"
+#include "nn/models/mlp.h"
+#include "passes/memory_planner.h"
+#include "resilience/anomaly.h"
+#include "resilience/chaos.h"
+#include "runtime/thread_pool.h"
+#include "serve/loadgen.h"
+#include "serve/session.h"
+
+using namespace fxcpp;
+using serve::InferenceSession;
+using serve::LoadOptions;
+using serve::LoadOutcome;
+using serve::LoadReport;
+using serve::ServeOptions;
+
+namespace {
+
+constexpr std::int64_t kFeat = 64;
+
+bool bit_equal(const Tensor& a, const Tensor& b) {
+  if (a.sizes() != b.sizes() || a.dtype() != b.dtype()) return false;
+  const Tensor ac = a.contiguous(), bc = b.contiguous();
+  return std::memcmp(ac.data<float>(), bc.data<float>(),
+                     static_cast<std::size_t>(ac.numel()) * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+int main() {
+  rt::set_num_threads(1);
+
+  // Same deep narrow MLP as A11: per-run dispatch cost is visible, so the
+  // batched fast path matters and a forced rung drop is a real change.
+  std::vector<std::int64_t> dims(1, kFeat);
+  dims.insert(dims.end(), 8, 64);
+  dims.push_back(64);
+  auto gm = fx::symbolic_trace(nn::models::mlp(dims));
+  fx::PlanCacheOptions po;
+  po.bucket_batch_dim = true;
+  po.capacity = 8;
+  passes::compile_planned(*gm, {serve::request_input(0, 4, kFeat)}, po);
+  for (const std::int64_t rows : {1, 2, 4, 8, 16}) {
+    gm->run_planned(serve::request_input(99, rows, kFeat));
+  }
+
+  // The chaos schedule: ~5% of runs fault (short bursts), every kind in the
+  // arsenal, plus a storm at run indices [120, 150) where every run faults —
+  // the sustained outage that must trip the breaker.
+  resilience::ChaosOptions co;
+  co.fault_rate = 0.05;
+  co.seed = 0xC4A05ull;
+  co.kinds = {resilience::FaultKind::Throw, resilience::FaultKind::PoisonNaN,
+              resilience::FaultKind::AllocLimit};
+  co.burst_min = 1;
+  co.burst_max = 3;
+  co.storm_start = 120;
+  co.storm_len = 30;
+  resilience::ChaosInjector chaos(co);
+  // Poisoned outputs only become failures if something notices: the anomaly
+  // watchdog downstream of the injector turns NaN into
+  // ExecError{NumericAnomaly}, which the rescue/retry machinery recovers.
+  // This pairing is what makes the bit-equality gate meaningful — a poison
+  // that slipped through silently would fail it.
+  resilience::AnomalyDetector anomaly(*gm,
+                                      resilience::AnomalyAction::Throw);
+  fx::MultiHooks hooks({&chaos, &anomaly});
+
+  ServeOptions so;
+  so.batching = true;
+  so.max_batch_rows = 16;
+  so.max_queue_delay = std::chrono::microseconds(25);
+  so.hooks = &hooks;
+  // A short cooldown keeps the Open->HalfOpen->Closed cycle observable
+  // within the bench's traffic volume.
+  so.breaker.cooldown_rejections = 8;
+  so.breaker.cooldown_jitter = 2;
+
+  LoadOptions lo;
+  lo.clients = 6;
+  lo.requests_per_client = 250;
+  lo.feature_dim = kFeat;
+  lo.seed = 7;
+  // A shed (breaker fast-fail or admission reject) tells the client "not
+  // now": real clients back off and resubmit, and the availability gate
+  // below scores their FINAL outcome.
+  lo.resubmit_max = 400;
+  lo.resubmit_backoff_seconds = 0.0002;
+
+  InferenceSession session(gm, so);
+  const LoadReport r = serve::run_closed_loop(session, lo);
+  session.shutdown();
+  const serve::SessionStats st = session.stats();
+  const resilience::ChaosStats cs = chaos.stats();
+
+  // Bit-equality: EVERY ok response against a fresh Interpreter run on that
+  // request's own input — under chaos this is the "no silent corruption"
+  // gate (a NaN poison that escaped the watchdog would land here).
+  bool equal = true;
+  std::size_t checked = 0;
+  for (const LoadOutcome& o : r.outcomes) {
+    if (!o.response.ok) continue;
+    ++checked;
+    const Tensor ref = fx::rt_tensor(fx::Interpreter(*gm).run(o.input));
+    if (!bit_equal(ref, o.response.output)) equal = false;
+  }
+
+  const std::size_t decided = r.ok + r.failed;
+  const double availability =
+      decided ? static_cast<double>(r.ok) / static_cast<double>(decided) : 0.0;
+  const bool breaker_cycled = st.breaker.trips >= 1 && st.breaker.closes >= 1;
+
+  bench::print_header(
+      "A12: chaos soak, 6 clients x 250 requests, ~5% seeded faults + storm",
+      {"metric", "value"});
+  bench::print_row({"ok / failed", std::to_string(r.ok) + " / " +
+                                       std::to_string(r.failed)});
+  bench::print_row({"shed (final)", std::to_string(r.shed)});
+  bench::print_row({"client resubmits", std::to_string(r.client_resubmits)});
+  bench::print_row({"availability", bench::fmt(availability * 100.0, 3) + "%"});
+  bench::print_row({"QPS", bench::fmt(r.qps, 1)});
+  bench::print_row({"p99 (ms)", bench::fmt(r.p99_seconds * 1e3, 3)});
+  bench::print_row({"chaos runs/faulted/storm",
+                    std::to_string(cs.runs) + "/" +
+                        std::to_string(cs.faulted_runs) + "/" +
+                        std::to_string(cs.storm_runs)});
+  bench::print_row({"breaker trips/reopens/closes",
+                    std::to_string(st.breaker.trips) + "/" +
+                        std::to_string(st.breaker.reopens) + "/" +
+                        std::to_string(st.breaker.closes)});
+  bench::print_row({"breaker fast-fails", std::to_string(st.breaker_rejected)});
+  bench::print_row({"retries granted", std::to_string(st.retries)});
+  bench::print_row(
+      {"health degrades/recoveries", std::to_string(st.health.degrades) + "/" +
+                                         std::to_string(st.health.recoveries)});
+  bench::print_row({"degraded-rung runs", std::to_string(st.degraded_rung_runs)});
+  std::printf("\nsession stats: %s\n", st.to_json().c_str());
+
+  const bool pass = availability >= 0.99 && equal && breaker_cycled;
+  std::printf(
+      "acceptance (availability >= 99%%, ok responses bit-equal, breaker "
+      "tripped AND re-closed) : %s\n",
+      pass ? "HOLDS" : "VIOLATED");
+
+  {
+    std::ofstream f("BENCH_chaos.json");
+    f << "{\n"
+      << "  \"workload\": \"mlp_" << kFeat << "_64x8_64_zipf_rows_chaos\",\n"
+      << "  \"clients\": " << lo.clients << ",\n"
+      << "  \"requests_per_client\": " << lo.requests_per_client << ",\n"
+      << "  \"fault_rate\": " << bench::fmt(co.fault_rate, 3) << ",\n"
+      << "  \"storm_runs\": " << cs.storm_runs << ",\n"
+      << "  \"chaos_runs\": " << cs.runs << ",\n"
+      << "  \"chaos_faulted_runs\": " << cs.faulted_runs << ",\n"
+      << "  \"ok\": " << r.ok << ",\n"
+      << "  \"failed\": " << r.failed << ",\n"
+      << "  \"shed_final\": " << r.shed << ",\n"
+      << "  \"client_resubmits\": " << r.client_resubmits << ",\n"
+      << "  \"availability\": " << bench::fmt(availability, 5) << ",\n"
+      << "  \"qps\": " << bench::fmt(r.qps, 1) << ",\n"
+      << "  \"p99_sec\": " << bench::fmt(r.p99_seconds, 6) << ",\n"
+      << "  \"breaker_trips\": " << st.breaker.trips << ",\n"
+      << "  \"breaker_reopens\": " << st.breaker.reopens << ",\n"
+      << "  \"breaker_closes\": " << st.breaker.closes << ",\n"
+      << "  \"breaker_fast_fails\": " << st.breaker_rejected << ",\n"
+      << "  \"retries\": " << st.retries << ",\n"
+      << "  \"health_degrades\": " << st.health.degrades << ",\n"
+      << "  \"health_recoveries\": " << st.health.recoveries << ",\n"
+      << "  \"degraded_rung_runs\": " << st.degraded_rung_runs << ",\n"
+      << "  \"responses_checked\": " << checked << ",\n"
+      << "  \"bit_equal\": " << (equal ? "true" : "false") << ",\n"
+      << "  \"breaker_cycled\": " << (breaker_cycled ? "true" : "false") << "\n"
+      << "}\n";
+  }
+  std::printf("wrote BENCH_chaos.json\n");
+  return pass ? 0 : 1;
+}

@@ -1,23 +1,31 @@
 // fxserve — serve a traced model under closed-loop load and report
-// QPS / p50 / p99 plus the session's batching counters.
+// QPS / p50 / p99 plus the session's batching and resilience counters.
 //
 //   fxserve [--clients N] [--requests M] [--feat F] [--hidden H]
 //           [--max-batch B] [--delay-us D] [--no-batching]
 //           [--deadline-ms X] [--queue N] [--json PATH]
+//           [--retry K] [--breaker-threshold K] [--shed-watermark N]
+//           [--priorities] [--chaos RATE] [--chaos-seed S]
 //
 // The model is an MLP (feat -> hidden -> 64) traced with fx::symbolic_trace
 // and prepared for serving via passes::compile_planned (batch-dim-bucketed
 // PlanCache), i.e. exactly the deployment shape DESIGN.md's serving chapter
 // describes: compiled artifact + runtime session as the unit of deployment.
+// --chaos injects a seeded fault schedule through the serving stack (the
+// A12 harness) so the resilience knobs have something to push against.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/exec_hooks.h"
 #include "core/tracer.h"
 #include "nn/models/mlp.h"
+#include "resilience/anomaly.h"
+#include "resilience/chaos.h"
 #include "runtime/thread_pool.h"
 #include "serve/loadgen.h"
 #include "serve/session.h"
@@ -31,7 +39,9 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--clients N] [--requests M] [--feat F] [--hidden H]\n"
       "          [--max-batch B] [--delay-us D] [--no-batching]\n"
-      "          [--deadline-ms X] [--queue N] [--json PATH]\n",
+      "          [--deadline-ms X] [--queue N] [--json PATH]\n"
+      "          [--retry K] [--breaker-threshold K] [--shed-watermark N]\n"
+      "          [--priorities] [--chaos RATE] [--chaos-seed S]\n",
       argv0);
   return 2;
 }
@@ -47,6 +57,8 @@ int main(int argc, char** argv) {
   int layers = 1;
   serve::ServeOptions so;
   std::string json_path;
+  double chaos_rate = 0.0;
+  std::uint64_t chaos_seed = 0xC4A05ull;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -70,6 +82,28 @@ int main(int argc, char** argv) {
     else if (a == "--queue") so.max_queue_depth =
         static_cast<std::size_t>(std::atoll(next()));
     else if (a == "--json") json_path = next();
+    // --retry K: total attempts per request (1 disables retries).
+    else if (a == "--retry") so.retry.max_attempts = std::atoi(next());
+    // --breaker-threshold K: consecutive failures that trip the breaker
+    // (0 disables the breaker entirely).
+    else if (a == "--breaker-threshold") {
+      const int k = std::atoi(next());
+      if (k <= 0) so.breaker.enabled = false;
+      else so.breaker.consecutive_failures = k;
+    }
+    // --shed-watermark N: queue depth where Low priority sheds (Normal
+    // sheds at 1.5x this, capped at the queue bound).
+    else if (a == "--shed-watermark") {
+      const std::size_t n = static_cast<std::size_t>(std::atoll(next()));
+      so.shed_low_watermark = n;
+      so.shed_normal_watermark = n + n / 2;
+    }
+    // --priorities: cycle clients through Low/Normal/High.
+    else if (a == "--priorities") lo.mixed_priorities = true;
+    // --chaos RATE: fault this fraction of engine runs (seeded).
+    else if (a == "--chaos") chaos_rate = std::atof(next());
+    else if (a == "--chaos-seed")
+      chaos_seed = static_cast<std::uint64_t>(std::atoll(next()));
     else return usage(argv[0]);
   }
   lo.feature_dim = feat;
@@ -80,15 +114,39 @@ int main(int argc, char** argv) {
   for (int l = 0; l < layers; ++l) dims.push_back(hidden);
   dims.push_back(64);
   auto gm = fx::symbolic_trace(nn::models::mlp(dims));
+
+  // Optional chaos harness: seeded fault schedule + anomaly watchdog, wired
+  // into every engine run the session issues. Clients absorb breaker
+  // fast-fails by resubmitting, so the exit-code contract below still
+  // scores genuine failures only.
+  std::unique_ptr<resilience::ChaosInjector> chaos;
+  std::unique_ptr<resilience::AnomalyDetector> anomaly;
+  std::unique_ptr<fx::MultiHooks> hooks;
+  if (chaos_rate > 0.0) {
+    resilience::ChaosOptions co;
+    co.fault_rate = chaos_rate;
+    co.seed = chaos_seed;
+    co.kinds = {resilience::FaultKind::Throw, resilience::FaultKind::PoisonNaN,
+                resilience::FaultKind::AllocLimit};
+    chaos = std::make_unique<resilience::ChaosInjector>(co);
+    anomaly = std::make_unique<resilience::AnomalyDetector>(
+        *gm, resilience::AnomalyAction::Throw);
+    hooks = std::make_unique<fx::MultiHooks>(
+        std::vector<fx::ExecHooks*>{chaos.get(), anomaly.get()});
+    so.hooks = hooks.get();
+    lo.resubmit_max = 200;
+  }
+
   serve::InferenceSession session(gm, serve::request_input(0, 4, feat), so);
 
   std::printf("fxserve: mlp(%lld-%lldx%d-64), %d clients x %d requests, "
-              "batching %s (max %lld rows, %lld us delay)\n",
+              "batching %s (max %lld rows, %lld us delay)%s\n",
               static_cast<long long>(feat), static_cast<long long>(hidden),
               layers, lo.clients, lo.requests_per_client,
               so.batching ? "on" : "off",
               static_cast<long long>(so.max_batch_rows),
-              static_cast<long long>(so.max_queue_delay.count()));
+              static_cast<long long>(so.max_queue_delay.count()),
+              chaos_rate > 0.0 ? ", chaos on" : "");
 
   const serve::LoadReport r = serve::run_closed_loop(session, lo);
   session.shutdown();
@@ -98,7 +156,12 @@ int main(int argc, char** argv) {
   std::printf("  p50 latency  : %.3f ms\n", r.p50_seconds * 1e3);
   std::printf("  p99 latency  : %.3f ms\n", r.p99_seconds * 1e3);
   std::printf("  ok / failed  : %zu / %zu\n", r.ok, r.failed);
+  std::printf("  shed/expired : %zu / %zu (resubmits %llu)\n", r.shed,
+              r.expired, static_cast<unsigned long long>(r.client_resubmits));
   std::printf("  mean batch   : %.2f requests/run\n", r.mean_batch_requests);
+  if (chaos) {
+    std::printf("  chaos        : %s\n", chaos->stats().to_json().c_str());
+  }
   std::printf("  session      : %s\n", st.to_json().c_str());
 
   if (!json_path.empty()) {
@@ -109,11 +172,16 @@ int main(int argc, char** argv) {
       << "  \"p99_sec\": " << r.p99_seconds << ",\n"
       << "  \"ok\": " << r.ok << ",\n"
       << "  \"failed\": " << r.failed << ",\n"
-      << "  \"mean_batch_requests\": " << r.mean_batch_requests << ",\n"
-      << "  \"session\": " << st.to_json() << "\n"
+      << "  \"shed\": " << r.shed << ",\n"
+      << "  \"expired\": " << r.expired << ",\n"
+      << "  \"client_resubmits\": " << r.client_resubmits << ",\n"
+      << "  \"mean_batch_requests\": " << r.mean_batch_requests << ",\n";
+    if (chaos) f << "  \"chaos\": " << chaos->stats().to_json() << ",\n";
+    f << "  \"session\": " << st.to_json() << "\n"
       << "}\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
-  // Exit nonzero if any request failed: the smoke-test contract.
+  // Exit nonzero if any request genuinely failed (shed/expired final
+  // outcomes are resilience verdicts, not failures): the smoke contract.
   return r.failed == 0 ? 0 : 1;
 }

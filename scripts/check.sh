@@ -43,9 +43,9 @@ fxprof_smoke "$repo/build"
 # over the analysis + passes layers. Gated: the CI container does not ship
 # clang-tidy; run it locally when available.
 if command -v clang-tidy >/dev/null 2>&1; then
-  echo "-- clang-tidy (src/analysis src/passes src/serve src/core/plan_cache) --"
+  echo "-- clang-tidy (src/analysis src/passes src/serve src/resilience src/core/plan_cache) --"
   { find "$repo/src/analysis" "$repo/src/passes" "$repo/src/serve" \
-      -name '*.cc' -print0
+      "$repo/src/resilience" -name '*.cc' -print0
     printf '%s\0' "$repo/src/core/plan_cache.cc"; } |
     xargs -0 -n 4 -P "$jobs" clang-tidy -p "$repo/build" --quiet
 else
@@ -64,7 +64,7 @@ cmake -B "$repo/build-tsan" -S "$repo" -DFXCPP_SANITIZE=thread
 cmake --build "$repo/build-tsan" -j "$jobs" --target test_parallel_exec \
   --target test_runtime --target test_profile --target test_resilience \
   --target test_memory_plan --target test_dataflow --target test_constant_fold \
-  --target test_plan_cache --target test_serving
+  --target test_plan_cache --target test_serving --target test_resilience_serve
 "$repo/build-tsan/tests/test_parallel_exec"
 "$repo/build-tsan/tests/test_runtime"
 "$repo/build-tsan/tests/test_profile"
@@ -89,5 +89,9 @@ cmake --build "$repo/build-tsan" -j "$jobs" --target test_parallel_exec \
 # cancellation flags, and mid-run deadline sweeps; the fuzz test runs two
 # sessions sharing one GraphModule's weights and plan cache.
 "$repo/build-tsan/tests/test_serving"
+# Resilience-in-serving under TSan: circuit-breaker trips, half-open probes,
+# retry rescues, and health rung changes all race client submitters and a
+# mid-flight shutdown.
+"$repo/build-tsan/tests/test_resilience_serve"
 
 echo "== check.sh: all suites green =="

@@ -1,0 +1,130 @@
+#include "resilience/chaos.h"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fxcpp::resilience {
+
+std::string ChaosStats::to_json() const {
+  std::ostringstream os;
+  os << "{\"runs\": " << runs << ", \"faulted_runs\": " << faulted_runs
+     << ", \"fires\": " << fires << ", \"storm_runs\": " << storm_runs << "}";
+  return os.str();
+}
+
+ChaosInjector::ChaosInjector(ChaosOptions opts)
+    : opts_(std::move(opts)), rng_(opts_.seed) {
+  if (opts_.burst_min < 1) opts_.burst_min = 1;
+  if (opts_.burst_max < opts_.burst_min) opts_.burst_max = opts_.burst_min;
+}
+
+void ChaosInjector::on_run_begin(std::size_t num_nodes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A previous attempt may have died past the target without on_node_end
+  // (another hook threw): never carry an armed ceiling into a fresh run.
+  detail::disarm_injected_ceiling(this);
+
+  const std::uint64_t idx = run_index_++;
+  ++stats_.runs;
+  armed_ = false;
+  seen_begin_ = 0;
+  seen_out_ = 0;
+
+  if (opts_.kinds.empty() || num_nodes == 0) return;
+
+  bool fault = false;
+  const bool in_storm = opts_.storm_len > 0 && idx >= opts_.storm_start &&
+                        idx < opts_.storm_start + opts_.storm_len;
+  if (in_storm) {
+    fault = true;
+    ++stats_.storm_runs;
+  } else if (burst_left_ > 0) {
+    --burst_left_;
+    fault = true;
+  } else if (rng_.uniform() < opts_.fault_rate) {
+    fault = true;
+    burst_left_ = static_cast<int>(
+                      rng_.randint(opts_.burst_min, opts_.burst_max)) -
+                  1;
+  }
+  if (!fault) return;
+
+  armed_ = true;
+  ++stats_.faulted_runs;
+  kind_ = opts_.kinds[static_cast<std::size_t>(
+      rng_.randint(0, static_cast<std::int64_t>(opts_.kinds.size()) - 1))];
+  target_ordinal_ = static_cast<std::size_t>(
+      rng_.randint(0, static_cast<std::int64_t>(num_nodes) - 1));
+}
+
+void ChaosInjector::on_node_begin(const fx::Node& n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t ordinal = seen_begin_++;
+  if (!armed_ || ordinal != target_ordinal_) return;
+  switch (kind_) {
+    case FaultKind::Throw:
+      ++stats_.fires;
+      throw std::runtime_error("chaos fault at node '" + n.name() + "'");
+    case FaultKind::AllocLimit:
+      ++stats_.fires;
+      detail::arm_injected_ceiling(this);
+      break;
+    case FaultKind::PoisonNaN:
+    case FaultKind::PoisonInf:
+      break;  // lands in on_node_output
+  }
+}
+
+void ChaosInjector::on_node_output(const fx::Node& n, fx::RtValue& out) {
+  (void)n;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t ordinal = seen_out_++;
+  if (!armed_ || ordinal != target_ordinal_) return;
+  if (kind_ != FaultKind::PoisonNaN && kind_ != FaultKind::PoisonInf) return;
+  const double bad = kind_ == FaultKind::PoisonNaN
+                         ? std::numeric_limits<double>::quiet_NaN()
+                         : std::numeric_limits<double>::infinity();
+  Tensor* t = nullptr;
+  if (fx::rt_is_tensor(out)) {
+    t = &std::get<Tensor>(out);
+  } else if (std::holds_alternative<std::vector<Tensor>>(out)) {
+    auto& ts = std::get<std::vector<Tensor>>(out);
+    if (!ts.empty()) t = &ts.front();
+  }
+  if (!t || !t->defined() || t->dtype() != DType::Float32 || t->numel() == 0) {
+    return;  // scheduled a poison the node's output can't carry: a miss
+  }
+  ++stats_.fires;
+  // Same clone discipline as FaultInjector: GetAttr outputs alias module
+  // parameters and views alias caller storage — never poison in place.
+  Tensor c = t->clone();
+  c.set_flat(0, bad);
+  *t = std::move(c);
+}
+
+void ChaosInjector::on_node_end(const fx::Node& n, const fx::RtValue& out) {
+  (void)n;
+  (void)out;
+  std::lock_guard<std::mutex> lock(mu_);
+  // In the serial engines the first on_node_end after arming belongs to the
+  // target node itself, so an unconditional owned-disarm scopes the ceiling
+  // to exactly that node (no-op when nothing is armed).
+  if (kind_ == FaultKind::AllocLimit) detail::disarm_injected_ceiling(this);
+}
+
+void ChaosInjector::on_run_end() {
+  std::lock_guard<std::mutex> lock(mu_);
+  detail::disarm_injected_ceiling(this);
+  armed_ = false;
+}
+
+ChaosStats ChaosInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace fxcpp::resilience

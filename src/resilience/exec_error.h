@@ -43,9 +43,18 @@ enum class ErrorCode {
   Cancelled,         // cooperative cancellation token observed
   DeadlineExceeded,  // wall-clock deadline expired mid-run
   ScheduleError,     // the dependency-counted schedule failed to cover
-  AdmissionRejected, // serving: request refused before execution (queue full
-                     // or session shutting down) — never reached an engine
+  AdmissionRejected, // serving: request refused before execution (queue full,
+                     // shed by priority watermark, or session shutting down)
+                     // — never reached an engine
+  CircuitOpen,       // serving: the session's circuit breaker is Open and
+                     // failed the request fast — the engine was not invoked
 };
+
+// Number of ErrorCode values. The codes are contiguous from 0, so serving
+// stats can keep a per-code histogram in a flat array indexed by
+// static_cast<std::size_t>(code); error_code_name covers every slot.
+inline constexpr std::size_t kNumErrorCodes =
+    static_cast<std::size_t>(ErrorCode::CircuitOpen) + 1;
 
 inline const char* error_code_name(ErrorCode c) {
   switch (c) {
@@ -59,6 +68,7 @@ inline const char* error_code_name(ErrorCode c) {
     case ErrorCode::DeadlineExceeded: return "deadline-exceeded";
     case ErrorCode::ScheduleError: return "schedule-error";
     case ErrorCode::AdmissionRejected: return "admission-rejected";
+    case ErrorCode::CircuitOpen: return "circuit-open";
   }
   return "?";
 }

@@ -8,6 +8,29 @@
 
 namespace fxcpp::resilience {
 
+namespace detail {
+
+namespace {
+// Which injector armed the current thread's allocation ceiling. The Storage
+// limit itself is thread-local (tensor.cc), so the ledger must be too.
+thread_local const void* t_ceiling_owner = nullptr;
+}  // namespace
+
+void arm_injected_ceiling(const void* owner) {
+  Storage::set_alloc_limit(1);
+  t_ceiling_owner = owner;
+}
+
+void disarm_injected_ceiling(const void* owner) {
+  if (t_ceiling_owner != owner) return;
+  Storage::set_alloc_limit(0);
+  t_ceiling_owner = nullptr;
+}
+
+bool ceiling_owned_by(const void* owner) { return t_ceiling_owner == owner; }
+
+}  // namespace detail
+
 const char* fault_kind_name(FaultKind k) {
   switch (k) {
     case FaultKind::Throw: return "throw";
@@ -43,8 +66,24 @@ bool FaultInjector::take_fire() {
   }
 }
 
+void FaultInjector::on_run_begin(std::size_t num_nodes) {
+  (void)num_nodes;
+  // One injector state per attempt: a ceiling leaked by a previous aborted
+  // attempt on this thread (the target threw before allocating, or the run
+  // died at another node) must not fire inside this fresh attempt.
+  detail::disarm_injected_ceiling(this);
+}
+
+void FaultInjector::on_run_end() { detail::disarm_injected_ceiling(this); }
+
 void FaultInjector::on_node_begin(const fx::Node& n) {
-  if (&n != target_) return;
+  if (&n != target_) {
+    // The run moved past the target on this thread without on_node_end
+    // firing (another hook threw at the target): scrub the leak before an
+    // unrelated node's allocation trips it.
+    detail::disarm_injected_ceiling(this);
+    return;
+  }
   switch (kind_) {
     case FaultKind::Throw:
       if (take_fire()) {
@@ -59,7 +98,7 @@ void FaultInjector::on_node_begin(const fx::Node& n) {
       // back under the ceiling before the target allocates. Disarmed in
       // on_node_end (node allocated nothing) or by the trip itself
       // (Storage disarms before throwing AllocLimitError).
-      if (take_fire()) Storage::set_alloc_limit(1);
+      if (take_fire()) detail::arm_injected_ceiling(this);
       break;
     case FaultKind::PoisonNaN:
     case FaultKind::PoisonInf:
@@ -97,7 +136,7 @@ void FaultInjector::on_node_output(const fx::Node& n, fx::RtValue& out) {
 void FaultInjector::on_node_end(const fx::Node& n, const fx::RtValue& out) {
   (void)out;
   if (&n != target_) return;
-  if (kind_ == FaultKind::AllocLimit) Storage::set_alloc_limit(0);
+  if (kind_ == FaultKind::AllocLimit) detail::disarm_injected_ceiling(this);
 }
 
 }  // namespace fxcpp::resilience

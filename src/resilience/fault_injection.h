@@ -33,6 +33,22 @@ enum class FaultKind {
 
 const char* fault_kind_name(FaultKind k);
 
+namespace detail {
+// Thread-local ownership ledger for injected allocation ceilings. The
+// Storage ceiling is single-shot and disarms itself when it trips, but a
+// ceiling that was armed and never *tripped* (the target node threw for a
+// different reason before allocating, or adopted arena memory) would stay
+// armed on the thread and fire at an arbitrary allocation in the NEXT run —
+// poisoning run_resilient's next rung or a batched run's degrade path with
+// a spurious AllocLimit at the wrong node. Injectors therefore record
+// themselves as the ceiling's owner when arming, and every run/node
+// boundary outside the target disarms any ceiling this owner leaked, so an
+// injected ceiling's state is scoped to exactly one attempt.
+void arm_injected_ceiling(const void* owner);
+void disarm_injected_ceiling(const void* owner);
+bool ceiling_owned_by(const void* owner);
+}  // namespace detail
+
 class FaultInjector : public fx::ExecHooks {
  public:
   // Inject `kind` whenever `target` executes. `max_fires` bounds the number
@@ -47,6 +63,11 @@ class FaultInjector : public fx::ExecHooks {
   int fires() const { return fires_.load(std::memory_order_relaxed); }
   void reset(int max_fires = -1);
 
+  // Run boundaries re-arm injector-owned thread state: an allocation
+  // ceiling leaked by an aborted previous attempt (rung retry, batched-run
+  // degrade) is disarmed here, so each attempt starts from a clean slate.
+  void on_run_begin(std::size_t num_nodes) override;
+  void on_run_end() override;
   void on_node_begin(const fx::Node& n) override;
   void on_node_output(const fx::Node& n, fx::RtValue& out) override;
   void on_node_end(const fx::Node& n, const fx::RtValue& out) override;

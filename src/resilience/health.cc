@@ -1,0 +1,136 @@
+#include "resilience/health.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fxcpp::resilience {
+
+const char* health_state_name(HealthState s) {
+  switch (s) {
+    case HealthState::Healthy: return "healthy";
+    case HealthState::Degraded: return "degraded";
+    case HealthState::Broken: return "broken";
+  }
+  return "?";
+}
+
+const char* exec_rung_name(ExecRung r) {
+  switch (r) {
+    case ExecRung::PlannedBatched: return "planned-batched";
+    case ExecRung::PlannedSolo: return "planned-solo";
+    case ExecRung::Interpreter: return "interpreter";
+  }
+  return "?";
+}
+
+std::string HealthStats::to_json() const {
+  std::ostringstream os;
+  os << "{\"state\": \"" << health_state_name(state)
+     << "\", \"samples\": " << samples << ", \"failures\": " << failures
+     << ", \"degrades\": " << degrades << ", \"recoveries\": " << recoveries
+     << "}";
+  return os.str();
+}
+
+HealthMonitor::HealthMonitor(HealthOptions opts) : opts_(opts) {
+  if (opts_.window == 0) opts_.window = 1;
+  if (opts_.min_samples == 0) opts_.min_samples = 1;
+  if (opts_.recover_successes < 1) opts_.recover_successes = 1;
+  opts_.break_error_rate =
+      std::max(opts_.break_error_rate, opts_.degrade_error_rate);
+  ring_.assign(opts_.window, 0);
+}
+
+void HealthMonitor::step_down_locked(HealthState to) {
+  if (static_cast<int>(to) <= static_cast<int>(state_)) return;
+  state_ = to;
+  ++stats_.degrades;
+  success_streak_ = 0;
+  // Fresh window on every transition: the new rung earns its own record
+  // instead of inheriting the old rung's failures (which would otherwise
+  // keep a recovered engine pinned down for a full window).
+  std::fill(ring_.begin(), ring_.end(), 0);
+  ring_pos_ = 0;
+  ring_count_ = 0;
+  ring_failures_ = 0;
+}
+
+void HealthMonitor::record(bool ok) {
+  if (!opts_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.samples;
+  if (!ok) ++stats_.failures;
+
+  if (ring_count_ == ring_.size()) {
+    ring_failures_ -= ring_[ring_pos_];
+  } else {
+    ++ring_count_;
+  }
+  ring_[ring_pos_] = ok ? 0 : 1;
+  ring_failures_ += ring_[ring_pos_];
+  ring_pos_ = (ring_pos_ + 1) % ring_.size();
+  success_streak_ = ok ? success_streak_ + 1 : 0;
+
+  // Earned upgrade first: a full success streak steps one level up and
+  // restarts the climb (Broken recovers through Degraded, never directly).
+  if (ok && state_ != HealthState::Healthy &&
+      success_streak_ >= opts_.recover_successes) {
+    state_ = state_ == HealthState::Broken ? HealthState::Degraded
+                                           : HealthState::Healthy;
+    ++stats_.recoveries;
+    success_streak_ = 0;
+    std::fill(ring_.begin(), ring_.end(), 0);
+    ring_pos_ = 0;
+    ring_count_ = 0;
+    ring_failures_ = 0;
+    return;
+  }
+
+  if (ring_count_ < opts_.min_samples) return;
+  const double rate = static_cast<double>(ring_failures_) /
+                      static_cast<double>(ring_count_);
+  if (rate >= opts_.break_error_rate) {
+    step_down_locked(HealthState::Broken);
+  } else if (rate >= opts_.degrade_error_rate) {
+    step_down_locked(HealthState::Degraded);
+  }
+}
+
+void HealthMonitor::on_breaker_trip() {
+  if (!opts_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  step_down_locked(HealthState::Degraded);
+}
+
+HealthState HealthMonitor::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+ExecRung HealthMonitor::rung() const {
+  switch (state()) {
+    case HealthState::Healthy: return ExecRung::PlannedBatched;
+    case HealthState::Degraded: return ExecRung::PlannedSolo;
+    case HealthState::Broken: return ExecRung::Interpreter;
+  }
+  return ExecRung::PlannedBatched;
+}
+
+HealthStats HealthMonitor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HealthStats s = stats_;
+  s.state = state_;
+  return s;
+}
+
+void HealthMonitor::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = HealthState::Healthy;
+  std::fill(ring_.begin(), ring_.end(), 0);
+  ring_pos_ = 0;
+  ring_count_ = 0;
+  ring_failures_ = 0;
+  success_streak_ = 0;
+}
+
+}  // namespace fxcpp::resilience

@@ -1,0 +1,91 @@
+// RetryPolicy — bounded, budgeted, deadline-aware retry with deterministic
+// exponential backoff.
+//
+// Retrying is the other half of the breaker's bargain: engine-local faults
+// (a transient injected fault, a poisoned batch neighbor, an allocation
+// ceiling) recover on a clean re-run, so a serving session should spend a
+// *bounded* amount of extra work before giving a request up. Three bounds,
+// all from the serving literature:
+//
+//   * attempts  — at most max_attempts total tries per request;
+//   * budget    — a token bucket refilled by admissions: retries can never
+//                 exceed budget_fraction of admitted traffic, so a fault
+//                 storm cannot double the offered load ("retry amplification"
+//                 is capped even when every request is failing);
+//   * deadline  — a retry whose backoff sleep would outlive the request's
+//                 remaining deadline budget is pointless; deny it.
+//
+// Input-shaped errors (arity, guard violations — PR 4's taxonomy) are never
+// retried: every engine fails them identically. Shed/cancel codes are final
+// by construction.
+//
+// Backoff is exponential (base * 2^(k-1), clamped to max) with
+// *deterministic seeded jitter*: the jitter multiplier is a pure hash of
+// (seed, request id, attempt index), so a given request replays the exact
+// same schedule every time — the reproducibility the chaos harness and the
+// backoff unit test both key on — while different requests still decorrelate.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "resilience/exec_error.h"
+
+namespace fxcpp::resilience {
+
+struct RetryOptions {
+  bool enabled = true;
+  int max_attempts = 3;  // total tries including the first run
+  double base_backoff_seconds = 0.0002;
+  double max_backoff_seconds = 0.01;
+  // Multiplicative jitter span: the k-th backoff is scaled by a value in
+  // [1 - jitter/2, 1 + jitter/2] hashed from (seed, request id, k).
+  double jitter = 0.5;
+  // Retries may consume at most this fraction of admitted traffic.
+  double budget_fraction = 0.25;
+  double budget_cap = 32.0;  // max banked tokens
+  std::uint64_t seed = 0x5EEDull;
+};
+
+struct RetryStats {
+  std::uint64_t retries = 0;        // granted
+  std::uint64_t budget_denied = 0;  // denied: bucket empty
+  std::uint64_t deadline_denied = 0;  // denied: backoff outlives the deadline
+  std::string to_json() const;
+};
+
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryOptions opts = {});
+
+  // Codes worth a re-run. Input errors are the caller's bug; shed /
+  // cancel / deadline codes are final routing outcomes, not engine faults.
+  static bool retryable(ErrorCode c);
+
+  // Deterministic backoff before the retry_index-th retry (1-based) of
+  // request `id`. Pure function of (options, id, retry_index).
+  double backoff_seconds(std::uint64_t id, int retry_index) const;
+
+  // Accrue retry budget for one admitted request.
+  void on_admitted();
+
+  // Ask to retry request `id` whose previous attempt failed with `code`,
+  // about to make attempt number `next_attempt` (2 = first retry).
+  // `remaining_deadline_seconds` < 0 means no deadline. On success consumes
+  // one budget token and stores the backoff to sleep in *backoff_out.
+  bool acquire(ErrorCode code, int next_attempt,
+               double remaining_deadline_seconds, std::uint64_t id,
+               double* backoff_out);
+
+  RetryStats stats() const;
+  const RetryOptions& options() const { return opts_; }
+
+ private:
+  RetryOptions opts_;
+  mutable std::mutex mu_;
+  double budget_ = 0.0;
+  RetryStats stats_;
+};
+
+}  // namespace fxcpp::resilience

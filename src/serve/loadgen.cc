@@ -1,6 +1,7 @@
 #include "serve/loadgen.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 #include <utility>
 
@@ -36,6 +37,11 @@ double percentile(std::vector<double> v, double q) {
   return v[lo] + (v[hi] - v[lo]) * frac;
 }
 
+bool is_shed(const Response& r) {
+  return !r.ok && (r.code == ErrorCode::AdmissionRejected ||
+                   r.code == ErrorCode::CircuitOpen);
+}
+
 }  // namespace
 
 LoadReport run_closed_loop(InferenceSession& session,
@@ -48,6 +54,9 @@ LoadReport run_closed_loop(InferenceSession& session,
   for (int c = 0; c < opts.clients; ++c) {
     clients.emplace_back([&, c] {
       rt::Rng rng(opts.seed * 7919 + static_cast<std::uint64_t>(c));
+      const Priority prio = opts.mixed_priorities
+                                ? static_cast<Priority>(c % 3)
+                                : Priority::Normal;
       auto& mine = per[static_cast<std::size_t>(c)];
       mine.reserve(static_cast<std::size_t>(opts.requests_per_client));
       for (int i = 0; i < opts.requests_per_client; ++i) {
@@ -57,7 +66,20 @@ LoadReport run_closed_loop(InferenceSession& session,
                 static_cast<std::uint64_t>(i),
             rows, opts.feature_dim);
         LoadOutcome o;
-        o.response = session.run(x.clone(), opts.deadline_seconds);
+        o.priority = prio;
+        // A shed response is the session telling the client "not now":
+        // back off and resubmit, up to the configured patience.
+        double backoff = opts.resubmit_backoff_seconds;
+        for (;;) {
+          o.response = session.run(x.clone(), opts.deadline_seconds, prio);
+          if (!is_shed(o.response) || o.resubmits >= opts.resubmit_max) break;
+          ++o.resubmits;
+          if (backoff > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(backoff));
+            backoff = std::min(backoff * 2.0, 0.02);
+          }
+        }
         o.input = std::move(x);
         mine.push_back(std::move(o));
       }
@@ -71,17 +93,28 @@ LoadReport run_closed_loop(InferenceSession& session,
   double batch_req_sum = 0.0;
   for (auto& v : per) {
     for (LoadOutcome& o : v) {
+      r.client_resubmits += static_cast<std::uint64_t>(o.resubmits);
       if (o.response.ok) {
         ++r.ok;
         lat.push_back(o.response.total_seconds);
         batch_req_sum += static_cast<double>(o.response.batch_requests);
       } else {
-        ++r.failed;
+        ++r.by_code[static_cast<std::size_t>(o.response.code)];
+        if (is_shed(o.response)) {
+          ++r.shed;
+        } else if (o.response.code == ErrorCode::DeadlineExceeded) {
+          ++r.expired;
+        } else if (o.response.code == ErrorCode::Cancelled) {
+          ++r.cancelled;
+        } else {
+          ++r.failed;
+        }
       }
       r.outcomes.push_back(std::move(o));
     }
   }
-  const std::size_t total = r.ok + r.failed;
+  const std::size_t total =
+      r.ok + r.failed + r.shed + r.expired + r.cancelled;
   r.qps = r.wall_seconds > 0.0
               ? static_cast<double>(total) / r.wall_seconds
               : 0.0;

@@ -1,12 +1,16 @@
-// Closed-loop load generator for InferenceSession (bench/bench_serving and
-// examples/fxserve): N client threads, each submitting its next request the
-// moment the previous response lands, over a Zipf-flavored row-count mix —
-// the "production traffic has a few hot shapes" distribution the plan
-// cache and the dynamic batcher are both built for. Reports QPS and
-// client-observed p50/p99 latency, and keeps every (input, response) pair
-// so callers can bit-check outputs against a reference engine.
+// Closed-loop load generator for InferenceSession (bench/bench_serving,
+// bench/bench_chaos and examples/fxserve): N client threads, each
+// submitting its next request the moment the previous response lands, over
+// a Zipf-flavored row-count mix — the "production traffic has a few hot
+// shapes" distribution the plan cache and the dynamic batcher are both
+// built for. Reports QPS and client-observed p50/p99 latency, a per-error-
+// code outcome histogram (shed vs failed vs late are different facts about
+// a serving stack, and the chaos bench gates on them separately), and
+// keeps every (input, response) pair so callers can bit-check outputs
+// against a reference engine.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -21,11 +25,21 @@ struct LoadOptions {
   std::int64_t feature_dim = 64;
   double deadline_seconds = 0.0;  // 0 = none
   std::uint64_t seed = 1;
+  // Cycle clients through Low/Normal/High priority (client c gets
+  // priority c % 3) instead of all-Normal — exercises watermark shedding.
+  bool mixed_priorities = false;
+  // Client-side resubmission on shed responses (AdmissionRejected /
+  // CircuitOpen): a real client facing a shed retries against the next
+  // capacity window. 0 = report the shed as the request's final outcome.
+  int resubmit_max = 0;
+  double resubmit_backoff_seconds = 0.0005;  // doubled per resubmit, capped
 };
 
 struct LoadOutcome {
   Tensor input;
-  Response response;
+  Response response;  // the FINAL response (after any resubmissions)
+  Priority priority = Priority::Normal;
+  int resubmits = 0;  // shed responses absorbed before the final one
 };
 
 struct LoadReport {
@@ -35,7 +49,18 @@ struct LoadReport {
   double p99_seconds = 0.0;
   double mean_batch_requests = 0.0;  // coalescing actually achieved
   std::size_t ok = 0;
+  // Final outcomes, disjoint by class: `failed` is genuine engine-side
+  // failure only — shed (AdmissionRejected/CircuitOpen), expired
+  // (DeadlineExceeded) and cancelled final outcomes are counted in their
+  // own buckets, never in `failed`.
   std::size_t failed = 0;
+  std::size_t shed = 0;
+  std::size_t expired = 0;
+  std::size_t cancelled = 0;
+  std::uint64_t client_resubmits = 0;  // total shed responses absorbed
+  // Final-outcome error codes (ok responses excluded), indexed by
+  // static_cast<ErrorCode>.
+  std::array<std::uint64_t, kNumErrorCodes> by_code{};
   std::vector<LoadOutcome> outcomes;  // every request, client-major order
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -19,6 +20,15 @@ double secs(std::chrono::steady_clock::time_point from,
 
 }  // namespace
 
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::Low: return "low";
+    case Priority::Normal: return "normal";
+    case Priority::High: return "high";
+  }
+  return "?";
+}
+
 std::string SessionStats::to_json() const {
   std::ostringstream os;
   os << "{\"admitted\": " << admitted << ", \"rejected\": " << rejected
@@ -28,7 +38,22 @@ std::string SessionStats::to_json() const {
      << ", \"degraded_batches\": " << degraded_batches
      << ", \"late_results\": " << late_results
      << ", \"late_errors\": " << late_errors
-     << ", \"peak_batch_rows\": " << peak_batch_rows << "}";
+     << ", \"peak_batch_rows\": " << peak_batch_rows
+     << ", \"shed_low\": " << shed_low << ", \"shed_normal\": " << shed_normal
+     << ", \"shed_high\": " << shed_high
+     << ", \"shed_hopeless\": " << shed_hopeless
+     << ", \"breaker_rejected\": " << breaker_rejected
+     << ", \"retries\": " << retries
+     << ", \"degraded_rung_runs\": " << degraded_rung_runs
+     << ", \"by_code\": {";
+  for (std::size_t c = 0; c < by_code.size(); ++c) {
+    if (c) os << ", ";
+    os << "\"" << error_code_name(static_cast<ErrorCode>(c))
+       << "\": " << by_code[c];
+  }
+  os << "}, \"breaker\": " << breaker.to_json()
+     << ", \"health\": " << health.to_json()
+     << ", \"retry\": " << retry.to_json() << "}";
   return os.str();
 }
 
@@ -46,17 +71,34 @@ std::shared_ptr<fx::GraphModule> prepare_for_serving(
   return gm;
 }
 
+ServeOptions normalize(ServeOptions opts) {
+  if (opts.max_queue_depth == 0) opts.max_queue_depth = 1;
+  if (opts.max_batch_rows < 1) opts.max_batch_rows = 1;
+  if (opts.batch_poll.count() < 1) opts.batch_poll = std::chrono::milliseconds(1);
+  // Derived watermarks: Low sheds at half depth, Normal at three quarters.
+  if (opts.shed_low_watermark == 0) {
+    opts.shed_low_watermark = std::max<std::size_t>(1, opts.max_queue_depth / 2);
+  }
+  if (opts.shed_normal_watermark == 0) {
+    opts.shed_normal_watermark =
+        std::max<std::size_t>(1, opts.max_queue_depth - opts.max_queue_depth / 4);
+  }
+  opts.shed_normal_watermark =
+      std::max(opts.shed_normal_watermark, opts.shed_low_watermark);
+  return opts;
+}
+
 }  // namespace
 
 InferenceSession::InferenceSession(std::shared_ptr<fx::GraphModule> gm,
                                    ServeOptions opts)
     : gm_(std::move(gm)),
-      opts_(opts),
-      pool_(std::make_shared<rt::ThreadPool>(1)) {
+      opts_(normalize(opts)),
+      pool_(std::make_shared<rt::ThreadPool>(1)),
+      breaker_(opts_.breaker),
+      health_(opts_.health),
+      retry_(opts_.retry) {
   if (!gm_) throw std::invalid_argument("InferenceSession: null module");
-  if (opts_.max_queue_depth == 0) opts_.max_queue_depth = 1;
-  if (opts_.max_batch_rows < 1) opts_.max_batch_rows = 1;
-  if (opts_.batch_poll.count() < 1) opts_.batch_poll = std::chrono::milliseconds(1);
   if (!gm_->compiled()) gm_->recompile();
   batcher_ = std::thread([this] { batcher_loop(); });
 }
@@ -80,7 +122,8 @@ void InferenceSession::shutdown() {
 // Client side
 // ---------------------------------------------------------------------------
 
-Ticket InferenceSession::submit(Tensor input, double deadline_seconds) {
+Ticket InferenceSession::submit(Tensor input, double deadline_seconds,
+                                Priority priority) {
   Ticket t;
   t.cancel = std::make_shared<std::atomic<bool>>(false);
   std::promise<Response> promise;
@@ -91,6 +134,7 @@ Ticket InferenceSession::submit(Tensor input, double deadline_seconds) {
   r.input = std::move(input);
   r.cancel = t.cancel;
   r.enqueue = now;
+  r.priority = priority;
   r.deadline = deadline_seconds > 0.0
                    ? now + std::chrono::duration_cast<Clock::duration>(
                                std::chrono::duration<double>(deadline_seconds))
@@ -103,14 +147,43 @@ Ticket InferenceSession::submit(Tensor input, double deadline_seconds) {
     promise.set_value(std::move(resp));
     std::lock_guard<std::mutex> sl(stats_mu_);
     ++stats_.rejected;
+    ++stats_.by_code[static_cast<std::size_t>(ErrorCode::GuardViolation)];
     return t;
   }
 
+  // Opt-in hopeless shed: a deadline'd request whose estimated queue wait
+  // already exceeds its deadline would only expire in queue — shed it now.
+  bool hopeless = false;
+  if (opts_.shed_hopeless && deadline_seconds > 0.0) {
+    double ema;
+    {
+      std::lock_guard<std::mutex> sl(stats_mu_);
+      ema = ema_run_seconds_;
+    }
+    std::size_t depth;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      depth = queue_.size();
+    }
+    const double queued_runs =
+        1.0 + static_cast<double>(depth) /
+                  static_cast<double>(opts_.max_batch_rows);
+    hopeless = ema > 0.0 && ema * queued_runs > deadline_seconds;
+  }
+
   bool admitted = false;
+  bool watermark_shed = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     t.id = r.id = next_id_++;
-    if (!stopping_ && queue_.size() < opts_.max_queue_depth) {
+    const std::size_t depth = queue_.size();
+    const bool shed =
+        hopeless || depth >= opts_.max_queue_depth ||
+        (priority == Priority::Low && depth >= opts_.shed_low_watermark) ||
+        (priority == Priority::Normal &&
+         depth >= opts_.shed_normal_watermark);
+    watermark_shed = shed && depth < opts_.max_queue_depth && !hopeless;
+    if (!stopping_ && !shed) {
       r.promise = std::move(promise);
       queue_.push_back(std::move(r));
       admitted = true;
@@ -118,28 +191,57 @@ Ticket InferenceSession::submit(Tensor input, double deadline_seconds) {
   }
   if (admitted) {
     cv_.notify_all();
+    retry_.on_admitted();
     std::lock_guard<std::mutex> sl(stats_mu_);
     ++stats_.admitted;
     return t;
   }
   Response resp;
   resp.code = ErrorCode::AdmissionRejected;
-  resp.error = "serve: request rejected at admission (queue full or session "
-               "shutting down)";
+  resp.error = watermark_shed
+                   ? std::string("serve: ") + priority_name(priority) +
+                         "-priority request shed at queue watermark"
+                   : (hopeless
+                          ? "serve: request shed (estimated wait exceeds "
+                            "deadline)"
+                          : "serve: request rejected at admission (queue full "
+                            "or session shutting down)");
   promise.set_value(std::move(resp));
   std::lock_guard<std::mutex> sl(stats_mu_);
   ++stats_.rejected;
+  ++stats_.by_code[static_cast<std::size_t>(ErrorCode::AdmissionRejected)];
+  if (hopeless) {
+    ++stats_.shed_hopeless;
+  } else {
+    // Break sheds down by the priority that was turned away (full-queue
+    // and stopping sheds land here too — the priority still tells the
+    // operator whose traffic is being lost).
+    switch (priority) {
+      case Priority::Low: ++stats_.shed_low; break;
+      case Priority::Normal: ++stats_.shed_normal; break;
+      case Priority::High: ++stats_.shed_high; break;
+    }
+  }
   return t;
 }
 
-Response InferenceSession::run(Tensor input, double deadline_seconds) {
-  Ticket t = submit(std::move(input), deadline_seconds);
+Response InferenceSession::run(Tensor input, double deadline_seconds,
+                               Priority priority) {
+  Ticket t = submit(std::move(input), deadline_seconds, priority);
   return t.response.get();
 }
 
 SessionStats InferenceSession::stats() const {
-  std::lock_guard<std::mutex> sl(stats_mu_);
-  return stats_;
+  SessionStats s;
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    s = stats_;
+  }
+  s.breaker = breaker_.stats();
+  s.health = health_.stats();
+  s.retry = retry_.stats();
+  s.retries = s.retry.retries;
+  return s;
 }
 
 // ---------------------------------------------------------------------------
@@ -174,7 +276,12 @@ std::vector<InferenceSession::Request> InferenceSession::form_batch(
   std::vector<Request> batch;
   batch.push_back(std::move(queue_.front()));
   queue_.pop_front();
-  if (!opts_.batching) return batch;
+  // Below the PlannedBatched rung requests run one per engine invocation:
+  // a degraded engine must not be handed whole batches to take down.
+  if (!opts_.batching ||
+      health_.rung() != resilience::ExecRung::PlannedBatched) {
+    return batch;
+  }
 
   std::int64_t rows = batch.front().input.size(0);
   const Clock::time_point flush_at =
@@ -209,9 +316,12 @@ void InferenceSession::respond_error(Request& r, ErrorCode code,
   Response resp;
   resp.code = code;
   resp.error = msg;
+  resp.attempts = r.attempts;
   resp.total_seconds = secs(r.enqueue, Clock::now());
   r.promise.set_value(std::move(resp));
   r.answered = true;
+  std::lock_guard<std::mutex> sl(stats_mu_);
+  ++stats_.by_code[static_cast<std::size_t>(code)];
 }
 
 void InferenceSession::respond_ok(Request& r, Tensor out,
@@ -224,10 +334,21 @@ void InferenceSession::respond_ok(Request& r, Tensor out,
   resp.output = std::move(out);
   resp.batch_rows = batch_rows;
   resp.batch_requests = batch_requests;
+  resp.attempts = r.attempts;
   resp.queue_seconds = secs(r.enqueue, start);
   resp.total_seconds = secs(r.enqueue, Clock::now());
   r.promise.set_value(std::move(resp));
   r.answered = true;
+}
+
+void InferenceSession::sync_breaker_trips() {
+  const std::uint64_t trips = breaker_.stats().trips;
+  if (trips > seen_trips_) {
+    seen_trips_ = trips;
+    // A tripped engine re-probing straight into full batching re-risks
+    // whole batches: force at least Degraded until recovery is earned.
+    health_.on_breaker_trip();
+  }
 }
 
 void InferenceSession::process_batch(std::vector<Request> batch) {
@@ -251,29 +372,72 @@ void InferenceSession::process_batch(std::vector<Request> batch) {
   }
   if (live.empty()) return;
 
+  // Circuit breaker gate, per request: rejects fail fast without ever
+  // touching the engine; probes run and report back with probe=true.
+  {
+    std::vector<Request> gated;
+    gated.reserve(live.size());
+    std::uint64_t rejected = 0;
+    for (Request& r : live) {
+      switch (breaker_.on_request()) {
+        case resilience::BreakerDecision::Reject:
+          respond_error(r, ErrorCode::CircuitOpen,
+                        "serve: circuit breaker open — request failed fast");
+          ++rejected;
+          break;
+        case resilience::BreakerDecision::Probe:
+          r.probe = true;
+          gated.push_back(std::move(r));
+          break;
+        case resilience::BreakerDecision::Admit:
+          gated.push_back(std::move(r));
+          break;
+      }
+    }
+    if (rejected) {
+      std::lock_guard<std::mutex> sl(stats_mu_);
+      stats_.breaker_rejected += rejected;
+    }
+    live = std::move(gated);
+  }
+  if (live.empty()) return;
+
+  const Clock::time_point start = Clock::now();
+
+  // Broken rung: skip the planned batch entirely — serve each request with
+  // a per-request maximally-isolated run (rescue path, interpreter-only).
+  if (health_.rung() == resilience::ExecRung::Interpreter) {
+    rescue_requests(live, start, /*from_failed_batch=*/false);
+    sync_breaker_trips();
+    return;
+  }
+
   std::vector<Tensor> inputs;
   inputs.reserve(live.size());
   std::int64_t rows = 0;
-  for (const Request& r : live) {
+  for (Request& r : live) {
     inputs.push_back(r.input);
     rows += r.input.size(0);
+    ++r.attempts;
   }
   {
     std::lock_guard<std::mutex> sl(stats_mu_);
     ++stats_.batches;
     stats_.batched_rows += static_cast<std::uint64_t>(rows);
     stats_.peak_batch_rows = std::max(stats_.peak_batch_rows, rows);
+    if (health_.rung() != resilience::ExecRung::PlannedBatched) {
+      ++stats_.degraded_rung_runs;
+    }
   }
 
   // One planned run over the coalesced batch, on the session's private
   // pool. The TaskGroup pins the pool and supplies the watch-loop seam:
   // wait_for's post-deadline contract guarantees a late result or
   // exception is still observable after we time out and answer clients.
-  const Clock::time_point start = Clock::now();
   auto results = std::make_shared<std::vector<Tensor>>();
   rt::TaskGroup group(pool_);
   group.run([this, inputs = std::move(inputs), results] {
-    *results = gm_->run_planned_batched(inputs);
+    *results = gm_->run_planned_batched(inputs, opts_.hooks);
   });
 
   std::exception_ptr batch_err;
@@ -309,9 +473,12 @@ void InferenceSession::process_batch(std::vector<Request> batch) {
   for (const Request& r : live) unanswered += r.answered ? 0 : 1;
 
   if (batch_err) {
+    health_.record(false);
     if (unanswered == 0) {
       // Every member was already answered (deadline/cancel); the error is
       // observed and counted — the contract's "never dropped on the floor".
+      for (Request& r : live) breaker_.on_outcome(false, r.probe);
+      sync_breaker_trips();
       std::lock_guard<std::mutex> sl(stats_mu_);
       ++stats_.late_errors;
       return;
@@ -321,7 +488,8 @@ void InferenceSession::process_batch(std::vector<Request> batch) {
         std::lock_guard<std::mutex> sl(stats_mu_);
         ++stats_.degraded_batches;
       }
-      degrade_requests(live, start);
+      rescue_requests(live, start, /*from_failed_batch=*/true);
+      sync_breaker_trips();
       return;
     }
     std::string msg;
@@ -334,12 +502,16 @@ void InferenceSession::process_batch(std::vector<Request> batch) {
       msg = e.what();
       for (Request& r : live) respond_error(r, ErrorCode::NodeFailure, msg);
     }
+    for (Request& r : live) breaker_.on_outcome(false, r.probe);
+    sync_breaker_trips();
     std::lock_guard<std::mutex> sl(stats_mu_);
     stats_.failed += unanswered;
     return;
   }
 
   // Success: deliver each request its split of the batched output.
+  health_.record(true);
+  for (Request& r : live) breaker_.on_outcome(true, r.probe);
   std::uint64_t completed = 0;
   std::uint64_t late = 0;
   for (std::size_t i = 0; i < live.size(); ++i) {
@@ -353,34 +525,106 @@ void InferenceSession::process_batch(std::vector<Request> batch) {
   std::lock_guard<std::mutex> sl(stats_mu_);
   stats_.completed += completed;
   stats_.late_results += late;
+  const double run_seconds = secs(start, Clock::now());
+  ema_run_seconds_ = ema_run_seconds_ == 0.0
+                         ? run_seconds
+                         : 0.8 * ema_run_seconds_ + 0.2 * run_seconds;
 }
 
-void InferenceSession::degrade_requests(std::vector<Request>& reqs,
-                                        Clock::time_point start) {
+void InferenceSession::rescue_requests(std::vector<Request>& reqs,
+                                       Clock::time_point start,
+                                       bool from_failed_batch) {
   // Per-request rescue: one poisoned input must fail alone. Guards are
   // specialized to the session's example shape, so they stay off here (the
   // plan-cache path already keys safety by signature); the parallel rung
-  // stays off too — the degrade path runs on the batcher thread and wants
+  // stays off too — the rescue path runs on the batcher thread and wants
   // the serial tape -> interpreter ladder.
-  fx::ResilientOptions ro;
-  ro.try_parallel = false;
-  ro.check_guards = false;
+  fx::ResilientOptions base;
+  base.try_parallel = false;
+  base.check_guards = false;
+  base.hooks = opts_.hooks;
+
   for (Request& r : reqs) {
-    if (r.answered) continue;
-    try {
-      Tensor out = gm_->run_resilient(r.input, ro);
-      respond_ok(r, std::move(out), r.input.size(0), 1, start);
-      std::lock_guard<std::mutex> sl(stats_mu_);
-      ++stats_.completed;
-    } catch (const ExecError& e) {
-      respond_error(r, e.code(), e.what());
-      std::lock_guard<std::mutex> sl(stats_mu_);
-      ++stats_.failed;
-    } catch (const std::exception& e) {
-      respond_error(r, ErrorCode::NodeFailure, e.what());
-      std::lock_guard<std::mutex> sl(stats_mu_);
-      ++stats_.failed;
+    if (r.answered) {
+      // Answered by a deadline/cancel sweep, but the engine run made on its
+      // behalf genuinely failed — the breaker still needs that outcome.
+      if (from_failed_batch) breaker_.on_outcome(false, r.probe);
+      continue;
     }
+    bool engine_ok = false;
+    bool first = true;
+    ErrorCode code = ErrorCode::Unknown;
+    std::string msg;
+    for (;;) {
+      if (!first) {
+        // Re-attempts are gated by the retry policy: bounded attempts,
+        // budget tokens, and a backoff that must fit the deadline. The
+        // first rescue run is free — it's isolation, not a retry.
+        double remaining = -1.0;
+        if (r.deadline != Clock::time_point::max()) {
+          remaining = secs(Clock::now(), r.deadline);
+          if (remaining <= 0.0) {
+            respond_error(r, ErrorCode::DeadlineExceeded,
+                          "serve: deadline expired during rescue");
+            std::lock_guard<std::mutex> sl(stats_mu_);
+            ++stats_.expired;
+            break;
+          }
+        }
+        if (r.cancel && r.cancel->load()) {
+          respond_error(r, ErrorCode::Cancelled,
+                        "serve: cancelled during rescue");
+          std::lock_guard<std::mutex> sl(stats_mu_);
+          ++stats_.cancelled;
+          break;
+        }
+        double backoff = 0.0;
+        if (!retry_.acquire(code, static_cast<int>(r.attempts) + 1, remaining,
+                            r.id, &backoff)) {
+          respond_error(r, code, msg);
+          std::lock_guard<std::mutex> sl(stats_mu_);
+          ++stats_.failed;
+          break;
+        }
+        if (backoff > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        }
+      }
+      first = false;
+
+      // The rung may step down between attempts (this very rescue feeds the
+      // health window): Broken narrows the ladder to the Interpreter alone.
+      fx::ResilientOptions ro = base;
+      const resilience::ExecRung rung = health_.rung();
+      if (rung == resilience::ExecRung::Interpreter) ro.try_tape = false;
+      if (rung != resilience::ExecRung::PlannedBatched) {
+        std::lock_guard<std::mutex> sl(stats_mu_);
+        ++stats_.degraded_rung_runs;
+      }
+      ++r.attempts;
+      try {
+        Tensor out = gm_->run_resilient(r.input, ro);
+        health_.record(true);
+        engine_ok = true;
+        respond_ok(r, std::move(out), r.input.size(0), 1, start);
+        std::lock_guard<std::mutex> sl(stats_mu_);
+        ++stats_.completed;
+        break;
+      } catch (const ExecError& e) {
+        code = e.code();
+        msg = e.what();
+      } catch (const std::exception& e) {
+        code = ErrorCode::NodeFailure;
+        msg = e.what();
+      }
+      health_.record(false);
+    }
+    breaker_.on_outcome(engine_ok, r.probe);
+    sync_breaker_trips();
+  }
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    stats_.retries = retry_.stats().retries;
   }
 }
 

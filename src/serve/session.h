@@ -28,6 +28,30 @@
 // always observed (counted in SessionStats::late_results / late_errors),
 // never dropped.
 //
+// Resilience (PR 9). Four cooperating mechanisms wrap the execution path;
+// all of them default ON with thresholds that are no-ops for healthy
+// traffic:
+//
+//   * load shedding  — requests carry a Priority; once the queue passes the
+//     low/normal watermarks, lower-priority submissions are shed at the
+//     door with ErrorCode::AdmissionRejected so paying (High) traffic keeps
+//     its latency budget;
+//   * circuit breaker — a per-session resilience::CircuitBreaker gates
+//     every engine attempt; when the engine is evidently broken the session
+//     answers ErrorCode::CircuitOpen immediately instead of burning retry
+//     ladders, then probes its way back closed (half-open);
+//   * retry/backoff  — a failed request's rescue is re-attempted under
+//     resilience::RetryPolicy: bounded attempts, deterministic seeded
+//     exponential backoff, a retry budget capping amplification, and
+//     deadline awareness (a backoff that outlives the deadline is denied).
+//     The FIRST per-request rescue after a failed batch is free — it is
+//     the isolation mechanism, not a retry;
+//   * health rungs   — a resilience::HealthMonitor watches engine-run
+//     outcomes and picks the execution rung: Healthy serves coalesced
+//     planned batches, Degraded serves one request per planned run, Broken
+//     serves per-request Interpreter runs (maximum isolation). Recovery is
+//     earned back one rung at a time.
+//
 // Failure isolation. A batch run that throws does not poison its
 // co-batched requests: the batcher degrades to per-request
 // GraphModule::run_resilient calls, so one poisoned input fails alone with
@@ -39,6 +63,7 @@
 // execution pool.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -51,11 +76,22 @@
 #include <thread>
 #include <vector>
 
+#include "core/exec_hooks.h"
 #include "core/graph_module.h"
+#include "resilience/circuit_breaker.h"
+#include "resilience/exec_error.h"
+#include "resilience/health.h"
+#include "resilience/retry_policy.h"
 #include "runtime/thread_pool.h"
 #include "tensor/tensor.h"
 
 namespace fxcpp::serve {
+
+// Request priority for watermark shedding. Low is shed first, High is shed
+// only when the queue is entirely full.
+enum class Priority { Low = 0, Normal = 1, High = 2 };
+
+const char* priority_name(Priority p);
 
 struct ServeOptions {
   // Admission bound: submissions beyond this many queued requests are
@@ -79,6 +115,32 @@ struct ServeOptions {
   // Degrade a failed batch through per-request run_resilient (false =
   // every co-batched request fails with the batch's error).
   bool resilient = true;
+
+  // --- resilience (PR 9) -------------------------------------------------
+  // Queue depth at which Low-priority submissions are shed (0 = derive
+  // max_queue_depth / 2 at construction).
+  std::size_t shed_low_watermark = 0;
+  // Queue depth at which Normal-priority submissions are shed too (0 =
+  // derive 3 * max_queue_depth / 4). High priority is only shed at full
+  // queue depth.
+  std::size_t shed_normal_watermark = 0;
+  // Opt-in: shed deadline-carrying submissions whose estimated queue wait
+  // (EMA of recent run times x queued runs) already exceeds their deadline
+  // — they would only expire in the queue. OFF by default because a
+  // deadline request that expires in queue is answered DeadlineExceeded,
+  // and callers may depend on that distinction.
+  bool shed_hopeless = false;
+  // Circuit breaker over engine-run outcomes (breaker.enabled=false turns
+  // the gate off entirely).
+  resilience::BreakerOptions breaker;
+  // Retry/backoff for per-request rescue attempts.
+  resilience::RetryOptions retry;
+  // Health state machine driving the execution rung.
+  resilience::HealthOptions health;
+  // Observer hooks threaded into every engine run this session issues
+  // (batched, rescue, probe): the chaos harness and anomaly watchdog ride
+  // here. Must outlive the session. Not owned.
+  fx::ExecHooks* hooks = nullptr;
 };
 
 // What a client gets back. `ok` responses carry the output tensor (always
@@ -91,6 +153,8 @@ struct Response {
   Tensor output;
   std::int64_t batch_rows = 0;     // rows in the run that served this
   std::size_t batch_requests = 0;  // requests coalesced into that run
+  std::uint32_t attempts = 0;      // engine runs spent on this request
+                                   // (0 = shed/expired before any run)
   double queue_seconds = 0.0;      // submit -> execution start
   double total_seconds = 0.0;      // submit -> response
 };
@@ -106,7 +170,8 @@ struct Ticket {
 
 struct SessionStats {
   std::uint64_t admitted = 0;
-  std::uint64_t rejected = 0;   // shed at admission (queue full / stopping)
+  std::uint64_t rejected = 0;   // shed at admission (queue full / watermark
+                                // / stopping) — shed_* below break it down
   std::uint64_t completed = 0;  // ok responses
   std::uint64_t failed = 0;     // error responses (excl. cancel/deadline)
   std::uint64_t cancelled = 0;
@@ -119,6 +184,24 @@ struct SessionStats {
   std::uint64_t late_errors = 0;   // batch errors observed after every
                                    // member was already answered
   std::int64_t peak_batch_rows = 0;
+
+  // --- resilience (PR 9) -------------------------------------------------
+  std::uint64_t shed_low = 0;     // Low shed at the low watermark
+  std::uint64_t shed_normal = 0;  // Normal shed at the normal watermark
+  std::uint64_t shed_high = 0;    // High shed at full queue depth
+  std::uint64_t shed_hopeless = 0;   // opt-in estimated-wait sheds
+  std::uint64_t breaker_rejected = 0;  // answered ErrorCode::CircuitOpen
+  std::uint64_t retries = 0;           // rescue re-attempts granted
+  std::uint64_t degraded_rung_runs = 0;  // engine runs issued below the
+                                         // PlannedBatched rung
+  // Error responses by taxonomy code (index = static_cast<ErrorCode>);
+  // rendered in to_json keyed by error_code_name.
+  std::array<std::uint64_t, kNumErrorCodes> by_code{};
+  // Snapshots of the resilience machinery, embedded in to_json.
+  resilience::BreakerStats breaker;
+  resilience::HealthStats health;
+  resilience::RetryStats retry;
+
   std::string to_json() const;
 };
 
@@ -148,10 +231,12 @@ class InferenceSession {
   // ErrorCode::DeadlineExceeded even while its batch is still running.
   // Admission failures resolve the ticket immediately
   // (ErrorCode::AdmissionRejected) — submit() itself never throws on load.
-  Ticket submit(Tensor input, double deadline_seconds = 0.0);
+  Ticket submit(Tensor input, double deadline_seconds = 0.0,
+                Priority priority = Priority::Normal);
 
   // Synchronous convenience: submit and wait.
-  Response run(Tensor input, double deadline_seconds = 0.0);
+  Response run(Tensor input, double deadline_seconds = 0.0,
+               Priority priority = Priority::Normal);
 
   // Stop admitting, drain every queued request (they still get real
   // responses), join the batcher. Idempotent; the destructor calls it.
@@ -171,17 +256,28 @@ class InferenceSession {
     std::shared_ptr<std::atomic<bool>> cancel;
     Clock::time_point enqueue;
     Clock::time_point deadline;  // Clock::time_point::max() = none
+    Priority priority = Priority::Normal;
     bool answered = false;
+    bool probe = false;           // this request's run is a breaker probe
+    std::uint32_t attempts = 0;   // engine runs spent so far
   };
 
   void batcher_loop();
   // Pop the head request and coalesce queued requests of its compatibility
   // class (same dtype + trailing dims) until max_batch_rows or the head's
   // max_queue_delay flush point. Called with `lock` held; may wait on cv_.
+  // Coalescing is suppressed below the PlannedBatched health rung.
   std::vector<Request> form_batch(std::unique_lock<std::mutex>& lock);
   void process_batch(std::vector<Request> batch);
-  // Per-request rescue after a failed batch run (run_resilient ladder).
-  void degrade_requests(std::vector<Request>& reqs, Clock::time_point start);
+  // Per-request rescue: the isolation run after a failed batch (free) plus
+  // RetryPolicy-gated re-attempts, each gated on the health rung. Feeds
+  // breaker/health outcomes. `from_failed_batch` marks already-answered
+  // members' batch outcome as the engine failure it was.
+  void rescue_requests(std::vector<Request>& reqs, Clock::time_point start,
+                       bool from_failed_batch);
+  // Poll breaker trips observed by the batcher; forces the health machine
+  // to at least Degraded on a fresh trip.
+  void sync_breaker_trips();
   static bool compatible(const Tensor& a, const Tensor& b);
 
   void respond_error(Request& r, ErrorCode code, const std::string& msg);
@@ -194,6 +290,11 @@ class InferenceSession {
   // resized under) the process-wide pools; TaskGroup pins it per batch.
   std::shared_ptr<rt::ThreadPool> pool_;
 
+  resilience::CircuitBreaker breaker_;
+  resilience::HealthMonitor health_;
+  resilience::RetryPolicy retry_;
+  std::uint64_t seen_trips_ = 0;  // batcher-thread-only trip watermark
+
   mutable std::mutex mu_;  // queue_, stopping_, next_id_
   std::condition_variable cv_;
   std::deque<Request> queue_;
@@ -202,6 +303,7 @@ class InferenceSession {
 
   mutable std::mutex stats_mu_;
   SessionStats stats_;
+  double ema_run_seconds_ = 0.0;  // guarded by stats_mu_; shed_hopeless
 
   std::thread batcher_;  // started last in the ctor, joined by shutdown()
 };
