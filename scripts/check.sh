@@ -43,14 +43,20 @@ fxprof_smoke "$repo/build"
 # over the analysis + passes layers. Gated: the CI container does not ship
 # clang-tidy; run it locally when available.
 if command -v clang-tidy >/dev/null 2>&1; then
-  echo "-- clang-tidy (src/analysis src/passes src/serve src/resilience src/core/plan_cache) --"
+  echo "-- clang-tidy (src/analysis src/passes src/serve src/resilience src/kernels src/core/plan_cache) --"
   { find "$repo/src/analysis" "$repo/src/passes" "$repo/src/serve" \
-      "$repo/src/resilience" -name '*.cc' -print0
+      "$repo/src/resilience" "$repo/src/kernels" -name '*.cc' -print0
     printf '%s\0' "$repo/src/core/plan_cache.cc"; } |
     xargs -0 -n 4 -P "$jobs" clang-tidy -p "$repo/build" --quiet
 else
   echo "-- clang-tidy not installed; skipping static-analysis lint --"
 fi
+
+# Scalar-fallback regression: the full suite with the kernel dispatch pinned
+# to the portable tier (the env knob every SIMD bug report starts from).
+echo "-- ctest with FXCPP_KERNEL_ISA=scalar (build/) --"
+FXCPP_KERNEL_ISA=scalar ctest --test-dir "$repo/build" \
+  --output-on-failure -j "$jobs" -L kernels
 
 echo "== [2/3] sanitized build + ctest (build-asan/) =="
 cmake -B "$repo/build-asan" -S "$repo" -DFXCPP_SANITIZE=ON
@@ -64,7 +70,8 @@ cmake -B "$repo/build-tsan" -S "$repo" -DFXCPP_SANITIZE=thread
 cmake --build "$repo/build-tsan" -j "$jobs" --target test_parallel_exec \
   --target test_runtime --target test_profile --target test_resilience \
   --target test_memory_plan --target test_dataflow --target test_constant_fold \
-  --target test_plan_cache --target test_serving --target test_resilience_serve
+  --target test_plan_cache --target test_serving --target test_resilience_serve \
+  --target test_kernels
 "$repo/build-tsan/tests/test_parallel_exec"
 "$repo/build-tsan/tests/test_runtime"
 "$repo/build-tsan/tests/test_profile"
@@ -93,5 +100,11 @@ cmake --build "$repo/build-tsan" -j "$jobs" --target test_parallel_exec \
 # retry rescues, and health rung changes all race client submitters and a
 # mid-flight shutdown.
 "$repo/build-tsan/tests/test_resilience_serve"
+# Micro-kernel layer under TSan: sgemm/qgemm drivers share thread-local
+# pack workspaces with planned parallel runs; the differential fuzz forces
+# every ISA tier while rt worker threads execute strips concurrently.
+# Run twice: dispatched tier, then the forced scalar fallback.
+"$repo/build-tsan/tests/test_kernels"
+FXCPP_KERNEL_ISA=scalar "$repo/build-tsan/tests/test_kernels"
 
 echo "== check.sh: all suites green =="

@@ -229,6 +229,15 @@ Value linear(const Value& x, const Value& w, const Value& b) {
                            b.defined() ? b.tensor() : Tensor()));
 }
 
+Value linear_relu(const Value& x, const Value& w, const Value& b) {
+  if (Tracer* t = tracer_of({&x, &w, &b})) {
+    return record_fn(t, "linear_relu",
+                     {t->create_arg(x), t->create_arg(w), t->create_arg(b)});
+  }
+  return Value(ops::linear_relu(x.tensor(), w.tensor(),
+                                b.defined() ? b.tensor() : Tensor()));
+}
+
 Value transpose(const Value& x, std::int64_t d0, std::int64_t d1) {
   if (Tracer* t = tracer_of({&x})) {
     return record_fn(t, "transpose",
@@ -447,6 +456,10 @@ void do_register() {
              return ops::linear(rt_tensor(a.at(0)), rt_tensor(a.at(1)),
                                 rt_opt_tensor(a.at(2)));
            }});
+  fns.add({"linear_relu", {"x", "weight", "bias"}, [](const Args& a) -> RtValue {
+             return ops::linear_relu(rt_tensor(a.at(0)), rt_tensor(a.at(1)),
+                                     rt_opt_tensor(a.at(2)));
+           }});
   fns.add({"transpose", {"x", "dim0", "dim1"}, [](const Args& a) -> RtValue {
              return ops::transpose(rt_tensor(a.at(0)),
                                    static_cast<int>(rt_int(a.at(1))),
@@ -557,7 +570,8 @@ void do_register() {
   }
   for (const char* name :
        {"sum", "mean", "dequantize", "quantized_relu", "dropout", "matmul",
-        "linear", "transpose", "embedding", "conv2d", "max_pool2d",
+        "linear", "linear_relu", "transpose", "embedding", "conv2d",
+        "max_pool2d",
         "avg_pool2d", "adaptive_avg_pool2d", "batch_norm", "layer_norm",
         "softmax", "cat", "quantize_per_tensor", "quantized_add"}) {
     fns.annotate(name, /*fresh_output=*/true, /*can_alias=*/false);

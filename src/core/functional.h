@@ -41,6 +41,9 @@ Value dropout(const Value& x, double p, bool training);
 // --- linear algebra --------------------------------------------------------
 Value matmul(const Value& a, const Value& b);
 Value linear(const Value& x, const Value& w, const Value& b);
+// Fused linear+ReLU (the fusion pass's target; bit-equal to
+// relu(linear(...)) — the clamp runs in the GEMM epilogue).
+Value linear_relu(const Value& x, const Value& w, const Value& b);
 Value transpose(const Value& x, std::int64_t d0, std::int64_t d1);
 Value embedding(const Value& weight, const Value& indices);
 

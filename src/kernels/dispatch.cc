@@ -1,0 +1,111 @@
+#include "kernels/dispatch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+
+namespace fxcpp::kernels {
+
+namespace {
+
+Isa probe_isa() {
+#if defined(__aarch64__) || defined(__ARM_NEON)
+  return Isa::Neon;
+#elif defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return Isa::Avx512;
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Isa::Avx2;
+  }
+  if (__builtin_cpu_supports("sse2")) return Isa::Sse2;
+  return Isa::Scalar;
+#else
+  return Isa::Scalar;
+#endif
+}
+
+bool probe_vnni() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx512vnni") != 0;
+#else
+  return false;
+#endif
+}
+
+// Clamp an override to something this CPU can execute. On aarch64 the only
+// tiers are Neon and Scalar; x86 tiers order by strength.
+Isa clamp_to_detected(Isa want) {
+  const Isa have = detected_isa();
+  if (have == Isa::Neon) return want == Isa::Scalar ? Isa::Scalar : Isa::Neon;
+  if (want == Isa::Neon) return have;  // x86 cannot run Neon
+  return static_cast<int>(want) <= static_cast<int>(have) ? want : have;
+}
+
+std::optional<Isa> read_env_isa() {
+  const char* v = std::getenv("FXCPP_KERNEL_ISA");
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return parse_isa(v);
+}
+
+// -1 encodes "no forced tier".
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar: return "scalar";
+    case Isa::Sse2: return "sse2";
+    case Isa::Avx2: return "avx2";
+    case Isa::Avx512: return "avx512";
+    case Isa::Neon: return "neon";
+  }
+  return "scalar";
+}
+
+std::optional<Isa> parse_isa(const std::string& s) {
+  std::string low;
+  low.reserve(s.size());
+  for (char c : s) {
+    low.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (low == "scalar") return Isa::Scalar;
+  if (low == "sse2") return Isa::Sse2;
+  if (low == "avx2") return Isa::Avx2;
+  if (low == "avx512" || low == "avx512f") return Isa::Avx512;
+  if (low == "neon") return Isa::Neon;
+  return std::nullopt;
+}
+
+Isa detected_isa() {
+  static const Isa isa = probe_isa();
+  return isa;
+}
+
+bool detected_int8_vnni() {
+  static const bool vnni = probe_vnni();
+  return vnni;
+}
+
+std::optional<Isa> env_isa() {
+  static const std::optional<Isa> env = read_env_isa();
+  return env;
+}
+
+Isa active_isa() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return clamp_to_detected(static_cast<Isa>(forced));
+  if (const std::optional<Isa> env = env_isa()) return clamp_to_detected(*env);
+  return detected_isa();
+}
+
+void force_isa(std::optional<Isa> isa) {
+  g_forced.store(isa ? static_cast<int>(*isa) : -1, std::memory_order_relaxed);
+}
+
+}  // namespace fxcpp::kernels

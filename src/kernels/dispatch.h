@@ -1,0 +1,70 @@
+// Runtime CPU-feature dispatch for the micro-kernel layer (MLAS-style).
+//
+// Kernel variants are compiled per ISA tier into separate translation units
+// (kernel_scalar.cc always; kernel_sse2/avx2/avx512.cc with the matching
+// -m flags on x86; kernel_neon.cc on aarch64) and selected once at runtime
+// through a dispatch table keyed by the detected CPU features. The scalar
+// tier is always available, so every higher tier is an optimization, never
+// a requirement.
+//
+// Tier selection, in precedence order:
+//   1. force_isa(tier)            — programmatic override (tests, CLIs)
+//   2. FXCPP_KERNEL_ISA=<tier>    — environment override, read once
+//   3. detected_isa()             — cpuid / __builtin_cpu_supports probe
+// Overrides may only pick a tier at or below the detected one: requesting
+// an unsupported tier clamps down to the best supported tier (never up —
+// that would execute illegal instructions), and an unparsable value is
+// ignored. Forcing a tier therefore always yields a runnable kernel set.
+//
+// Bit-stability contract: within one tier, a kernel's reduction (kk) order
+// is a pure function of the problem shape — every output element is one
+// accumulation chain over k in ascending order, independent of M/N position
+// or blocking. Repeated runs at a pinned tier are bit-identical, which is
+// what the serving layer's bit-equality gates rely on. fp32 results may
+// differ *between* tiers (FMA vs mul+add rounding); int8 results are exact
+// integer arithmetic in every tier and thus bit-identical across tiers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace fxcpp::kernels {
+
+// Ordered from weakest to strongest; comparisons rely on this.
+enum class Isa : int {
+  Scalar = 0,
+  Sse2 = 1,
+  Avx2 = 2,    // AVX2 + FMA
+  Avx512 = 3,  // AVX-512 F/BW/VL (+VNNI for int8 when present)
+  Neon = 4,    // aarch64 baseline SIMD (not ordered against x86 tiers)
+};
+
+// Lower-case canonical tier name ("scalar", "sse2", "avx2", "avx512",
+// "neon").
+const char* isa_name(Isa isa);
+
+// Case-insensitive parse of a tier name; nullopt for unknown strings.
+std::optional<Isa> parse_isa(const std::string& s);
+
+// Best tier this CPU supports (probed once, cached).
+Isa detected_isa();
+
+// AVX-512 VNNI (vpdpbusd) available — upgrades the int8 micro-kernel
+// within the Avx512 tier. Int8 results are bit-identical either way.
+bool detected_int8_vnni();
+
+// The tier kernels will actually run at (override-aware, clamped to
+// detected). Cheap enough to call per GEMM.
+Isa active_isa();
+
+// Programmatic override (takes precedence over the environment). Requests
+// above the detected tier clamp down; nullopt restores env/detected
+// behavior. Thread-safe; takes effect for subsequent kernel launches.
+void force_isa(std::optional<Isa> isa);
+
+// The environment override that was parsed at startup (nullopt when unset
+// or unparsable) — surfaced for diagnostics.
+std::optional<Isa> env_isa();
+
+}  // namespace fxcpp::kernels

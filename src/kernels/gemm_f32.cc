@@ -1,0 +1,50 @@
+// fp32 GEMM driver: strip-parallel over rows of A, panel groups of packed
+// B, full-K register accumulation per tile (no KC split — one reduction
+// chain per output element keeps per-tier results bit-stable and lets the
+// epilogue fire exactly once per element).
+#include <vector>
+
+#include "kernels/kernel_impl.h"
+#include "kernels/kernels.h"
+#include "runtime/thread_pool.h"
+
+namespace fxcpp::kernels {
+
+void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+           std::int64_t lda, const float* packed_b, float* c, std::int64_t ldc,
+           const float* bias_col, const float* bias_row, bool relu,
+           const float* prepacked_a) {
+  if (m <= 0 || n <= 0) return;
+  const GemmF32Kernel& kf = gemm_f32_kernel(active_isa());
+  const int mr = kf.mr;
+  const std::int64_t strips = (m + mr - 1) / mr;
+  // Aim for a handful of strips per chunk so the pool can balance without
+  // shredding locality of the packed panels.
+  const std::int64_t grain = 4;
+  rt::parallel_for(0, strips, grain, [&](std::int64_t s0, std::int64_t s1) {
+    thread_local std::vector<float> apack;
+    for (std::int64_t s = s0; s < s1; ++s) {
+      const std::int64_t r0 = s * mr;
+      const std::int64_t m_sub = std::min<std::int64_t>(mr, m - r0);
+      const float* astrip;
+      if (prepacked_a != nullptr) {
+        astrip = prepacked_a + s * mr * k;
+      } else {
+        if (apack.size() < static_cast<std::size_t>(mr) * k) {
+          apack.resize(static_cast<std::size_t>(mr) * k);
+        }
+        pack_a_f32(a + r0 * lda, lda, m_sub, k, mr, apack.data());
+        astrip = apack.data();
+      }
+      for (std::int64_t j0 = 0; j0 < n; j0 += kf.nr) {
+        const std::int64_t n_sub = std::min<std::int64_t>(kf.nr, n - j0);
+        const float* bgroup = packed_b + (j0 / kPanelWidth) * kPanelWidth * k;
+        kf.full(k, astrip, bgroup, c + r0 * ldc + j0, ldc, m_sub, n_sub,
+                bias_col != nullptr ? bias_col + j0 : nullptr,
+                bias_row != nullptr ? bias_row + r0 : nullptr, relu);
+      }
+    }
+  });
+}
+
+}  // namespace fxcpp::kernels

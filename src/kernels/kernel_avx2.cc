@@ -1,0 +1,126 @@
+// AVX2+FMA tier: 6x16 fp32 FMA tile (12 ymm accumulators) and a 2x16 int8
+// tile built from vpmovzxbw/vpmovsxbw + vpmaddwd — exact int32, no
+// vpmaddubsw saturation. Compiled with -mavx2 -mfma.
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "kernels/kernel_impl.h"
+
+namespace fxcpp::kernels::detail {
+
+namespace {
+
+// Lane masks for a partial 8-wide store/load: lane j active iff j < count.
+inline __m256i tail_mask(std::int64_t count) {
+  alignas(32) static const std::int32_t kIota[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+  const __m256i iota = _mm256_load_si256(reinterpret_cast<const __m256i*>(kIota));
+  return _mm256_cmpgt_epi32(_mm256_set1_epi32(static_cast<int>(count)), iota);
+}
+
+}  // namespace
+
+void sgemm_kernel_avx2(std::int64_t k, const float* a, const float* b,
+                       float* c, std::int64_t ldc, std::int64_t m_sub,
+                       std::int64_t n_sub, const float* bias_col,
+                       const float* bias_row, bool relu) {
+  __m256 acc[kMrAvx2F32][2];
+  for (int r = 0; r < kMrAvx2F32; ++r) {
+    acc[r][0] = _mm256_setzero_ps();
+    acc[r][1] = _mm256_setzero_ps();
+  }
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* bk = b + kk * kPanelWidth;
+    const __m256 b0 = _mm256_loadu_ps(bk);
+    const __m256 b1 = _mm256_loadu_ps(bk + 8);
+    const float* ak = a + kk * kMrAvx2F32;
+    for (int r = 0; r < kMrAvx2F32; ++r) {
+      const __m256 ar = _mm256_broadcast_ss(ak + r);
+      acc[r][0] = _mm256_fmadd_ps(ar, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(ar, b1, acc[r][1]);
+    }
+  }
+  const __m256 zero = _mm256_setzero_ps();
+  const bool full = n_sub == kNrAvx2F32;
+  const __m256i mk0 = full ? _mm256_set1_epi32(-1) : tail_mask(n_sub);
+  const __m256i mk1 = full ? _mm256_set1_epi32(-1) : tail_mask(n_sub - 8);
+  __m256 vb0 = zero;
+  __m256 vb1 = zero;
+  if (bias_col != nullptr) {
+    // Masked-off lanes load as zero; adding them is a no-op.
+    vb0 = full ? _mm256_loadu_ps(bias_col) : _mm256_maskload_ps(bias_col, mk0);
+    vb1 = full ? _mm256_loadu_ps(bias_col + 8)
+               : _mm256_maskload_ps(bias_col + 8, mk1);
+  }
+  for (std::int64_t r = 0; r < m_sub; ++r) {
+    __m256 x0 = acc[r][0];
+    __m256 x1 = acc[r][1];
+    if (bias_col != nullptr) {
+      x0 = _mm256_add_ps(x0, vb0);
+      x1 = _mm256_add_ps(x1, vb1);
+    }
+    if (bias_row != nullptr) {
+      const __m256 br = _mm256_set1_ps(bias_row[r]);
+      x0 = _mm256_add_ps(x0, br);
+      x1 = _mm256_add_ps(x1, br);
+    }
+    if (relu) {
+      // VMAXPS returns the second source on equal inputs: (x, 0) maps -0.0
+      // to +0.0, matching the scalar `v > 0 ? v : 0`.
+      x0 = _mm256_max_ps(x0, zero);
+      x1 = _mm256_max_ps(x1, zero);
+    }
+    float* cr = c + r * ldc;
+    if (full) {
+      _mm256_storeu_ps(cr, x0);
+      _mm256_storeu_ps(cr + 8, x1);
+    } else {
+      _mm256_maskstore_ps(cr, mk0, x0);
+      if (n_sub > 8) _mm256_maskstore_ps(cr + 8, mk1, x1);
+    }
+  }
+}
+
+void qgemm_kernel_avx2(std::int64_t kq, const std::uint8_t* a,
+                       const std::int8_t* b, std::int64_t /*n_sub*/,
+                       std::int32_t* acc) {
+  // Pair-sum accumulators: accp[r][g] holds, for columns 4g..4g+3, the two
+  // vpmaddwd halves of each column's quad dot product in adjacent lanes.
+  __m256i accp[kMrAvx2S8][4];
+  for (int r = 0; r < kMrAvx2S8; ++r) {
+    for (int g = 0; g < 4; ++g) accp[r][g] = _mm256_setzero_si256();
+  }
+  for (std::int64_t q = 0; q < kq; ++q) {
+    const std::int8_t* bq = b + q * kPanelWidth * kQuad;
+    // Sign-extend 16 weight bytes (4 columns x 4 k) to i16 per group.
+    __m256i w[4];
+    for (int g = 0; g < 4; ++g) {
+      w[g] = _mm256_cvtepi8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(bq + g * 16)));
+    }
+    const std::uint8_t* aq = a + q * kMrAvx2S8 * kQuad;
+    for (int r = 0; r < kMrAvx2S8; ++r) {
+      std::int32_t quad;
+      std::memcpy(&quad, aq + r * kQuad, sizeof(quad));
+      // Zero-extend the 4 activation bytes to i16, repeated across lanes:
+      // x0,x1,x2,x3,x0,... — pairs align with each column's (k0,k1),(k2,k3).
+      const __m256i xq = _mm256_cvtepu8_epi16(_mm_set1_epi32(quad));
+      for (int g = 0; g < 4; ++g) {
+        accp[r][g] = _mm256_add_epi32(accp[r][g], _mm256_madd_epi16(w[g], xq));
+      }
+    }
+  }
+  // Combine adjacent pair-sums: lane 2c + lane 2c+1 -> column 4g + c.
+  for (int r = 0; r < kMrAvx2S8; ++r) {
+    std::int32_t* accr = acc + r * kNrAvx2S8;
+    for (int g = 0; g < 4; ++g) {
+      alignas(32) std::int32_t lanes[8];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), accp[r][g]);
+      for (int cidx = 0; cidx < 4; ++cidx) {
+        accr[g * 4 + cidx] = lanes[2 * cidx] + lanes[2 * cidx + 1];
+      }
+    }
+  }
+}
+
+}  // namespace fxcpp::kernels::detail

@@ -1,0 +1,75 @@
+// AVX-512 tier: 6x32 fp32 FMA tile (12 zmm accumulators, two 16-wide
+// panels). Mask registers cover the column tail, so the epilogue is fully
+// vectorized for every tile shape. Compiled with -mavx512f -mavx512bw
+// -mavx512vl -mfma.
+#include <immintrin.h>
+
+#include "kernels/kernel_impl.h"
+
+namespace fxcpp::kernels::detail {
+
+void sgemm_kernel_avx512(std::int64_t k, const float* a, const float* b,
+                         float* c, std::int64_t ldc, std::int64_t m_sub,
+                         std::int64_t n_sub, const float* bias_col,
+                         const float* bias_row, bool relu) {
+  // Panel 1 exists only when the tile spans more than one packed panel;
+  // reading it unconditionally would run past the packed buffer.
+  const bool two = n_sub > kPanelWidth;
+  const float* b1 = b + kPanelWidth * k;
+  __m512 acc[kMrAvx512F32][2];
+  for (int r = 0; r < kMrAvx512F32; ++r) {
+    acc[r][0] = _mm512_setzero_ps();
+    acc[r][1] = _mm512_setzero_ps();
+  }
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const __m512 p0 = _mm512_loadu_ps(b + kk * kPanelWidth);
+    const __m512 p1 = two ? _mm512_loadu_ps(b1 + kk * kPanelWidth)
+                          : _mm512_setzero_ps();
+    const float* ak = a + kk * kMrAvx512F32;
+    for (int r = 0; r < kMrAvx512F32; ++r) {
+      const __m512 ar = _mm512_set1_ps(ak[r]);
+      acc[r][0] = _mm512_fmadd_ps(ar, p0, acc[r][0]);
+      if (two) acc[r][1] = _mm512_fmadd_ps(ar, p1, acc[r][1]);
+    }
+  }
+  const __mmask16 mk0 =
+      n_sub >= kPanelWidth
+          ? static_cast<__mmask16>(0xffff)
+          : static_cast<__mmask16>((1u << n_sub) - 1u);
+  const __mmask16 mk1 =
+      !two ? static_cast<__mmask16>(0)
+           : (n_sub >= 2 * kPanelWidth
+                  ? static_cast<__mmask16>(0xffff)
+                  : static_cast<__mmask16>((1u << (n_sub - kPanelWidth)) - 1u));
+  const __m512 zero = _mm512_setzero_ps();
+  __m512 vb0 = zero;
+  __m512 vb1 = zero;
+  if (bias_col != nullptr) {
+    vb0 = _mm512_maskz_loadu_ps(mk0, bias_col);
+    if (two) vb1 = _mm512_maskz_loadu_ps(mk1, bias_col + kPanelWidth);
+  }
+  for (std::int64_t r = 0; r < m_sub; ++r) {
+    __m512 x0 = acc[r][0];
+    __m512 x1 = acc[r][1];
+    if (bias_col != nullptr) {
+      x0 = _mm512_add_ps(x0, vb0);
+      x1 = _mm512_add_ps(x1, vb1);
+    }
+    if (bias_row != nullptr) {
+      const __m512 br = _mm512_set1_ps(bias_row[r]);
+      x0 = _mm512_add_ps(x0, br);
+      x1 = _mm512_add_ps(x1, br);
+    }
+    if (relu) {
+      // VMAXPS returns the second source on equal inputs: (x, 0) maps -0.0
+      // to +0.0, matching the scalar `v > 0 ? v : 0`.
+      x0 = _mm512_max_ps(x0, zero);
+      x1 = _mm512_max_ps(x1, zero);
+    }
+    float* cr = c + r * ldc;
+    _mm512_mask_storeu_ps(cr, mk0, x0);
+    if (two) _mm512_mask_storeu_ps(cr + kPanelWidth, mk1, x1);
+  }
+}
+
+}  // namespace fxcpp::kernels::detail

@@ -1,0 +1,44 @@
+// AVX-512 VNNI int8 tier: 4x32 tile, vpdpbusd consuming one activation quad
+// (u8, broadcast) against 16 column quads (s8) per instruction. Lives in
+// its own TU compiled with -mavx512vnni so the plain AVX-512 fp32 kernel
+// never picks up VNNI encodings. Accumulation is exact int32, identical to
+// the scalar tier.
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "kernels/kernel_impl.h"
+
+namespace fxcpp::kernels::detail {
+
+void qgemm_kernel_avx512vnni(std::int64_t kq, const std::uint8_t* a,
+                             const std::int8_t* b, std::int64_t n_sub,
+                             std::int32_t* acc) {
+  const bool two = n_sub > kPanelWidth;  // panel 1 only exists beyond 16 cols
+  const std::int8_t* b1 = b + kPanelWidth * kq * kQuad;
+  __m512i accv[kMrAvx512S8][2];
+  for (int r = 0; r < kMrAvx512S8; ++r) {
+    accv[r][0] = _mm512_setzero_si512();
+    accv[r][1] = _mm512_setzero_si512();
+  }
+  for (std::int64_t q = 0; q < kq; ++q) {
+    const __m512i bv0 = _mm512_loadu_si512(b + q * kPanelWidth * kQuad);
+    const __m512i bv1 = two ? _mm512_loadu_si512(b1 + q * kPanelWidth * kQuad)
+                            : _mm512_setzero_si512();
+    const std::uint8_t* aq = a + q * kMrAvx512S8 * kQuad;
+    for (int r = 0; r < kMrAvx512S8; ++r) {
+      std::int32_t quad;
+      std::memcpy(&quad, aq + r * kQuad, sizeof(quad));
+      const __m512i xq = _mm512_set1_epi32(quad);
+      accv[r][0] = _mm512_dpbusd_epi32(accv[r][0], xq, bv0);
+      if (two) accv[r][1] = _mm512_dpbusd_epi32(accv[r][1], xq, bv1);
+    }
+  }
+  for (int r = 0; r < kMrAvx512S8; ++r) {
+    std::int32_t* accr = acc + r * kNrAvx512S8;
+    _mm512_storeu_si512(accr, accv[r][0]);
+    _mm512_storeu_si512(accr + kPanelWidth, accv[r][1]);
+  }
+}
+
+}  // namespace fxcpp::kernels::detail

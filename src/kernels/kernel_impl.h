@@ -1,0 +1,66 @@
+// Internal: per-tier micro-kernel symbols, referenced by the dispatch
+// tables in kernel_table.cc. Each tier lives in its own translation unit so
+// it can be compiled with exactly the -m flags it needs; a symbol is only
+// linked when its TU is part of the build (architecture-gated in CMake).
+#pragma once
+
+#include "kernels/kernels.h"
+
+namespace fxcpp::kernels::detail {
+
+// Always available.
+void sgemm_kernel_scalar(std::int64_t k, const float* a, const float* b,
+                         float* c, std::int64_t ldc, std::int64_t m_sub,
+                         std::int64_t n_sub, const float* bias_col,
+                         const float* bias_row, bool relu);
+void qgemm_kernel_scalar(std::int64_t kq, const std::uint8_t* a,
+                         const std::int8_t* b, std::int64_t n_sub,
+                         std::int32_t* acc);
+
+#if defined(__x86_64__) || defined(__i386__)
+void sgemm_kernel_sse2(std::int64_t k, const float* a, const float* b,
+                       float* c, std::int64_t ldc, std::int64_t m_sub,
+                       std::int64_t n_sub, const float* bias_col,
+                       const float* bias_row, bool relu);
+void sgemm_kernel_avx2(std::int64_t k, const float* a, const float* b,
+                       float* c, std::int64_t ldc, std::int64_t m_sub,
+                       std::int64_t n_sub, const float* bias_col,
+                       const float* bias_row, bool relu);
+void qgemm_kernel_avx2(std::int64_t kq, const std::uint8_t* a,
+                       const std::int8_t* b, std::int64_t n_sub,
+                       std::int32_t* acc);
+void sgemm_kernel_avx512(std::int64_t k, const float* a, const float* b,
+                         float* c, std::int64_t ldc, std::int64_t m_sub,
+                         std::int64_t n_sub, const float* bias_col,
+                         const float* bias_row, bool relu);
+void qgemm_kernel_avx512vnni(std::int64_t kq, const std::uint8_t* a,
+                             const std::int8_t* b, std::int64_t n_sub,
+                             std::int32_t* acc);
+#endif
+
+#if defined(__aarch64__)
+void sgemm_kernel_neon(std::int64_t k, const float* a, const float* b,
+                       float* c, std::int64_t ldc, std::int64_t m_sub,
+                       std::int64_t n_sub, const float* bias_col,
+                       const float* bias_row, bool relu);
+#endif
+
+// Tile sizes (must match the kernel definitions).
+inline constexpr int kMrScalarF32 = 6;
+inline constexpr std::int64_t kNrScalarF32 = 16;
+inline constexpr int kMrScalarS8 = 4;
+inline constexpr std::int64_t kNrScalarS8 = 16;
+inline constexpr int kMrSse2F32 = 2;
+inline constexpr std::int64_t kNrSse2F32 = 16;
+inline constexpr int kMrAvx2F32 = 6;
+inline constexpr std::int64_t kNrAvx2F32 = 16;
+inline constexpr int kMrAvx2S8 = 2;
+inline constexpr std::int64_t kNrAvx2S8 = 16;
+inline constexpr int kMrAvx512F32 = 6;
+inline constexpr std::int64_t kNrAvx512F32 = 32;
+inline constexpr int kMrAvx512S8 = 4;
+inline constexpr std::int64_t kNrAvx512S8 = 32;
+inline constexpr int kMrNeonF32 = 6;
+inline constexpr std::int64_t kNrNeonF32 = 16;
+
+}  // namespace fxcpp::kernels::detail

@@ -1,0 +1,68 @@
+// NEON tier (aarch64): 6x16 fp32 tile with vfmaq. int8 stays on the scalar
+// kernel — the sdot path needs the dotprod extension, which the baseline
+// aarch64 profile does not guarantee.
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "kernels/kernel_impl.h"
+
+namespace fxcpp::kernels::detail {
+
+void sgemm_kernel_neon(std::int64_t k, const float* a, const float* b,
+                       float* c, std::int64_t ldc, std::int64_t m_sub,
+                       std::int64_t n_sub, const float* bias_col,
+                       const float* bias_row, bool relu) {
+  float32x4_t acc[kMrNeonF32][4];
+  for (int r = 0; r < kMrNeonF32; ++r) {
+    for (int v = 0; v < 4; ++v) acc[r][v] = vdupq_n_f32(0.f);
+  }
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* bk = b + kk * kPanelWidth;
+    const float32x4_t b0 = vld1q_f32(bk);
+    const float32x4_t b1 = vld1q_f32(bk + 4);
+    const float32x4_t b2 = vld1q_f32(bk + 8);
+    const float32x4_t b3 = vld1q_f32(bk + 12);
+    const float* ak = a + kk * kMrNeonF32;
+    for (int r = 0; r < kMrNeonF32; ++r) {
+      const float32x4_t ar = vdupq_n_f32(ak[r]);
+      acc[r][0] = vfmaq_f32(acc[r][0], ar, b0);
+      acc[r][1] = vfmaq_f32(acc[r][1], ar, b1);
+      acc[r][2] = vfmaq_f32(acc[r][2], ar, b2);
+      acc[r][3] = vfmaq_f32(acc[r][3], ar, b3);
+    }
+  }
+  const float32x4_t zero = vdupq_n_f32(0.f);
+  if (n_sub == kNrNeonF32) {
+    for (std::int64_t r = 0; r < m_sub; ++r) {
+      float* cr = c + r * ldc;
+      for (int v = 0; v < 4; ++v) {
+        float32x4_t x = acc[r][v];
+        if (bias_col != nullptr) x = vaddq_f32(x, vld1q_f32(bias_col + v * 4));
+        if (bias_row != nullptr) x = vaddq_f32(x, vdupq_n_f32(bias_row[r]));
+        // vmaxq(x, 0) maps -0.0 to +0.0, matching `v > 0 ? v : 0`.
+        if (relu) x = vmaxq_f32(x, zero);
+        vst1q_f32(cr + v * 4, x);
+      }
+    }
+    return;
+  }
+  float tile[kMrNeonF32][kNrNeonF32];
+  for (int r = 0; r < kMrNeonF32; ++r) {
+    for (int v = 0; v < 4; ++v) vst1q_f32(&tile[r][v * 4], acc[r][v]);
+  }
+  for (std::int64_t r = 0; r < m_sub; ++r) {
+    float* cr = c + r * ldc;
+    for (std::int64_t j = 0; j < n_sub; ++j) {
+      float x = tile[r][j];
+      if (bias_col != nullptr) x += bias_col[j];
+      if (bias_row != nullptr) x += bias_row[r];
+      if (relu) x = x > 0.f ? x : 0.f;
+      cr[j] = x;
+    }
+  }
+}
+
+}  // namespace fxcpp::kernels::detail
+
+#endif  // __aarch64__

@@ -1,0 +1,62 @@
+// Scalar reference tier. Every SIMD tier must match this kernel's reduction
+// structure (one chain per output element, k ascending); fp32 rounding may
+// differ across tiers (mul+add here vs FMA there), int8 is exact everywhere.
+#include <algorithm>
+#include <cstring>
+
+#include "kernels/kernel_impl.h"
+
+namespace fxcpp::kernels::detail {
+
+void sgemm_kernel_scalar(std::int64_t k, const float* a, const float* b,
+                         float* c, std::int64_t ldc, std::int64_t m_sub,
+                         std::int64_t n_sub, const float* bias_col,
+                         const float* bias_row, bool relu) {
+  float acc[kMrScalarF32][kNrScalarF32];
+  std::memset(acc, 0, sizeof(acc));
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* bk = b + kk * kPanelWidth;
+    const float* ak = a + kk * kMrScalarF32;
+    for (int r = 0; r < kMrScalarF32; ++r) {
+      const float ar = ak[r];
+      for (std::int64_t j = 0; j < kNrScalarF32; ++j) {
+        acc[r][j] += ar * bk[j];
+      }
+    }
+  }
+  for (std::int64_t r = 0; r < m_sub; ++r) {
+    float* cr = c + r * ldc;
+    for (std::int64_t j = 0; j < n_sub; ++j) {
+      float v = acc[r][j];
+      if (bias_col != nullptr) v += bias_col[j];
+      if (bias_row != nullptr) v += bias_row[r];
+      if (relu) v = v > 0.f ? v : 0.f;
+      cr[j] = v;
+    }
+  }
+}
+
+void qgemm_kernel_scalar(std::int64_t kq, const std::uint8_t* a,
+                         const std::int8_t* b, std::int64_t /*n_sub*/,
+                         std::int32_t* acc) {
+  std::memset(acc, 0,
+              sizeof(std::int32_t) * kMrScalarS8 * static_cast<std::size_t>(kNrScalarS8));
+  for (std::int64_t q = 0; q < kq; ++q) {
+    const std::uint8_t* aq = a + q * kMrScalarS8 * kQuad;
+    const std::int8_t* bq = b + q * kPanelWidth * kQuad;
+    for (int r = 0; r < kMrScalarS8; ++r) {
+      const std::uint8_t* ar = aq + r * kQuad;
+      std::int32_t* accr = acc + r * kNrScalarS8;
+      for (std::int64_t j = 0; j < kNrScalarS8; ++j) {
+        const std::int8_t* bj = bq + j * kQuad;
+        std::int32_t s = 0;
+        for (int t = 0; t < kQuad; ++t) {
+          s += static_cast<std::int32_t>(ar[t]) * static_cast<std::int32_t>(bj[t]);
+        }
+        accr[j] += s;
+      }
+    }
+  }
+}
+
+}  // namespace fxcpp::kernels::detail

@@ -1,0 +1,69 @@
+// SSE2 tier: 2x16 fp32 tile, mul+add (no FMA at this tier). Compiled with
+// -msse2 only; safe on every x86-64 CPU.
+#include <emmintrin.h>
+
+#include <cstring>
+
+#include "kernels/kernel_impl.h"
+
+namespace fxcpp::kernels::detail {
+
+void sgemm_kernel_sse2(std::int64_t k, const float* a, const float* b,
+                       float* c, std::int64_t ldc, std::int64_t m_sub,
+                       std::int64_t n_sub, const float* bias_col,
+                       const float* bias_row, bool relu) {
+  __m128 acc[kMrSse2F32][4];
+  for (int r = 0; r < kMrSse2F32; ++r) {
+    for (int v = 0; v < 4; ++v) acc[r][v] = _mm_setzero_ps();
+  }
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* bk = b + kk * kPanelWidth;
+    const __m128 b0 = _mm_loadu_ps(bk);
+    const __m128 b1 = _mm_loadu_ps(bk + 4);
+    const __m128 b2 = _mm_loadu_ps(bk + 8);
+    const __m128 b3 = _mm_loadu_ps(bk + 12);
+    const float* ak = a + kk * kMrSse2F32;
+    for (int r = 0; r < kMrSse2F32; ++r) {
+      const __m128 ar = _mm_set1_ps(ak[r]);
+      acc[r][0] = _mm_add_ps(acc[r][0], _mm_mul_ps(ar, b0));
+      acc[r][1] = _mm_add_ps(acc[r][1], _mm_mul_ps(ar, b1));
+      acc[r][2] = _mm_add_ps(acc[r][2], _mm_mul_ps(ar, b2));
+      acc[r][3] = _mm_add_ps(acc[r][3], _mm_mul_ps(ar, b3));
+    }
+  }
+  const __m128 zero = _mm_setzero_ps();
+  if (n_sub == kNrSse2F32) {
+    for (std::int64_t r = 0; r < m_sub; ++r) {
+      float* cr = c + r * ldc;
+      for (int v = 0; v < 4; ++v) {
+        __m128 x = acc[r][v];
+        if (bias_col != nullptr) {
+          x = _mm_add_ps(x, _mm_loadu_ps(bias_col + v * 4));
+        }
+        if (bias_row != nullptr) x = _mm_add_ps(x, _mm_set1_ps(bias_row[r]));
+        // MAXPS returns the second operand on equal inputs, so (x, 0)
+        // normalizes -0.0 to +0.0 exactly like `v > 0 ? v : 0`.
+        if (relu) x = _mm_max_ps(x, zero);
+        _mm_storeu_ps(cr + v * 4, x);
+      }
+    }
+    return;
+  }
+  // Column tail: spill the tile and finish scalar (SSE2 has no mask store).
+  float tile[kMrSse2F32][kNrSse2F32];
+  for (int r = 0; r < kMrSse2F32; ++r) {
+    for (int v = 0; v < 4; ++v) _mm_storeu_ps(&tile[r][v * 4], acc[r][v]);
+  }
+  for (std::int64_t r = 0; r < m_sub; ++r) {
+    float* cr = c + r * ldc;
+    for (std::int64_t j = 0; j < n_sub; ++j) {
+      float x = tile[r][j];
+      if (bias_col != nullptr) x += bias_col[j];
+      if (bias_row != nullptr) x += bias_row[r];
+      if (relu) x = x > 0.f ? x : 0.f;
+      cr[j] = x;
+    }
+  }
+}
+
+}  // namespace fxcpp::kernels::detail

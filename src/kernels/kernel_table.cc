@@ -1,0 +1,62 @@
+// Dispatch tables: tier -> micro-kernel selection. Table entries reference
+// only the symbols compiled for this architecture; the scalar tier backs
+// every slot that has no SIMD variant (e.g. int8 on SSE2/NEON, int8 on
+// AVX-512 without VNNI falls back to the AVX2 kernel).
+#include "kernels/dispatch.h"
+#include "kernels/kernel_impl.h"
+#include "kernels/kernels.h"
+
+namespace fxcpp::kernels {
+
+namespace {
+
+using namespace detail;
+
+constexpr GemmF32Kernel kF32Scalar{kMrScalarF32, kNrScalarF32,
+                                   sgemm_kernel_scalar};
+constexpr GemmS8Kernel kS8Scalar{kMrScalarS8, kNrScalarS8, qgemm_kernel_scalar};
+
+#if defined(FXCPP_KERNELS_X86_TIERS)
+constexpr GemmF32Kernel kF32Sse2{kMrSse2F32, kNrSse2F32, sgemm_kernel_sse2};
+constexpr GemmF32Kernel kF32Avx2{kMrAvx2F32, kNrAvx2F32, sgemm_kernel_avx2};
+constexpr GemmS8Kernel kS8Avx2{kMrAvx2S8, kNrAvx2S8, qgemm_kernel_avx2};
+constexpr GemmF32Kernel kF32Avx512{kMrAvx512F32, kNrAvx512F32,
+                                   sgemm_kernel_avx512};
+constexpr GemmS8Kernel kS8Avx512Vnni{kMrAvx512S8, kNrAvx512S8,
+                                     qgemm_kernel_avx512vnni};
+#endif
+
+#if defined(FXCPP_KERNELS_NEON_TIER)
+constexpr GemmF32Kernel kF32Neon{kMrNeonF32, kNrNeonF32, sgemm_kernel_neon};
+#endif
+
+}  // namespace
+
+const GemmF32Kernel& gemm_f32_kernel(Isa isa) {
+  switch (isa) {
+#if defined(FXCPP_KERNELS_X86_TIERS)
+    case Isa::Avx512: return kF32Avx512;
+    case Isa::Avx2: return kF32Avx2;
+    case Isa::Sse2: return kF32Sse2;
+#endif
+#if defined(FXCPP_KERNELS_NEON_TIER)
+    case Isa::Neon: return kF32Neon;
+#endif
+    default: return kF32Scalar;
+  }
+}
+
+const GemmS8Kernel& gemm_s8_kernel(Isa isa) {
+  switch (isa) {
+#if defined(FXCPP_KERNELS_X86_TIERS)
+    case Isa::Avx512:
+      return detected_int8_vnni() ? kS8Avx512Vnni : kS8Avx2;
+    case Isa::Avx2: return kS8Avx2;
+#endif
+    default: return kS8Scalar;
+  }
+}
+
+int gemm_f32_mr() { return gemm_f32_kernel(active_isa()).mr; }
+
+}  // namespace fxcpp::kernels

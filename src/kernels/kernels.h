@@ -1,0 +1,154 @@
+// Cache-blocked packed GEMM with fused epilogues — the compute layer under
+// ops::matmul / ops::linear / ops::conv2d and the int8 quantized paths,
+// modeled on onnxruntime's core/mlas.
+//
+// Data layout ("panels"): the B (right-hand / weight) matrix is packed once
+// into column panels of kPanelWidth columns: panel p holds columns
+// [16p, 16p+16), stored k-major — for each k, the 16 column values are
+// contiguous. The last panel is zero-padded to full width so kernels always
+// load whole vectors (stores are masked by the true column count). The A
+// (left-hand / activation) matrix is packed per strip of `mr` rows,
+// k-major with the mr row values interleaved per k; strips are padded to mr
+// rows with zeros. int8 packs use the same shapes with k rounded up to
+// quads (groups of 4) so the AVX-512 VNNI dot-product kernel can consume
+// 4 bytes per lane; the activation side is offset by +128 into u8 during
+// packing (vpdpbusd is u8 x s8) and the offset is removed exactly via the
+// row-sum correction in the requantize epilogue.
+//
+// Epilogues are applied to the register tile before the store: fp32 bias
+// (per output column or per output row), optional ReLU, and the int8
+// requantize (scale / zero-point / clamp). ReLU is computed as
+// max(acc, +0.0f) in every tier so -0.0 inputs normalize identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/dispatch.h"
+
+namespace fxcpp::kernels {
+
+// B panels are kPanelWidth columns wide in every tier, so a packed buffer
+// stays valid when the active tier changes mid-process.
+inline constexpr std::int64_t kPanelWidth = 16;
+// int8 packs group k into quads of this many bytes (VNNI lane width).
+inline constexpr std::int64_t kQuad = 4;
+
+inline constexpr std::int64_t round_up(std::int64_t v, std::int64_t to) {
+  return (v + to - 1) / to * to;
+}
+
+// --- fp32 packing ---------------------------------------------------------
+
+// Size in floats of a packed B (k x n) buffer: padded to whole panels.
+std::size_t packed_b_f32_size(std::int64_t k, std::int64_t n);
+// Pack B[k][n] (row-major, row stride ldb) into panels.
+void pack_b_f32_nn(const float* b, std::int64_t ldb, std::int64_t k,
+                   std::int64_t n, float* out);
+// Pack W[n][k] (row-major, row stride ldw) as B = W^T into panels — the
+// nn.Linear weight orientation.
+void pack_b_f32_nt(const float* w, std::int64_t ldw, std::int64_t k,
+                   std::int64_t n, float* out);
+
+// Size in floats of a packed A (m x k) buffer at strip height mr.
+std::size_t packed_a_f32_size(std::int64_t m, std::int64_t k, int mr);
+// Pack A[m][k] (row-major, row stride lda) into mr-row strips.
+void pack_a_f32(const float* a, std::int64_t lda, std::int64_t m,
+                std::int64_t k, int mr, float* out);
+
+// The A-strip height of the active fp32 kernel (cache keys for prepacked A
+// must include it; it differs per tier).
+int gemm_f32_mr();
+
+// --- fp32 GEMM ------------------------------------------------------------
+
+// C[m][n] (row stride ldc) = A[m][k] (row stride lda) @ packed B, with the
+// epilogue fused into the store:
+//   bias_col — adds bias_col[j] to column j (nn.Linear bias), or null
+//   bias_row — adds bias_row[i] to row i (conv2d filter bias), or null
+//   relu     — clamps at zero after the bias add
+// At most one of bias_col / bias_row may be non-null. When `prepacked_a`
+// is non-null it must hold pack_a_f32(..., mr = gemm_f32_mr()) of A and
+// `a` / `lda` are ignored. Parallelized over row strips; each worker packs
+// its strips into a thread-local workspace.
+void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+           std::int64_t lda, const float* packed_b, float* c, std::int64_t ldc,
+           const float* bias_col, const float* bias_row, bool relu,
+           const float* prepacked_a = nullptr);
+
+// --- int8 packing ---------------------------------------------------------
+
+// Size in bytes of a packed s8 B (k x n) buffer: whole panels, k padded to
+// quads. Padded k rows are zero so they contribute nothing to any dot
+// product regardless of the activation byte.
+std::size_t packed_b_s8_size(std::int64_t k, std::int64_t n);
+// Pack W[n][k] (row-major s8, row stride ldw) as B = W^T into quad panels.
+void pack_b_s8_nt(const std::int8_t* w, std::int64_t ldw, std::int64_t k,
+                  std::int64_t n, std::int8_t* out);
+
+// --- int8 GEMM (u8 activations x s8 weights -> requantized s8) ------------
+
+// Requantize epilogue parameters. For output column j the real-valued
+// result is reconstructed as
+//   real = (scale_col ? scale_col[j] : scale_all)
+//          * float(acc_raw[i][j] - corr_col[j]) + (bias_col ? bias_col[j] : 0)
+// and stored as clamp(lrintf(real * inv_out) + out_zp) in int8 — the exact
+// formula of the pre-existing scalar quantized kernels. The scales are the
+// already-combined sx*sw products (callers combine them exactly the way
+// their legacy kernel did, preserving bit-parity). corr_col[j] must be
+// (zx + 128) * column_sum_of_weights[j]: the zx part removes the activation
+// zero-point, the 128 part removes the u8 packing offset.
+struct QuantEpilogue {
+  const std::int32_t* corr_col = nullptr;  // required, length n
+  const float* scale_col = nullptr;        // per-channel sx*sw[j], or null
+  float scale_all = 1.0f;                  // per-tensor sx*sw
+  const float* bias_col = nullptr;         // fp32 bias, or null
+  float inv_out = 1.0f;                    // 1 / out_scale
+  std::int32_t out_zp = 0;
+};
+
+// Y[m][n] (row stride ldy, s8) from A[m][k] (row-major s8 activations, row
+// stride lda; offset to u8 internally) times packed s8 B. Accumulation is
+// exact int32 in every tier, so outputs are bit-identical across tiers.
+void qgemm(std::int64_t m, std::int64_t n, std::int64_t k,
+           const std::int8_t* a, std::int64_t lda,
+           const std::int8_t* packed_b, std::int8_t* y, std::int64_t ldy,
+           const QuantEpilogue& ep);
+
+// --- micro-kernel tables (internal, shared between dispatch and drivers) --
+
+// fp32 micro-kernel: one C tile of up to mr x nr. `a` is one packed strip
+// (k-major, mr-interleaved), `b` the first of nr/kPanelWidth consecutive
+// panels (panel stride kPanelWidth*k floats). Stores only m_sub x n_sub.
+using SgemmKernelFn = void (*)(std::int64_t k, const float* a, const float* b,
+                               float* c, std::int64_t ldc, std::int64_t m_sub,
+                               std::int64_t n_sub, const float* bias_col,
+                               const float* bias_row, bool relu);
+
+// int8 micro-kernel: accumulates the raw u8xs8 tile into acc[mr*nr]
+// (row-major, fully overwritten). `kq` is the quad count; `a` one packed
+// u8 strip (kq quads x mr x 4 bytes), `b` the first of the group's quad
+// panels (panel stride kPanelWidth*kq*4 bytes). `n_sub` is the valid column
+// count: panel p may only be read when p*kPanelWidth < n_sub (the last
+// group of a matrix can be a single panel even when nr is two).
+using QgemmKernelFn = void (*)(std::int64_t kq, const std::uint8_t* a,
+                               const std::int8_t* b, std::int64_t n_sub,
+                               std::int32_t* acc);
+
+struct GemmF32Kernel {
+  int mr;
+  std::int64_t nr;  // multiple of kPanelWidth
+  SgemmKernelFn full;
+};
+
+struct GemmS8Kernel {
+  int mr;
+  std::int64_t nr;  // multiple of kPanelWidth
+  QgemmKernelFn accumulate;
+};
+
+// Kernel selection for a tier (never null; scalar fills every slot).
+const GemmF32Kernel& gemm_f32_kernel(Isa isa);
+const GemmS8Kernel& gemm_s8_kernel(Isa isa);
+
+}  // namespace fxcpp::kernels

@@ -1,0 +1,98 @@
+// Panel / strip packers for the micro-kernel layer. Layouts documented in
+// kernels.h. Packing fully initializes the padded regions, so sanitizers
+// never see kernel reads of uninitialized panel bytes.
+#include <cstring>
+
+#include "kernels/kernels.h"
+
+namespace fxcpp::kernels {
+
+std::size_t packed_b_f32_size(std::int64_t k, std::int64_t n) {
+  return static_cast<std::size_t>(round_up(n, kPanelWidth) * k);
+}
+
+void pack_b_f32_nn(const float* b, std::int64_t ldb, std::int64_t k,
+                   std::int64_t n, float* out) {
+  const std::int64_t panels = round_up(n, kPanelWidth) / kPanelWidth;
+  for (std::int64_t p = 0; p < panels; ++p) {
+    const std::int64_t j0 = p * kPanelWidth;
+    const std::int64_t jn = std::min<std::int64_t>(kPanelWidth, n - j0);
+    float* dst = out + p * kPanelWidth * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float* src = b + kk * ldb + j0;
+      std::memcpy(dst, src, static_cast<std::size_t>(jn) * sizeof(float));
+      if (jn < kPanelWidth) {
+        std::memset(dst + jn, 0,
+                    static_cast<std::size_t>(kPanelWidth - jn) * sizeof(float));
+      }
+      dst += kPanelWidth;
+    }
+  }
+}
+
+void pack_b_f32_nt(const float* w, std::int64_t ldw, std::int64_t k,
+                   std::int64_t n, float* out) {
+  const std::int64_t panels = round_up(n, kPanelWidth) / kPanelWidth;
+  for (std::int64_t p = 0; p < panels; ++p) {
+    const std::int64_t j0 = p * kPanelWidth;
+    const std::int64_t jn = std::min<std::int64_t>(kPanelWidth, n - j0);
+    float* dst = out + p * kPanelWidth * k;
+    // B[kk][j] = W[j][kk]: gather one weight-row element per column.
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      for (std::int64_t j = 0; j < jn; ++j) dst[j] = w[(j0 + j) * ldw + kk];
+      for (std::int64_t j = jn; j < kPanelWidth; ++j) dst[j] = 0.f;
+      dst += kPanelWidth;
+    }
+  }
+}
+
+std::size_t packed_a_f32_size(std::int64_t m, std::int64_t k, int mr) {
+  return static_cast<std::size_t>(round_up(m, mr) * k);
+}
+
+void pack_a_f32(const float* a, std::int64_t lda, std::int64_t m,
+                std::int64_t k, int mr, float* out) {
+  const std::int64_t strips = round_up(m, mr) / mr;
+  for (std::int64_t s = 0; s < strips; ++s) {
+    const std::int64_t r0 = s * mr;
+    const std::int64_t rn = std::min<std::int64_t>(mr, m - r0);
+    float* dst = out + s * mr * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      for (std::int64_t r = 0; r < rn; ++r) dst[r] = a[(r0 + r) * lda + kk];
+      for (std::int64_t r = rn; r < mr; ++r) dst[r] = 0.f;
+      dst += mr;
+    }
+  }
+}
+
+std::size_t packed_b_s8_size(std::int64_t k, std::int64_t n) {
+  return static_cast<std::size_t>(round_up(n, kPanelWidth) *
+                                  round_up(k, kQuad));
+}
+
+void pack_b_s8_nt(const std::int8_t* w, std::int64_t ldw, std::int64_t k,
+                  std::int64_t n, std::int8_t* out) {
+  const std::int64_t panels = round_up(n, kPanelWidth) / kPanelWidth;
+  const std::int64_t kq = round_up(k, kQuad) / kQuad;
+  for (std::int64_t p = 0; p < panels; ++p) {
+    const std::int64_t j0 = p * kPanelWidth;
+    const std::int64_t jn = std::min<std::int64_t>(kPanelWidth, n - j0);
+    std::int8_t* dst = out + p * kPanelWidth * kq * kQuad;
+    // Quad layout: for each k-quad, kPanelWidth groups of 4 consecutive k
+    // bytes per column. Zero-pad both the column and the k tail — zero
+    // weights contribute exactly zero to every dot product.
+    for (std::int64_t q = 0; q < kq; ++q) {
+      for (std::int64_t j = 0; j < kPanelWidth; ++j) {
+        for (std::int64_t b = 0; b < kQuad; ++b) {
+          const std::int64_t kk = q * kQuad + b;
+          dst[j * kQuad + b] = (j < jn && kk < k)
+                                   ? w[(j0 + j) * ldw + kk]
+                                   : static_cast<std::int8_t>(0);
+        }
+      }
+      dst += kPanelWidth * kQuad;
+    }
+  }
+}
+
+}  // namespace fxcpp::kernels

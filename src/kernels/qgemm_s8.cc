@@ -1,0 +1,89 @@
+// int8 GEMM driver. Activations are offset to u8 (+128) while packing the
+// strip — the VNNI instruction multiplies u8 x s8 — and the offset is
+// removed exactly by corr_col in the requantize epilogue (see kernels.h).
+// The epilogue itself is shared scalar code so every tier requantizes
+// bit-identically.
+#include <cmath>
+#include <vector>
+
+#include "kernels/kernel_impl.h"
+#include "kernels/kernels.h"
+#include "runtime/thread_pool.h"
+
+namespace fxcpp::kernels {
+
+namespace {
+
+// Pack one mr-row strip of s8 activations into the u8 quad layout:
+// [kq][mr][4] bytes, +128 offset, pad bytes 128 (x = 0 after correction;
+// padded k columns hit zero weights anyway).
+void pack_a_strip_u8(const std::int8_t* a, std::int64_t lda, std::int64_t m_sub,
+                     std::int64_t k, int mr, std::uint8_t* out) {
+  const std::int64_t kq = round_up(k, kQuad) / kQuad;
+  for (std::int64_t q = 0; q < kq; ++q) {
+    for (int r = 0; r < mr; ++r) {
+      std::uint8_t* dst = out + (q * mr + r) * kQuad;
+      for (int t = 0; t < kQuad; ++t) {
+        const std::int64_t kk = q * kQuad + t;
+        dst[t] = (r < m_sub && kk < k)
+                     ? static_cast<std::uint8_t>(
+                           static_cast<int>(a[r * lda + kk]) + 128)
+                     : static_cast<std::uint8_t>(128);
+      }
+    }
+  }
+}
+
+inline std::int8_t requantize_one(float real, float inv_out,
+                                  std::int32_t out_zp) {
+  long q = std::lrintf(real * inv_out) + out_zp;
+  if (q < -128) q = -128;
+  if (q > 127) q = 127;
+  return static_cast<std::int8_t>(q);
+}
+
+}  // namespace
+
+void qgemm(std::int64_t m, std::int64_t n, std::int64_t k,
+           const std::int8_t* a, std::int64_t lda,
+           const std::int8_t* packed_b, std::int8_t* y, std::int64_t ldy,
+           const QuantEpilogue& ep) {
+  if (m <= 0 || n <= 0) return;
+  const GemmS8Kernel& ks = gemm_s8_kernel(active_isa());
+  const int mr = ks.mr;
+  const std::int64_t nr = ks.nr;
+  const std::int64_t kq = round_up(k, kQuad) / kQuad;
+  const std::int64_t strips = (m + mr - 1) / mr;
+  rt::parallel_for(0, strips, 4, [&](std::int64_t s0, std::int64_t s1) {
+    thread_local std::vector<std::uint8_t> apack;
+    std::vector<std::int32_t> acc(static_cast<std::size_t>(mr) * nr);
+    for (std::int64_t s = s0; s < s1; ++s) {
+      const std::int64_t r0 = s * mr;
+      const std::int64_t m_sub = std::min<std::int64_t>(mr, m - r0);
+      const std::size_t strip_bytes = static_cast<std::size_t>(kq) * mr * kQuad;
+      if (apack.size() < strip_bytes) apack.resize(strip_bytes);
+      pack_a_strip_u8(a + r0 * lda, lda, m_sub, k, mr, apack.data());
+      for (std::int64_t j0 = 0; j0 < n; j0 += nr) {
+        const std::int64_t n_sub = std::min<std::int64_t>(nr, n - j0);
+        const std::int8_t* bgroup =
+            packed_b + (j0 / kPanelWidth) * kPanelWidth * kq * kQuad;
+        ks.accumulate(kq, apack.data(), bgroup, n_sub, acc.data());
+        for (std::int64_t r = 0; r < m_sub; ++r) {
+          std::int8_t* yr = y + (r0 + r) * ldy + j0;
+          const std::int32_t* accr = acc.data() + r * nr;
+          for (std::int64_t j = 0; j < n_sub; ++j) {
+            const std::int64_t col = j0 + j;
+            const std::int32_t v = accr[j] - ep.corr_col[col];
+            const float scale =
+                ep.scale_col != nullptr ? ep.scale_col[col] : ep.scale_all;
+            float real = scale * static_cast<float>(v);
+            if (ep.bias_col != nullptr) real += ep.bias_col[col];
+            yr[j] = requantize_one(real, ep.inv_out, ep.out_zp);
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace fxcpp::kernels

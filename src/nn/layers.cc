@@ -25,8 +25,9 @@ Tensor init_weight(Shape shape, std::int64_t fan_in) {
 
 // --- Linear -----------------------------------------------------------------
 
-Linear::Linear(std::int64_t in_features, std::int64_t out_features, bool bias)
-    : Module("Linear", /*builtin=*/true),
+Linear::Linear(std::string kind, std::int64_t in_features,
+               std::int64_t out_features, bool bias)
+    : Module(std::move(kind), /*builtin=*/true),
       in_(in_features),
       out_(out_features),
       has_bias_(bias) {
@@ -34,9 +35,21 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, bool bias)
   if (bias) register_parameter("bias", init_weight({out_}, in_));
 }
 
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, bool bias)
+    : Linear("Linear", in_features, out_features, bias) {}
+
 fx::Value Linear::forward(const std::vector<fx::Value>& inputs) {
   return fx::fn::linear(inputs.at(0), param_value("weight"),
                         has_bias_ ? param_value("bias") : fx::Value());
+}
+
+LinearReLU::LinearReLU(std::int64_t in_features, std::int64_t out_features,
+                       bool bias)
+    : Linear("LinearReLU", in_features, out_features, bias) {}
+
+fx::Value LinearReLU::forward(const std::vector<fx::Value>& inputs) {
+  return fx::fn::linear_relu(inputs.at(0), param_value("weight"),
+                             has_bias() ? param_value("bias") : fx::Value());
 }
 
 // --- Conv2d ------------------------------------------------------------------

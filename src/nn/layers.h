@@ -29,9 +29,27 @@ class Linear : public Module {
   std::int64_t out_features() const { return out_; }
   bool has_bias() const { return has_bias_; }
 
+ protected:
+  // Subclass hook (LinearReLU): same parameters, different reported kind.
+  Linear(std::string kind, std::int64_t in_features, std::int64_t out_features,
+         bool bias);
+
  private:
   std::int64_t in_, out_;
   bool has_bias_;
+};
+
+// Fused Linear+ReLU: a Linear whose forward lowers to the fused linear_relu
+// kernel (the clamp runs in the GEMM epilogue; bit-equal to
+// ReLU(Linear(x))). Installed by passes::fuse_linear_relu — is-a Linear, so
+// feature introspection and analyses that accept Linear keep working, but
+// passes that re-emit a plain linear from it must remember the ReLU (see
+// trt::build_engine).
+class LinearReLU : public Linear {
+ public:
+  LinearReLU(std::int64_t in_features, std::int64_t out_features,
+             bool bias = true);
+  fx::Value forward(const std::vector<fx::Value>& inputs) override;
 };
 
 class Conv2d : public Module {

@@ -49,10 +49,10 @@ double function_flops(const fx::Node& n, const Shape& out) {
     return n.args().size() > i && n.args()[i].is_node() &&
            node_shape(n.args()[i].node(), s);
   };
-  if (t == "linear" || t == "matmul") {
+  if (t == "linear" || t == "linear_relu" || t == "matmul") {
     Shape ws;
     if (input_shape(1, ws) && ws.size() == 2) {
-      const double k = static_cast<double>(t == "linear" ? ws[1] : ws[0]);
+      const double k = static_cast<double>(t == "matmul" ? ws[0] : ws[1]);
       return 2.0 * numel_of(out) * k;
     }
     return numel_of(out);

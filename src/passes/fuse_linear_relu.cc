@@ -1,0 +1,71 @@
+#include "passes/fuse_linear_relu.h"
+
+#include <memory>
+#include <typeinfo>
+
+#include "nn/layers.h"
+
+namespace fxcpp::passes {
+
+namespace {
+
+bool is_relu_node(const fx::GraphModule& gm, const fx::Node& n) {
+  if (n.op() == fx::Opcode::CallFunction || n.op() == fx::Opcode::CallMethod) {
+    return n.target() == "relu";
+  }
+  if (n.op() == fx::Opcode::CallModule) {
+    return dynamic_cast<const nn::ReLU*>(
+               gm.resolve_module(n.target()).get()) != nullptr;
+  }
+  return false;
+}
+
+}  // namespace
+
+int fuse_linear_relu(fx::GraphModule& gm) {
+  fx::Graph& g = gm.graph();
+  int fused_count = 0;
+  for (fx::Node* relu_node : g.nodes()) {
+    if (!is_relu_node(gm, *relu_node)) continue;
+    if (relu_node->args().size() != 1 || !relu_node->args()[0].is_node()) {
+      continue;
+    }
+    fx::Node* lin_node = relu_node->args()[0].node();
+    // The linear output must feed only this ReLU; another consumer needs the
+    // pre-clamp values.
+    if (lin_node->users().size() != 1) continue;
+
+    if (lin_node->op() == fx::Opcode::CallFunction &&
+        lin_node->target() == "linear") {
+      lin_node->set_target("linear_relu");
+    } else if (lin_node->op() == fx::Opcode::CallModule) {
+      const auto m = gm.resolve_module(lin_node->target());
+      const auto lin = std::dynamic_pointer_cast<nn::Linear>(m);
+      // Exact-type check: LinearReLU is-a Linear but already clamps; fusing
+      // it again would be a no-op rewrite that loops on repeated runs.
+      if (!lin || typeid(*m) != typeid(nn::Linear)) continue;
+      auto fused = std::make_shared<nn::LinearReLU>(
+          lin->in_features(), lin->out_features(), lin->has_bias());
+      fused->param("weight") = lin->param("weight");
+      if (lin->has_bias()) fused->param("bias") = lin->param("bias");
+      gm.root()->set_submodule(lin_node->target(), fused);
+    } else {
+      continue;
+    }
+
+    // The linear node now computes the clamped values; its recorded meta
+    // (and that of the rewired ReLU users) described the pre-fusion program.
+    lin_node->invalidate_shape_meta();
+    for (fx::Node* user : relu_node->users()) user->invalidate_shape_meta();
+    relu_node->replace_all_uses_with(lin_node);
+    g.erase_node(relu_node);
+    ++fused_count;
+  }
+  if (fused_count > 0) {
+    g.lint();
+    gm.recompile();
+  }
+  return fused_count;
+}
+
+}  // namespace fxcpp::passes

@@ -109,7 +109,7 @@ SymShape function_transfer(const fx::Node& n, const SymEnv& env) {
     }
     return in0();
   }
-  if (t == "linear") {
+  if (t == "linear" || t == "linear_relu") {
     SymShape out = in0();
     const SymShape& w = env.of(n.args().at(1));
     out.back() = w.at(0);

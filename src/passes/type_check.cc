@@ -150,7 +150,7 @@ class Checker {
       }
       return a;
     }
-    if (t == "linear") {
+    if (t == "linear" || t == "linear_relu") {
       GType w = of(n.args().at(1));
       if (a && w && w->size() == 2 && (*w)[1].is_known) {
         expect_dim(n, a, -1, (*w)[1].value, "linear");

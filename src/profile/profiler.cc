@@ -8,6 +8,8 @@
 #include "core/interpreter.h"
 #include "core/parallel_executor.h"
 #include "core/plan_cache.h"
+#include "kernels/dispatch.h"
+#include "tensor/pack_cache.h"
 
 namespace fxcpp::profile {
 
@@ -376,6 +378,16 @@ std::string Profiler::summary_json() const {
     // Hit/miss/evict/replan accounting of the module's multi-plan cache
     // (core/plan_cache.h) — present only when compile_planned attached one.
     os << "  \"plan_cache\": " << cache->stats().to_json() << ",\n";
+  }
+  {
+    // Which SIMD tier the micro-kernel layer dispatched to, plus
+    // process-wide pack/panel cache accounting (tensor/pack_cache.h).
+    const PackCache::GlobalStats ks = PackCache::global_stats();
+    os << "  \"kernels\": {\"isa\": \""
+       << kernels::isa_name(kernels::active_isa())
+       << "\", \"pack_hits\": " << ks.hits << ", \"pack_misses\": " << ks.misses
+       << ", \"panel_hits\": " << ks.panel_hits
+       << ", \"panel_misses\": " << ks.panel_misses << "},\n";
   }
   os << "  \"nodes\": [";
   for (std::size_t i = 0; i < nodes.size(); ++i) {

@@ -7,7 +7,9 @@
 #include <utility>
 
 #include "core/plan_cache.h"
+#include "kernels/dispatch.h"
 #include "passes/memory_planner.h"
+#include "tensor/pack_cache.h"
 
 namespace fxcpp::serve {
 
@@ -53,7 +55,13 @@ std::string SessionStats::to_json() const {
   }
   os << "}, \"breaker\": " << breaker.to_json()
      << ", \"health\": " << health.to_json()
-     << ", \"retry\": " << retry.to_json() << "}";
+     << ", \"retry\": " << retry.to_json()
+     << ", \"kernels\": {\"isa\": \""
+     << kernels::isa_name(kernels::active_isa())
+     << "\", \"pack_hits\": " << kernel_pack_hits
+     << ", \"pack_misses\": " << kernel_pack_misses
+     << ", \"panel_hits\": " << kernel_panel_hits
+     << ", \"panel_misses\": " << kernel_panel_misses << "}}";
   return os.str();
 }
 
@@ -241,6 +249,11 @@ SessionStats InferenceSession::stats() const {
   s.health = health_.stats();
   s.retry = retry_.stats();
   s.retries = s.retry.retries;
+  const PackCache::GlobalStats ks = PackCache::global_stats();
+  s.kernel_pack_hits = ks.hits;
+  s.kernel_pack_misses = ks.misses;
+  s.kernel_panel_hits = ks.panel_hits;
+  s.kernel_panel_misses = ks.panel_misses;
   return s;
 }
 

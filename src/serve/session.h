@@ -202,6 +202,14 @@ struct SessionStats {
   resilience::HealthStats health;
   resilience::RetryStats retry;
 
+  // --- micro-kernel layer (PR 10) ----------------------------------------
+  // Process-wide weight-pack / B-panel cache accounting (PackCache); the
+  // active SIMD tier is rendered alongside in to_json.
+  std::uint64_t kernel_pack_hits = 0;
+  std::uint64_t kernel_pack_misses = 0;
+  std::uint64_t kernel_panel_hits = 0;
+  std::uint64_t kernel_panel_misses = 0;
+
   std::string to_json() const;
 };
 

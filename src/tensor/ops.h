@@ -46,6 +46,9 @@ Tensor dropout(const Tensor& x, double p, bool training);
 Tensor matmul(const Tensor& a, const Tensor& b);
 // x [.., in] @ w[out, in]^T + b[out]; the nn.Linear kernel.
 Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b);
+// linear followed by ReLU, with the clamp fused into the GEMM epilogue —
+// bit-equal to relu(linear(x, w, b)); the fusion pass rewrites to this.
+Tensor linear_relu(const Tensor& x, const Tensor& w, const Tensor& b);
 // Swap two dims (materializes a contiguous result).
 Tensor transpose(const Tensor& x, int d0, int d1);
 

@@ -1,6 +1,7 @@
 #include <cstring>
 #include <limits>
 
+#include "kernels/kernels.h"
 #include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 #include "tensor/pack_cache.h"
@@ -68,13 +69,11 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
               std::vector<std::int64_t> stride,
               std::vector<std::int64_t> padding) {
   const Tensor xc = x.contiguous();
-  const Tensor wc = PackCache::local().packed_weight(w);
-  const Conv2dDims d = conv_dims(xc, wc, stride, padding);
+  const Conv2dDims d = conv_dims(xc, w, stride, padding);
   Tensor out(Shape{d.n, d.o, d.oh, d.ow}, DType::Float32);
 
   const std::int64_t k = d.c * d.kh * d.kw;   // reduction length
   const std::int64_t spatial = d.oh * d.ow;
-  const float* wp = wc.data<float>();         // [O, k] row-major
   const float* bias = nullptr;
   Tensor bcont;
   if (b.defined()) {
@@ -82,29 +81,25 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
     bias = bcont.data<float>();
   }
 
-  // Per-image: col = im2col(x_n); out_n[o, :] = W[o, :] @ col (+ bias).
-  // The column buffer comes from the thread's PackCache workspace — grown
-  // once to the largest conv seen, then reused across forwards instead of
-  // being reallocated per call.
+  // Per-image: col = im2col(x_n); out_n = W[O, k] @ col[k, spatial] through
+  // the micro-kernel layer, with the per-filter bias fused as the GEMM's
+  // row epilogue. The weight side is the GEMM's A operand: its strip pack
+  // (keyed by the active tier's mr) is cached in the thread's PackCache,
+  // while the im2col columns and their B panels live in per-call
+  // workspaces — grown once to the largest conv seen, then reused across
+  // forwards instead of being reallocated per call.
+  const int mr = kernels::gemm_f32_mr();
+  const auto pa = PackCache::local().panel_a_f32(w, mr);
   float* col = PackCache::local().workspace(static_cast<std::size_t>(k * spatial));
+  float* pb = PackCache::local().panel_workspace(
+      kernels::packed_b_f32_size(k, spatial));
   for (std::int64_t img = 0; img < d.n; ++img) {
     const float* xin = xc.data<float>() + img * d.c * d.h * d.w;
     im2col(xin, d, col);
+    kernels::pack_b_f32_nn(col, spatial, k, spatial, pb);
     float* yout = out.data<float>() + img * d.o * spatial;
-    rt::parallel_for(0, d.o, 4, [&](std::int64_t o0, std::int64_t o1) {
-      for (std::int64_t o = o0; o < o1; ++o) {
-        float* yrow = yout + o * spatial;
-        const float base = bias ? bias[o] : 0.f;
-        for (std::int64_t j = 0; j < spatial; ++j) yrow[j] = base;
-        const float* wrow = wp + o * k;
-        for (std::int64_t kk = 0; kk < k; ++kk) {
-          const float wv = wrow[kk];
-          if (wv == 0.f) continue;
-          const float* crow = col + kk * spatial;
-          for (std::int64_t j = 0; j < spatial; ++j) yrow[j] += wv * crow[j];
-        }
-      }
-    });
+    kernels::sgemm(d.o, spatial, k, nullptr, 0, pb, yout, spatial, nullptr,
+                   bias, /*relu=*/false, pa->data());
   }
   return out;
 }

@@ -1,6 +1,6 @@
 #include <cstring>
 
-#include "runtime/thread_pool.h"
+#include "kernels/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/pack_cache.h"
 
@@ -8,80 +8,14 @@ namespace fxcpp::ops {
 
 namespace {
 
-// C[M,N] = A[M,K] @ B[K,N]. i-k-j loop order: the inner j loop is a
-// contiguous FMA over C's row, which GCC vectorizes. Parallel over rows.
-void gemm(const float* a, const float* b, float* c, std::int64_t m,
-          std::int64_t k, std::int64_t n) {
-  rt::parallel_for(0, m, 16, [&](std::int64_t r0, std::int64_t r1) {
-    for (std::int64_t i = r0; i < r1; ++i) {
-      float* crow = c + i * n;
-      std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
-      const float* arow = a + i * k;
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        const float* brow = b + kk * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
-}
-
-// y[M,O] = x[M,K] @ w[O,K]^T + bias[O], with 8-row register blocking so each
-// weight row is streamed once per 8 input rows instead of once per row —
-// large-batch calls become compute-bound instead of weight-bandwidth-bound
-// (the effect that closes the int8-vs-fp32 gap at high batch in Figure 6).
-void gemm_nt(const float* x, const float* w, const float* bias, float* y,
-             std::int64_t m, std::int64_t k, std::int64_t o) {
-  constexpr std::int64_t kRowBlock = 8;
-  rt::parallel_for(0, (m + kRowBlock - 1) / kRowBlock, 1,
-                   [&](std::int64_t b0, std::int64_t b1) {
-    for (std::int64_t blk = b0; blk < b1; ++blk) {
-      const std::int64_t r0 = blk * kRowBlock;
-      const std::int64_t rows = std::min(kRowBlock, m - r0);
-      for (std::int64_t j = 0; j < o; ++j) {
-        const float* wrow = w + j * k;  // stays in L1 across the row block
-        const float base = bias ? bias[j] : 0.f;
-        for (std::int64_t r = 0; r < rows; ++r) {
-          const float* xrow = x + (r0 + r) * k;
-          float acc = 0.f;
-          for (std::int64_t kk = 0; kk < k; ++kk) acc += xrow[kk] * wrow[kk];
-          y[(r0 + r) * o + j] = acc + base;
-        }
-      }
-    }
-  });
-}
-
-}  // namespace
-
-Tensor matmul(const Tensor& a, const Tensor& b) {
-  const Tensor ac = a.contiguous();
-  const Tensor bc = b.contiguous();
-  if (bc.dim() != 2) throw std::invalid_argument("matmul: rhs must be 2-D");
-  const std::int64_t k = bc.size(0), n = bc.size(1);
-  if (ac.dim() == 2) {
-    if (ac.size(1) != k) throw std::invalid_argument("matmul: K mismatch");
-    Tensor out(Shape{ac.size(0), n}, DType::Float32);
-    gemm(ac.data<float>(), bc.data<float>(), out.data<float>(), ac.size(0), k, n);
-    return out;
-  }
-  if (ac.dim() == 3) {
-    if (ac.size(2) != k) throw std::invalid_argument("matmul: K mismatch");
-    const std::int64_t batch = ac.size(0), m = ac.size(1);
-    Tensor out(Shape{batch, m, n}, DType::Float32);
-    gemm(ac.data<float>(), bc.data<float>(), out.data<float>(), batch * m, k, n);
-    return out;
-  }
-  throw std::invalid_argument("matmul: lhs must be 2-D or 3-D");
-}
-
-Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
+// Shared linear / linear_relu body: x @ w^T + b through the micro-kernel
+// layer (src/kernels). The weight's B panels are packed once per (storage,
+// version) in the thread's PackCache; the ReLU rides in the GEMM epilogue.
+Tensor linear_impl(const Tensor& x, const Tensor& w, const Tensor& b,
+                   bool relu) {
   const Tensor xc = x.contiguous();
-  // Weights have stable identity across forwards; pack (contiguize) once
-  // per (storage, version) instead of per call.
-  const Tensor wc = PackCache::local().packed_weight(w);
-  if (wc.dim() != 2) throw std::invalid_argument("linear: weight must be 2-D");
-  const std::int64_t in = wc.size(1), out_f = wc.size(0);
+  if (w.dim() != 2) throw std::invalid_argument("linear: weight must be 2-D");
+  const std::int64_t in = w.size(1), out_f = w.size(0);
   if (xc.size(-1) != in) {
     throw std::invalid_argument("linear: in_features mismatch");
   }
@@ -96,9 +30,49 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
     bcont = b.contiguous();
     bias = bcont.data<float>();
   }
-  gemm_nt(xc.data<float>(), wc.data<float>(), bias, y.data<float>(), rows, in,
-          out_f);
+  // Weights have stable identity across forwards; panel-pack once per
+  // (storage, version) instead of per call.
+  const auto panels = PackCache::local().panel_b_f32_nt(w);
+  kernels::sgemm(rows, out_f, in, xc.data<float>(), in, panels->data(),
+                 y.data<float>(), out_f, bias, nullptr, relu);
   return y;
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  const Tensor ac = a.contiguous();
+  const Tensor bc = b.contiguous();
+  if (bc.dim() != 2) throw std::invalid_argument("matmul: rhs must be 2-D");
+  const std::int64_t k = bc.size(0), n = bc.size(1);
+  // The rhs is an activation here (no stable identity), so its panels are
+  // packed per call into the thread's workspace, not the weight cache.
+  float* pb = PackCache::local().panel_workspace(kernels::packed_b_f32_size(k, n));
+  kernels::pack_b_f32_nn(bc.data<float>(), n, k, n, pb);
+  if (ac.dim() == 2) {
+    if (ac.size(1) != k) throw std::invalid_argument("matmul: K mismatch");
+    Tensor out(Shape{ac.size(0), n}, DType::Float32);
+    kernels::sgemm(ac.size(0), n, k, ac.data<float>(), k, pb,
+                   out.data<float>(), n, nullptr, nullptr, false);
+    return out;
+  }
+  if (ac.dim() == 3) {
+    if (ac.size(2) != k) throw std::invalid_argument("matmul: K mismatch");
+    const std::int64_t batch = ac.size(0), m = ac.size(1);
+    Tensor out(Shape{batch, m, n}, DType::Float32);
+    kernels::sgemm(batch * m, n, k, ac.data<float>(), k, pb,
+                   out.data<float>(), n, nullptr, nullptr, false);
+    return out;
+  }
+  throw std::invalid_argument("matmul: lhs must be 2-D or 3-D");
+}
+
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
+  return linear_impl(x, w, b, /*relu=*/false);
+}
+
+Tensor linear_relu(const Tensor& x, const Tensor& w, const Tensor& b) {
+  return linear_impl(x, w, b, /*relu=*/true);
 }
 
 Tensor transpose(const Tensor& x, int d0, int d1) {
@@ -112,12 +86,31 @@ Tensor transpose(const Tensor& x, int d0, int d1) {
   std::swap(out_shape[static_cast<std::size_t>(d0)],
             out_shape[static_cast<std::size_t>(d1)]);
   Tensor out(out_shape, x.dtype());
+  // 2-D contiguous fp32: cache-blocked copy instead of per-element index
+  // arithmetic (8x8 tiles keep both the row reads and column writes in L1).
+  if (nd == 2 && d0 != d1 && x.dtype() == DType::Float32 &&
+      x.is_contiguous()) {
+    const std::int64_t r = x.size(0), c = x.size(1);
+    const float* src = x.data<float>();
+    float* dst = out.data<float>();
+    constexpr std::int64_t kBlock = 8;
+    for (std::int64_t i0 = 0; i0 < r; i0 += kBlock) {
+      const std::int64_t i1 = std::min(i0 + kBlock, r);
+      for (std::int64_t j0 = 0; j0 < c; j0 += kBlock) {
+        const std::int64_t j1 = std::min(j0 + kBlock, c);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          for (std::int64_t j = j0; j < j1; ++j) dst[j * r + i] = src[i * c + j];
+        }
+      }
+    }
+    return out;
+  }
   const Strides so = contiguous_strides(out_shape);
+  const Strides si = contiguous_strides(x.sizes());  // hoisted: loop-invariant
   const std::int64_t n = x.numel();
   for (std::int64_t i = 0; i < n; ++i) {
     // Decompose output flat index, swap the two coords, read input.
     std::int64_t rem = i, in_flat = 0;
-    const Strides si = contiguous_strides(x.sizes());
     for (std::size_t d = 0; d < out_shape.size(); ++d) {
       const std::int64_t coord = rem / so[d];
       rem -= coord * so[d];

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
-#include "runtime/thread_pool.h"
+#include "kernels/kernels.h"
 #include "tensor/ops.h"
+#include "tensor/pack_cache.h"
 
 namespace fxcpp::ops {
 
@@ -145,44 +147,40 @@ Tensor quantized_linear(const Tensor& x_q, const PackedLinearWeight& pw,
   y.set_qparams(QParams{out_scale, out_zp});
 
   const auto* xp = xc.data<std::int8_t>();
-  const auto* wp = pw.w_q.data<std::int8_t>();
   auto* yp = y.data<std::int8_t>();
   const float* bias = pw.bias.defined() ? pw.bias.data<float>() : nullptr;
-  // real = sx*sw[j] * (acc - zx * row_sum[j]) + bias[j]; then requantize.
+  // real = sx*sw[j] * (acc - (zx+128) * row_sum[j]) + bias[j]; requantize.
+  // (The +128 removes the u8 offset the kernel driver applies while
+  // packing activation strips — see kernels::qgemm.)
   const float sx = static_cast<float>(xq.scale);
   const float sw_tensor = static_cast<float>(pw.w_scale);
-  const float inv_out = static_cast<float>(1.0 / out_scale);
   const std::int32_t zx = xq.zero_point;
 
-  // 8-row register blocking, mirroring the fp32 kernel: each int8 weight
-  // row streams once per 8 activation rows.
-  constexpr std::int64_t kRowBlock = 8;
-  rt::parallel_for(0, (rows + kRowBlock - 1) / kRowBlock, 1,
-                   [&](std::int64_t b0, std::int64_t b1) {
-    for (std::int64_t blk = b0; blk < b1; ++blk) {
-      const std::int64_t r0 = blk * kRowBlock;
-      const std::int64_t nrows = std::min(kRowBlock, rows - r0);
-      for (std::int64_t j = 0; j < out_f; ++j) {
-        const std::int8_t* wrow = wp + j * in_f;  // L1-resident per block
-        const std::int32_t corr =
-            zx * pw.row_sum[static_cast<std::size_t>(j)];
-        const float sx_sw =
-            sx * (pw.per_channel ? pw.row_scale[static_cast<std::size_t>(j)]
-                                 : sw_tensor);
-        for (std::int64_t r = 0; r < nrows; ++r) {
-          const std::int8_t* xrow = xp + (r0 + r) * in_f;
-          std::int32_t acc = 0;
-          for (std::int64_t k = 0; k < in_f; ++k) {
-            acc += static_cast<std::int32_t>(xrow[k]) *
-                   static_cast<std::int32_t>(wrow[k]);
-          }
-          float real = sx_sw * static_cast<float>(acc - corr);
-          if (bias) real += bias[j];
-          yp[(r0 + r) * out_f + j] = quantize_one(real, inv_out, out_zp);
-        }
-      }
+  // The weight's quad panels are packed once per (storage, version) in the
+  // thread's PackCache; per-call epilogue vectors are cheap (O(out_f)).
+  const auto panels = PackCache::local().panel_b_s8_nt(pw.w_q);
+  std::vector<std::int32_t> corr(static_cast<std::size_t>(out_f));
+  for (std::int64_t j = 0; j < out_f; ++j) {
+    corr[static_cast<std::size_t>(j)] =
+        (zx + 128) * pw.row_sum[static_cast<std::size_t>(j)];
+  }
+  std::vector<float> comb;  // per-channel combined sx*sw[j]
+  kernels::QuantEpilogue ep;
+  ep.corr_col = corr.data();
+  if (pw.per_channel) {
+    comb.resize(static_cast<std::size_t>(out_f));
+    for (std::int64_t j = 0; j < out_f; ++j) {
+      comb[static_cast<std::size_t>(j)] =
+          sx * pw.row_scale[static_cast<std::size_t>(j)];
     }
-  });
+    ep.scale_col = comb.data();
+  } else {
+    ep.scale_all = sx * sw_tensor;
+  }
+  ep.bias_col = bias;
+  ep.inv_out = static_cast<float>(1.0 / out_scale);
+  ep.out_zp = out_zp;
+  kernels::qgemm(rows, out_f, in_f, xp, in_f, panels->data(), yp, out_f, ep);
   return y;
 }
 
@@ -234,55 +232,75 @@ Tensor quantized_conv2d(const Tensor& x_q, const PackedConvWeight& pw,
   Tensor y(Shape{n, o, oh, ow}, DType::Int8);
   y.set_qparams(QParams{out_scale, out_zp});
   const auto* xp = xc.data<std::int8_t>();
-  const auto* wq = pw.w_q.data<std::int8_t>();
   auto* yp = y.data<std::int8_t>();
   const float* bias = pw.bias.defined() ? pw.bias.data<float>() : nullptr;
   const float sx_sw = static_cast<float>(xq.scale * pw.w_scale);
-  const float inv_out = static_cast<float>(1.0 / out_scale);
   const std::int32_t zx = xq.zero_point;
   const std::int64_t k = c * kh * kw;
   const std::int64_t spatial = oh * ow;
 
-  // int8 im2col with zero-point padding so padded pixels dequantize to 0.
-  std::vector<std::int8_t> col(static_cast<std::size_t>(k * spatial));
+  // Transposed im2col + qgemm: rows are output pixels, columns are filters
+  // (C'[spatial][O] = colT[spatial][k] @ Wq[O][k]^T), so the one u8 x s8
+  // micro-kernel family covers conv too; C' is then transposed back to the
+  // NCHW [O][spatial] plane. The weight's quad panels are cached in the
+  // thread's PackCache; colT and C' live in reusable int8 workspaces
+  // instead of per-call allocations. Per-filter epilogue: corr removes the
+  // activation zero point and the u8 packing offset (see kernels::qgemm).
+  const auto panels = PackCache::local().panel_b_s8_nt(pw.w_q);
+  std::int8_t* colt =
+      PackCache::local().workspace_s8(static_cast<std::size_t>(spatial * k));
+  std::int8_t* ct = PackCache::local().panel_workspace_s8(
+      static_cast<std::size_t>(spatial * o));
+  std::vector<std::int32_t> corr(static_cast<std::size_t>(o));
+  for (std::int64_t f = 0; f < o; ++f) {
+    corr[static_cast<std::size_t>(f)] =
+        (zx + 128) * pw.filt_sum[static_cast<std::size_t>(f)];
+  }
+  kernels::QuantEpilogue ep;
+  ep.corr_col = corr.data();
+  ep.scale_all = sx_sw;
+  ep.bias_col = bias;
+  ep.inv_out = static_cast<float>(1.0 / out_scale);
+  ep.out_zp = out_zp;
+  // Padded pixels carry the activation zero point so they dequantize to 0.
+  const auto pad = static_cast<std::int8_t>(std::clamp(zx, -128, 127));
   for (std::int64_t img = 0; img < n; ++img) {
     const std::int8_t* xin = xp + img * c * h * w;
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      for (std::int64_t ky = 0; ky < kh; ++ky) {
-        for (std::int64_t kx = 0; kx < kw; ++kx) {
-          std::int8_t* crow =
-              col.data() + ((ch * kh + ky) * kw + kx) * spatial;
-          for (std::int64_t oy = 0; oy < oh; ++oy) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        std::int8_t* row = colt + (oy * ow + ox) * k;
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          for (std::int64_t ky = 0; ky < kh; ++ky) {
             const std::int64_t iy = oy * sh - ph + ky;
-            for (std::int64_t ox = 0; ox < ow; ++ox) {
+            std::int8_t* dst = row + (ch * kh + ky) * kw;
+            if (iy < 0 || iy >= h) {
+              for (std::int64_t kx = 0; kx < kw; ++kx) dst[kx] = pad;
+              continue;
+            }
+            const std::int8_t* irow = xin + (ch * h + iy) * w;
+            for (std::int64_t kx = 0; kx < kw; ++kx) {
               const std::int64_t ix = ox * sw - pwd + kx;
-              crow[oy * ow + ox] =
-                  (iy >= 0 && iy < h && ix >= 0 && ix < w)
-                      ? xin[(ch * h + iy) * w + ix]
-                      : static_cast<std::int8_t>(std::clamp(zx, -128, 127));
+              dst[kx] = (ix >= 0 && ix < w) ? irow[ix] : pad;
             }
           }
         }
       }
     }
+    kernels::qgemm(spatial, o, k, colt, k, panels->data(), ct, o, ep);
+    // Blocked transpose of C'[spatial][O] into the output plane [O][spatial].
     std::int8_t* yout = yp + img * o * spatial;
-    rt::parallel_for(0, o, 4, [&](std::int64_t f0, std::int64_t f1) {
-      for (std::int64_t f = f0; f < f1; ++f) {
-        const std::int8_t* wrow = wq + f * k;
-        std::int8_t* yrow = yout + f * spatial;
-        const float b = bias ? bias[f] : 0.f;
-        const std::int32_t corr = zx * pw.filt_sum[static_cast<std::size_t>(f)];
-        for (std::int64_t j = 0; j < spatial; ++j) {
-          std::int32_t acc = 0;
-          for (std::int64_t kk = 0; kk < k; ++kk) {
-            acc += static_cast<std::int32_t>(col[static_cast<std::size_t>(kk * spatial + j)]) *
-                   static_cast<std::int32_t>(wrow[kk]);
+    constexpr std::int64_t kBlock = 16;
+    for (std::int64_t j0 = 0; j0 < spatial; j0 += kBlock) {
+      const std::int64_t j1 = std::min(j0 + kBlock, spatial);
+      for (std::int64_t f0 = 0; f0 < o; f0 += kBlock) {
+        const std::int64_t f1 = std::min(f0 + kBlock, o);
+        for (std::int64_t j = j0; j < j1; ++j) {
+          for (std::int64_t f = f0; f < f1; ++f) {
+            yout[f * spatial + j] = ct[j * o + f];
           }
-          const float real = sx_sw * static_cast<float>(acc - corr) + b;
-          yrow[j] = quantize_one(real, inv_out, out_zp);
         }
       }
-    });
+    }
   }
   return y;
 }

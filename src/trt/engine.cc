@@ -185,6 +185,12 @@ std::unique_ptr<Engine> Engine::build(fx::GraphModule& gm,
         op.bias = m->has_parameter("bias") ? m->param("bias").clone()
                                            : Tensor::zeros({m->param("weight").size(0)});
         result_node = try_fuse_relu(n);
+        // A LinearReLU module clamps inside its own forward; re-emitting it
+        // as a plain Linear op would drop that ReLU.
+        if (dynamic_cast<const nn::LinearReLU*>(m.get()) && !op.fuse_relu) {
+          op.fuse_relu = true;
+          ++e->stats_.fused_relus;
+        }
         op.in_shape = arg_node(*n, 0)->shape();
         op.out_shape = n->shape();
         op.in_off = buf_of.at(arg_node(*n, 0));
